@@ -1,0 +1,262 @@
+// Package closedrules mines bases for association rules using frequent
+// closed itemsets, implementing Taouil, Pasquier, Bastide & Lakhal,
+// "Mining Bases for Association Rules Using Closed Sets" (ICDE 2000).
+//
+// Instead of the full — hugely redundant — set of association rules,
+// the library extracts two minimal non-redundant generating sets:
+//
+//   - the Duquenne–Guigues basis for exact rules (confidence 1), built
+//     on the frequent pseudo-closed itemsets (Theorem 1);
+//   - the Luxenburger basis for approximate rules, built on the Hasse
+//     diagram of the frequent-closed-itemset (iceberg) lattice
+//     (Theorem 2).
+//
+// Every valid rule, with its exact support and confidence, can be
+// rederived from the two bases alone; Engine implements that
+// derivation.
+//
+// Quick start:
+//
+//	ds, _ := closedrules.NewDataset([][]int{{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4}})
+//	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+//	bases, _ := res.Bases(0.5)
+//	for _, r := range bases.Exact { fmt.Println(r) }
+//	for _, r := range bases.Approximate { fmt.Println(r) }
+package closedrules
+
+import (
+	"fmt"
+	"io"
+
+	"closedrules/internal/aclose"
+	"closedrules/internal/apriori"
+	"closedrules/internal/charm"
+	"closedrules/internal/closealg"
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/eclat"
+	"closedrules/internal/fpgrowth"
+	"closedrules/internal/itemset"
+	"closedrules/internal/pascal"
+	"closedrules/internal/rules"
+	"closedrules/internal/titanic"
+)
+
+// Dataset is a transaction database over dense integer items.
+type Dataset = dataset.Dataset
+
+// Stats summarizes a dataset.
+type Stats = dataset.Stats
+
+// Itemset is a sorted set of item identifiers.
+type Itemset = itemset.Itemset
+
+// CountedItemset is an itemset with its absolute support.
+type CountedItemset = itemset.Counted
+
+// ClosedItemset is a frequent closed itemset with support and minimal
+// generators.
+type ClosedItemset = closedset.Closed
+
+// Rule is an association rule with measured supports.
+type Rule = rules.Rule
+
+// Metrics carries the interestingness measures of a rule.
+type Metrics = rules.Metrics
+
+// Items builds an Itemset from the given items.
+func Items(items ...int) Itemset { return itemset.Of(items...) }
+
+// NewDataset builds a dataset from raw transactions; items are
+// non-negative integers, transactions are deduplicated and sorted.
+func NewDataset(transactions [][]int) (*Dataset, error) {
+	return dataset.FromTransactions(transactions)
+}
+
+// NewDatasetWithUniverse builds a dataset with an explicit item
+// universe size.
+func NewDatasetWithUniverse(transactions [][]int, numItems int) (*Dataset, error) {
+	return dataset.FromTransactionsN(transactions, numItems)
+}
+
+// ReadDat parses the FIMI ".dat" basket format (one transaction per
+// line, space-separated item ids).
+func ReadDat(r io.Reader) (*Dataset, error) { return dataset.ReadDat(r) }
+
+// ReadDatFile reads a ".dat" file from disk.
+func ReadDatFile(path string) (*Dataset, error) { return dataset.ReadDatFile(path) }
+
+// WriteDat writes the dataset in ".dat" format.
+func WriteDat(w io.Writer, d *Dataset) error { return dataset.WriteDat(w, d) }
+
+// ReadTable parses a delimiter-separated nominal table; each
+// (column, value) pair becomes an item named "column=value".
+func ReadTable(r io.Reader, sep rune, hasHeader bool) (*Dataset, error) {
+	return dataset.ReadTable(r, sep, hasHeader)
+}
+
+// ReadTableFile reads a nominal table from disk.
+func ReadTableFile(path string, sep rune, hasHeader bool) (*Dataset, error) {
+	return dataset.ReadTableFile(path, sep, hasHeader)
+}
+
+// Algorithm selects the mining algorithm.
+type Algorithm int
+
+const (
+	// Close is the level-wise closed-itemset miner of reference [4]
+	// (default). Tracks minimal generators.
+	Close Algorithm = iota
+	// AClose is the generator-first closed miner of reference [5].
+	// Tracks minimal generators.
+	AClose
+	// Charm is the depth-first closed miner (Zaki & Hsiao 2002),
+	// included as a follow-on cross-check. Does not track generators.
+	Charm
+	// Titanic is the key-based miner of the same research group
+	// (Stumme et al. 2002): closures are computed from support counts
+	// alone, with no extra database pass. Tracks minimal generators.
+	Titanic
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Close:
+		return "close"
+	case AClose:
+		return "a-close"
+	case Charm:
+		return "charm"
+	case Titanic:
+		return "titanic"
+	}
+	return fmt.Sprintf("algorithm(%d)", int(a))
+}
+
+// Options configures Mine.
+type Options struct {
+	// MinSupport is the relative minimum support in (0, 1]; ignored
+	// when AbsoluteMinSupport is set.
+	MinSupport float64
+	// AbsoluteMinSupport, when ≥ 1, is the minimum support count.
+	AbsoluteMinSupport int
+	// Algorithm chooses the closed-itemset miner (default Close).
+	Algorithm Algorithm
+}
+
+func (o Options) minSup(d *Dataset) (int, error) {
+	if o.AbsoluteMinSupport >= 1 {
+		if o.AbsoluteMinSupport > d.NumTransactions() && d.NumTransactions() > 0 {
+			return o.AbsoluteMinSupport, nil // legal: empty result
+		}
+		return o.AbsoluteMinSupport, nil
+	}
+	if o.MinSupport <= 0 || o.MinSupport > 1 {
+		return 0, fmt.Errorf("closedrules: MinSupport %v outside (0,1] and no absolute threshold", o.MinSupport)
+	}
+	return d.AbsoluteSupport(o.MinSupport), nil
+}
+
+// Mine extracts the frequent closed itemsets of the dataset and
+// returns a Result from which itemsets, rules and bases are derived.
+func Mine(d *Dataset, opt Options) (*Result, error) {
+	minSup, err := opt.minSup(d)
+	if err != nil {
+		return nil, err
+	}
+	var fc *closedset.Set
+	switch opt.Algorithm {
+	case Close:
+		fc, _, err = closealg.Mine(d, minSup)
+	case AClose:
+		fc, _, err = aclose.Mine(d, minSup)
+	case Charm:
+		fc, err = charm.Mine(d, minSup)
+	case Titanic:
+		fc, _, err = titanic.Mine(d, minSup)
+	default:
+		return nil, fmt.Errorf("closedrules: unknown algorithm %v", opt.Algorithm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Result{d: d, minSup: minSup, algo: opt.Algorithm, fc: fc}, nil
+}
+
+// MineFrequent extracts all frequent itemsets (the Apriori baseline —
+// exactly what the bases make unnecessary, provided for comparisons).
+func MineFrequent(d *Dataset, opt Options) ([]CountedItemset, error) {
+	minSup, err := opt.minSup(d)
+	if err != nil {
+		return nil, err
+	}
+	fam, _, err := apriori.Mine(d, minSup)
+	if err != nil {
+		return nil, err
+	}
+	return fam.All(), nil
+}
+
+// MineFrequentEclat extracts all frequent itemsets with the vertical
+// Eclat miner.
+func MineFrequentEclat(d *Dataset, opt Options) ([]CountedItemset, error) {
+	minSup, err := opt.minSup(d)
+	if err != nil {
+		return nil, err
+	}
+	fam, err := eclat.Mine(d, minSup)
+	if err != nil {
+		return nil, err
+	}
+	return fam.All(), nil
+}
+
+// MineFrequentFPGrowth extracts all frequent itemsets with the
+// FP-Growth miner (prefix-tree compression, no candidate generation).
+func MineFrequentFPGrowth(d *Dataset, opt Options) ([]CountedItemset, error) {
+	minSup, err := opt.minSup(d)
+	if err != nil {
+		return nil, err
+	}
+	fam, err := fpgrowth.Mine(d, minSup)
+	if err != nil {
+		return nil, err
+	}
+	return fam.All(), nil
+}
+
+// MineFrequentPascal extracts all frequent itemsets with the PASCAL
+// miner (key-pattern counting inference — the same group's Apriori
+// refinement; fastest on correlated data).
+func MineFrequentPascal(d *Dataset, opt Options) ([]CountedItemset, error) {
+	minSup, err := opt.minSup(d)
+	if err != nil {
+		return nil, err
+	}
+	fam, _, err := pascal.Mine(d, minSup)
+	if err != nil {
+		return nil, err
+	}
+	return fam.All(), nil
+}
+
+// FormatRules renders rules one per line using the dataset's item
+// names.
+func FormatRules(list []Rule, d *Dataset) string {
+	var names []string
+	if d != nil {
+		names = d.Names()
+	}
+	out := ""
+	for _, r := range list {
+		out += r.Format(names) + "\n"
+	}
+	return out
+}
+
+// RuleMetrics computes the interestingness measures of a rule against
+// a database of numTx transactions.
+func RuleMetrics(r Rule, numTx int) (Metrics, error) {
+	return rules.ComputeMetrics(r, numTx)
+}

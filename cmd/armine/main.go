@@ -1,0 +1,200 @@
+// Command armine mines frequent closed itemsets, association rules and
+// rule bases from transaction data.
+//
+// Usage:
+//
+//	armine -in data.dat -minsup 0.3 -mode bases [-minconf 0.5] [-algo close]
+//	armine -in table.csv -table -sep , -header -minsup 0.5 -mode closed
+//
+// Modes:
+//
+//	stats     dataset summary
+//	frequent  all frequent itemsets (Apriori baseline)
+//	closed    frequent closed itemsets with minimal generators
+//	pseudo    frequent pseudo-closed itemsets
+//	rules     all valid association rules at -minconf
+//	bases     Duquenne–Guigues + reduced Luxenburger bases (the paper)
+//	generic   generic + informative bases (minimal generators)
+//	lattice   iceberg lattice in Graphviz DOT
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"closedrules"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "armine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("armine", flag.ContinueOnError)
+	var (
+		in      = fs.String("in", "", "input file (.dat basket format unless -table)")
+		table   = fs.Bool("table", false, "input is a nominal table (one attribute per column)")
+		sep     = fs.String("sep", ",", "table column separator")
+		header  = fs.Bool("header", false, "table has a header row")
+		minsup  = fs.Float64("minsup", 0.5, "relative minimum support (0,1]")
+		abssup  = fs.Int("abssup", 0, "absolute minimum support (overrides -minsup when ≥1)")
+		minconf = fs.Float64("minconf", 0.5, "minimum confidence [0,1]")
+		algo    = fs.String("algo", "close", "closed miner: close | aclose | charm | titanic")
+		mode    = fs.String("mode", "bases", "stats | frequent | closed | pseudo | rules | bases | generic | lattice")
+		format  = fs.String("format", "text", "rule output format: text | json | csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in")
+	}
+
+	var (
+		d   *closedrules.Dataset
+		err error
+	)
+	if *table {
+		r := []rune(*sep)
+		if len(r) != 1 {
+			return fmt.Errorf("-sep must be a single character")
+		}
+		d, err = closedrules.ReadTableFile(*in, r[0], *header)
+	} else {
+		d, err = closedrules.ReadDatFile(*in)
+	}
+	if err != nil {
+		return err
+	}
+
+	opt := closedrules.Options{MinSupport: *minsup, AbsoluteMinSupport: *abssup}
+	switch *algo {
+	case "close":
+		opt.Algorithm = closedrules.Close
+	case "aclose":
+		opt.Algorithm = closedrules.AClose
+	case "charm":
+		opt.Algorithm = closedrules.Charm
+	case "titanic":
+		opt.Algorithm = closedrules.Titanic
+	default:
+		return fmt.Errorf("unknown -algo %q", *algo)
+	}
+
+	if *mode == "stats" {
+		s := d.Stats()
+		fmt.Fprintf(w, "transactions: %d\nitems: %d\navg length: %.2f\nmin/max length: %d/%d\ndensity: %.4f\n",
+			s.NumTransactions, s.NumItems, s.AvgLen, s.MinLen, s.MaxLen, s.Density)
+		return nil
+	}
+	if *mode == "frequent" {
+		fi, err := closedrules.MineFrequent(d, opt)
+		if err != nil {
+			return err
+		}
+		for _, f := range fi {
+			fmt.Fprintf(w, "%s\t%d\n", f.Items.Format(d.Names()), f.Support)
+		}
+		fmt.Fprintf(w, "# %d frequent itemsets\n", len(fi))
+		return nil
+	}
+
+	res, err := closedrules.Mine(d, opt)
+	if err != nil {
+		return err
+	}
+	names := d.Names()
+
+	switch *mode {
+	case "closed":
+		for _, c := range res.ClosedItemsets() {
+			fmt.Fprintf(w, "%s\t%d", c.Items.Format(names), c.Support)
+			for _, g := range c.Generators {
+				fmt.Fprintf(w, "\tgen:%s", g.Format(names))
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "# %d frequent closed itemsets\n", res.NumClosed())
+	case "pseudo":
+		ps, err := res.PseudoClosedItemsets()
+		if err != nil {
+			return err
+		}
+		for _, p := range ps {
+			fmt.Fprintf(w, "%s\t%d\n", p.Items.Format(names), p.Support)
+		}
+		fmt.Fprintf(w, "# %d frequent pseudo-closed itemsets\n", len(ps))
+	case "rules":
+		all, err := res.AllRules(*minconf)
+		if err != nil {
+			return err
+		}
+		if done, err := writeRules(w, all, *format); done || err != nil {
+			return err
+		}
+		for _, r := range all {
+			fmt.Fprintln(w, r.Format(names))
+		}
+		fmt.Fprintf(w, "# %d rules\n", len(all))
+	case "bases":
+		bases, err := res.Bases(*minconf)
+		if err != nil {
+			return err
+		}
+		if *format != "text" {
+			all := append(append([]closedrules.Rule{}, bases.Exact...), bases.Approximate...)
+			_, err := writeRules(w, all, *format)
+			return err
+		}
+		fmt.Fprintf(w, "## Duquenne–Guigues basis (exact rules): %d\n", len(bases.Exact))
+		for _, r := range bases.Exact {
+			fmt.Fprintln(w, r.Format(names))
+		}
+		fmt.Fprintf(w, "## Luxenburger reduction (approximate rules, conf ≥ %.2f): %d\n",
+			*minconf, len(bases.Approximate))
+		for _, r := range bases.Approximate {
+			fmt.Fprintln(w, r.Format(names))
+		}
+	case "generic":
+		gb, err := res.GenericBasis()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "## Generic basis (exact rules): %d\n", len(gb))
+		for _, r := range gb {
+			fmt.Fprintln(w, r.Format(names))
+		}
+		ib, err := res.InformativeBasis(*minconf, true)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "## Reduced informative basis (conf ≥ %.2f): %d\n", *minconf, len(ib))
+		for _, r := range ib {
+			fmt.Fprintln(w, r.Format(names))
+		}
+	case "lattice":
+		fmt.Fprint(w, res.LatticeDOT())
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	return nil
+}
+
+// writeRules handles the non-text formats; done reports whether the
+// rules were written (text falls through to the caller's renderer).
+func writeRules(w io.Writer, list []closedrules.Rule, format string) (done bool, err error) {
+	switch format {
+	case "text":
+		return false, nil
+	case "json":
+		return true, closedrules.WriteRulesJSON(w, list)
+	case "csv":
+		return true, closedrules.WriteRulesCSV(w, list)
+	}
+	return true, fmt.Errorf("unknown -format %q", format)
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeClassic writes the classic 5-object context to a temp .dat file.
+func writeClassic(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "classic.dat")
+	data := "0 2 3\n1 2 4\n0 1 2 4\n1 4\n0 1 2 4\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return sb.String()
+}
+
+func TestStatsMode(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-mode", "stats")
+	if !strings.Contains(out, "transactions: 5") || !strings.Contains(out, "items: 5") {
+		t.Errorf("stats output:\n%s", out)
+	}
+}
+
+func TestFrequentMode(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-mode", "frequent")
+	if !strings.Contains(out, "# 15 frequent itemsets") {
+		t.Errorf("frequent output:\n%s", out)
+	}
+}
+
+func TestClosedModeAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"close", "aclose", "charm", "titanic"} {
+		out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-mode", "closed", "-algo", algo)
+		if !strings.Contains(out, "# 6 frequent closed itemsets") {
+			t.Errorf("algo %s output:\n%s", algo, out)
+		}
+	}
+}
+
+func TestPseudoMode(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-mode", "pseudo")
+	if !strings.Contains(out, "# 3 frequent pseudo-closed itemsets") {
+		t.Errorf("pseudo output:\n%s", out)
+	}
+}
+
+func TestRulesMode(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-minconf", "0", "-mode", "rules")
+	if !strings.Contains(out, "# 50 rules") {
+		t.Errorf("rules output:\n%s", out)
+	}
+}
+
+func TestBasesMode(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-minconf", "0.5", "-mode", "bases")
+	if !strings.Contains(out, "Duquenne–Guigues basis (exact rules): 3") {
+		t.Errorf("bases output:\n%s", out)
+	}
+	if !strings.Contains(out, "Luxenburger reduction (approximate rules, conf ≥ 0.50): 5") {
+		t.Errorf("bases output:\n%s", out)
+	}
+}
+
+func TestGenericMode(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-mode", "generic")
+	if !strings.Contains(out, "Generic basis (exact rules): 7") {
+		t.Errorf("generic output:\n%s", out)
+	}
+}
+
+func TestLatticeMode(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-mode", "lattice")
+	if !strings.HasPrefix(out, "digraph lattice {") {
+		t.Errorf("lattice output:\n%s", out)
+	}
+}
+
+func TestTableInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.csv")
+	data := "color,size\nred,big\nred,big\nblue,small\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runCLI(t, "-in", path, "-table", "-header", "-minsup", "0.5", "-mode", "closed")
+	if !strings.Contains(out, "color=red") {
+		t.Errorf("table output:\n%s", out)
+	}
+}
+
+func TestRulesJSONFormat(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-minconf", "0", "-mode", "rules", "-format", "json")
+	if !strings.HasPrefix(strings.TrimSpace(out), "[") {
+		t.Errorf("json output:\n%.80s", out)
+	}
+	if !strings.Contains(out, "\"antecedent\"") {
+		t.Errorf("json output lacks fields:\n%.200s", out)
+	}
+}
+
+func TestBasesCSVFormat(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-minconf", "0.5", "-mode", "bases", "-format", "csv")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "antecedent,consequent,support,antecedentSupport,consequentSupport,confidence" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 9 { // header + 3 exact + 5 approximate
+		t.Errorf("csv has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestBadFormat(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-in", writeClassic(t), "-minsup", "0.4", "-mode", "rules", "-format", "xml"}, &sb)
+	if err == nil {
+		t.Error("bad format accepted")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{},                               // missing -in
+		{"-in", "/nonexistent/file.dat"}, // missing file
+		{"-in", writeClassic(t), "-algo", "bogus"},
+		{"-in", writeClassic(t), "-mode", "bogus"},
+		{"-in", writeClassic(t), "-table", "-sep", "ab"},
+		{"-in", writeClassic(t), "-minsup", "7"},
+	}
+	for i, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command benchtables regenerates the paper-shaped evaluation tables
+// (experiments E1–E8 of DESIGN.md §4) and prints them as aligned text,
+// ready to be pasted into EXPERIMENTS.md.
+//
+// Usage:
+//
+//	benchtables                 # all experiments, small scale
+//	benchtables -scale medium   # larger datasets
+//	benchtables -exp e1,e3      # a subset of the experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"closedrules/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchtables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("benchtables", flag.ContinueOnError)
+	var (
+		scaleFlag = fs.String("scale", "small", "dataset scale: small | medium | full")
+		expFlag   = fs.String("exp", "all", "comma-separated experiment ids (e1..e8) or all")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := bench.ParseScale(*scaleFlag)
+	if err != nil {
+		return err
+	}
+
+	want := map[string]bool{}
+	if *expFlag != "all" {
+		for _, e := range strings.Split(*expFlag, ",") {
+			want[strings.ToLower(strings.TrimSpace(e))] = true
+		}
+	}
+	keep := func(id string) bool {
+		return len(want) == 0 || want[strings.ToLower(id)]
+	}
+
+	ws, err := bench.Workloads(scale)
+	if err != nil {
+		return err
+	}
+	print := func(t bench.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, t.String())
+		return nil
+	}
+
+	if keep("e1") {
+		for _, wl := range ws {
+			if err := print(bench.E1(wl)); err != nil {
+				return err
+			}
+		}
+	}
+	if keep("e2") {
+		for _, wl := range ws {
+			if err := print(bench.E2(wl)); err != nil {
+				return err
+			}
+		}
+	}
+	if keep("e3") {
+		for _, wl := range ws {
+			if err := print(bench.E3(wl)); err != nil {
+				return err
+			}
+		}
+	}
+	if keep("e4") {
+		for _, wl := range ws {
+			if err := print(bench.E4(wl)); err != nil {
+				return err
+			}
+		}
+	}
+	if keep("e5") {
+		if err := print(bench.E5(scale)); err != nil {
+			return err
+		}
+	}
+	if keep("e6") {
+		for _, wl := range ws {
+			if err := print(bench.E6(wl)); err != nil {
+				return err
+			}
+		}
+	}
+	if keep("e7") {
+		for _, wl := range ws {
+			if err := print(bench.E7(wl)); err != nil {
+				return err
+			}
+		}
+	}
+	if keep("e8") {
+		for _, wl := range ws {
+			if err := print(bench.E8(wl)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The full small-scale suite takes a minute; the test exercises the
+// cheap experiments and the flag plumbing only.
+func TestSelectedExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var sb strings.Builder
+	if err := run([]string{"-exp", "e5"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "== E5 — scale-up") {
+		t.Errorf("missing E5 table:\n%s", out)
+	}
+	if strings.Contains(out, "== E1") {
+		t.Errorf("unexpected E1 table in filtered run")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scale", "bogus"}, &sb); err == nil {
+		t.Error("bad scale accepted")
+	}
+}

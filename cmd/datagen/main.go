@@ -1,0 +1,102 @@
+// Command datagen synthesizes the evaluation datasets (quest-style
+// market baskets, census-like and mushroom-like nominal data) in the
+// FIMI ".dat" format. See DESIGN.md §3 for the substitution rationale.
+//
+// Usage:
+//
+//	datagen -model quest -ntrans 100000 -nitems 1000 -t 10 -i 4 -out t10i4d100k.dat
+//	datagen -model census -nobjects 10000 -attrs 20 -out c20d10k.dat
+//	datagen -model mushroom -nobjects 8124 -out mushroom.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"closedrules"
+	"closedrules/internal/dataset"
+	"closedrules/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		model    = fs.String("model", "quest", "quest | census | mushroom")
+		out      = fs.String("out", "", "output .dat path (default stdout)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		ntrans   = fs.Int("ntrans", 10000, "quest: number of transactions")
+		nitems   = fs.Int("nitems", 1000, "quest: item universe size")
+		avgTx    = fs.Int("t", 10, "quest: average transaction length (T)")
+		avgPat   = fs.Int("i", 4, "quest: average pattern length (I)")
+		patterns = fs.Int("patterns", 0, "quest: number of patterns (default 2×items)")
+		nobj     = fs.Int("nobjects", 10000, "census/mushroom: number of objects")
+		attrs    = fs.Int("attrs", 20, "census: number of attributes")
+		values   = fs.Int("values", 10, "census: values per attribute")
+		clusters = fs.Int("clusters", 8, "census: latent clusters")
+		noise    = fs.Float64("noise", 0.15, "census: attribute noise")
+		detfrac  = fs.Float64("detfrac", 0.5, "census: fraction of cluster-determined attributes")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		d   *closedrules.Dataset
+		err error
+	)
+	switch *model {
+	case "quest":
+		cfg := gen.QuestConfig{
+			NumTransactions: *ntrans,
+			AvgTxLen:        *avgTx,
+			NumItems:        *nitems,
+			NumPatterns:     *patterns,
+			AvgPatternLen:   *avgPat,
+			Correlation:     0.5,
+			CorruptionMean:  0.5,
+			CorruptionStd:   0.1,
+			Seed:            *seed,
+		}
+		if cfg.NumPatterns == 0 {
+			cfg.NumPatterns = 2 * cfg.NumItems
+		}
+		d, err = gen.Quest(cfg)
+	case "census":
+		d, err = gen.Census(gen.CensusConfig{
+			NumObjects:            *nobj,
+			NumAttributes:         *attrs,
+			ValuesPerAttribute:    *values,
+			NumClusters:           *clusters,
+			Noise:                 *noise,
+			DeterministicFraction: *detfrac,
+			Seed:                  *seed,
+		})
+	case "mushroom":
+		d, err = gen.Mushroom(gen.MushroomConfig{NumObjects: *nobj, Seed: *seed})
+	default:
+		return fmt.Errorf("unknown -model %q", *model)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *out == "" {
+		return dataset.WriteDat(w, d)
+	}
+	if err := dataset.WriteDatFile(*out, d); err != nil {
+		return err
+	}
+	s := d.Stats()
+	fmt.Fprintf(w, "wrote %s: %d transactions, %d items, avg length %.2f\n",
+		*out, s.NumTransactions, s.NumItems, s.AvgLen)
+	return nil
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"closedrules"
+)
+
+func TestQuestToStdout(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-model", "quest", "-ntrans", "50", "-nitems", "40", "-seed", "3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := closedrules.ReadDat(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTransactions() != 50 {
+		t.Errorf("transactions = %d", ds.NumTransactions())
+	}
+}
+
+func TestCensusToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.dat")
+	var sb strings.Builder
+	err := run([]string{"-model", "census", "-nobjects", "30", "-attrs", "5", "-values", "3", "-out", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "wrote") {
+		t.Errorf("summary: %q", sb.String())
+	}
+	ds, err := closedrules.ReadDatFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTransactions() != 30 {
+		t.Errorf("transactions = %d", ds.NumTransactions())
+	}
+	for i := 0; i < ds.NumTransactions(); i++ {
+		if ds.Transaction(i).Len() != 5 {
+			t.Fatalf("tx %d has %d items, want 5", i, ds.Transaction(i).Len())
+		}
+	}
+}
+
+func TestMushroomModel(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-model", "mushroom", "-nobjects", "20"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := closedrules.ReadDat(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.NumTransactions() != 20 {
+		t.Errorf("transactions = %d", ds.NumTransactions())
+	}
+}
+
+func TestSameSeedSameData(t *testing.T) {
+	var a, b strings.Builder
+	args := []string{"-model", "quest", "-ntrans", "40", "-nitems", "30", "-seed", "9"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different data")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var sb strings.Builder
+	cases := [][]string{
+		{"-model", "bogus"},
+		{"-model", "quest", "-t", "0"},
+		{"-model", "census", "-noise", "2"},
+		{"-model", "mushroom", "-nobjects", "-1"},
+		{"-model", "quest", "-out", filepath.Join(string(os.PathSeparator), "no", "such", "dir", "x.dat")},
+	}
+	for i, args := range cases {
+		if err := run(args, &sb); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}

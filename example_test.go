@@ -1,0 +1,99 @@
+package closedrules_test
+
+import (
+	"fmt"
+	"strings"
+
+	"closedrules"
+)
+
+// The running example of the Close paper: five objects over items
+// A=0, B=1, C=2, D=3, E=4.
+func classicDataset() *closedrules.Dataset {
+	ds, err := closedrules.NewDataset([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+func Example() {
+	ds := classicDataset()
+	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	bases, _ := res.Bases(0.5)
+	for _, r := range bases.Exact {
+		fmt.Println(r)
+	}
+	// Output:
+	// {0} → {2} (sup=3, conf=1.000)
+	// {1} → {4} (sup=4, conf=1.000)
+	// {4} → {1} (sup=4, conf=1.000)
+}
+
+func ExampleMine() {
+	ds := classicDataset()
+	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	for _, c := range res.ClosedItemsets() {
+		fmt.Printf("%v support=%d\n", c.Items, c.Support)
+	}
+	// Output:
+	// ∅ support=5
+	// {2} support=4
+	// {0, 2} support=3
+	// {1, 4} support=4
+	// {1, 2, 4} support=3
+	// {0, 1, 2, 4} support=2
+}
+
+func ExampleResult_Closure() {
+	ds := classicDataset()
+	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	cl, _ := res.Closure(closedrules.Items(0)) // h({A})
+	fmt.Println(cl.Items, cl.Support)
+	// Output:
+	// {0, 2} 3
+}
+
+func ExampleBases_Engine() {
+	ds := classicDataset()
+	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	bases, _ := res.Bases(0)
+	eng, _ := bases.Engine()
+	// Reconstruct the rule C → B,E from the bases alone.
+	r, _ := eng.Rule(closedrules.Items(2), closedrules.Items(1, 4))
+	fmt.Println(r)
+	// Output:
+	// {2} → {1, 4} (sup=3, conf=0.750)
+}
+
+func ExampleResult_DeriveAllRules() {
+	ds := classicDataset()
+	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	derived, _ := res.DeriveAllRules(0.5)
+	measured, _ := res.AllRules(0.5)
+	fmt.Println(len(derived) == len(measured), len(derived))
+	// Output:
+	// true 50
+}
+
+func ExampleReadDat() {
+	ds, _ := closedrules.ReadDat(strings.NewReader("0 2 3\n1 2 4\n0 1 2 4\n1 4\n0 1 2 4\n"))
+	fmt.Println(ds.NumTransactions(), ds.NumItems())
+	// Output:
+	// 5 5
+}
+
+func ExampleResult_PseudoClosedItemsets() {
+	ds := classicDataset()
+	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	ps, _ := res.PseudoClosedItemsets()
+	for _, p := range ps {
+		fmt.Println(p.Items)
+	}
+	// Output:
+	// {0}
+	// {1}
+	// {4}
+}

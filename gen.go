@@ -1,0 +1,46 @@
+package closedrules
+
+import "closedrules/internal/gen"
+
+// The synthetic workload generators recreate the statistical regimes
+// of the paper's evaluation datasets (see DESIGN.md §3). They are part
+// of the public API so downstream users can reproduce the experiment
+// suite and build comparable workloads.
+
+// QuestConfig parameterizes the IBM-Quest-style market-basket
+// generator (weakly correlated regime).
+type QuestConfig = gen.QuestConfig
+
+// CensusConfig parameterizes the census-like nominal-data generator
+// (strongly correlated regime).
+type CensusConfig = gen.CensusConfig
+
+// MushroomConfig parameterizes the mushroom-like nominal-data
+// generator (dense, maximally correlated regime).
+type MushroomConfig = gen.MushroomConfig
+
+// QuestT10I4 returns the canonical T10I4 configuration at the given
+// scale.
+func QuestT10I4(numTx, numItems int, seed int64) QuestConfig {
+	return gen.T10I4(numTx, numItems, seed)
+}
+
+// QuestT20I6 returns the canonical T20I6 configuration.
+func QuestT20I6(numTx, numItems int, seed int64) QuestConfig {
+	return gen.T20I6(numTx, numItems, seed)
+}
+
+// CensusC20 returns a C20D10K-shaped configuration at the given scale.
+func CensusC20(numObjects int, seed int64) CensusConfig { return gen.C20(numObjects, seed) }
+
+// CensusC73 returns a C73D10K-shaped configuration at the given scale.
+func CensusC73(numObjects int, seed int64) CensusConfig { return gen.C73(numObjects, seed) }
+
+// GenerateQuest synthesizes a market-basket dataset.
+func GenerateQuest(cfg QuestConfig) (*Dataset, error) { return gen.Quest(cfg) }
+
+// GenerateCensus synthesizes a census-like dataset.
+func GenerateCensus(cfg CensusConfig) (*Dataset, error) { return gen.Census(cfg) }
+
+// GenerateMushroom synthesizes a mushroom-like dataset.
+func GenerateMushroom(cfg MushroomConfig) (*Dataset, error) { return gen.Mushroom(cfg) }

@@ -1,0 +1,151 @@
+// Package aclose implements the A-Close algorithm of Pasquier,
+// Bastide, Taouil & Lakhal ("Discovering frequent closed itemsets for
+// association rules", ICDT 1999) — reference [5] of the ICDE'2000
+// paper.
+//
+// Unlike Close, A-Close mines the generators level-wise using support
+// counts alone (a candidate is pruned when its support equals the
+// support of one of its subsets) and computes closures in a single
+// extra pass at the end — and only for the generators at sizes ≥ l-1,
+// where l is the first level at which a non-free candidate was pruned:
+// below that size every generator is provably its own closure.
+package aclose
+
+import (
+	"fmt"
+
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/galois"
+	"closedrules/internal/itemset"
+	"closedrules/internal/levelwise"
+)
+
+// Stats reports the level-wise work of a run.
+type Stats struct {
+	Passes             int
+	CandidatesPerLevel []int
+	GeneratorsPerLevel []int
+	FirstPruneLevel    int // 0 if no non-free candidate was ever pruned
+	ClosuresComputed   int // closures computed in the final pass
+}
+
+type generator struct {
+	items   itemset.Itemset
+	support int
+}
+
+// Mine returns the frequent closed itemsets (including the bottom
+// h(∅) with generator ∅) at absolute support ≥ minSup.
+func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
+	var stats Stats
+	if minSup < 1 {
+		return nil, stats, fmt.Errorf("aclose: minSup %d < 1", minSup)
+	}
+	ctx := d.Context()
+	nTx := d.NumTransactions()
+
+	// Level 1 pass: item supports. Items as frequent as ∅ are not free.
+	sup := d.ItemSupports()
+	stats.Passes = 1
+	stats.CandidatesPerLevel = append(stats.CandidatesPerLevel, d.NumItems())
+	var level []generator
+	for it, s := range sup {
+		if s < minSup {
+			continue
+		}
+		if s == nTx {
+			if stats.FirstPruneLevel == 0 {
+				stats.FirstPruneLevel = 1
+			}
+			continue
+		}
+		level = append(level, generator{items: itemset.Of(it), support: s})
+	}
+	stats.GeneratorsPerLevel = append(stats.GeneratorsPerLevel, len(level))
+	allGens := [][]generator{level}
+
+	for k := 2; len(level) >= 2; k++ {
+		supports := make(map[string]int, len(level))
+		items := make([]itemset.Itemset, len(level))
+		for i, g := range level {
+			supports[g.items.Key()] = g.support
+			items[i] = g.items
+		}
+		levelwise.SortLex(items)
+		cands := levelwise.Join(items)
+		cands = levelwise.PruneBySubsets(cands, levelwise.Keys(items))
+		if len(cands) == 0 {
+			break
+		}
+		stats.CandidatesPerLevel = append(stats.CandidatesPerLevel, len(cands))
+
+		counts := make([]int, len(cands))
+		trie := levelwise.NewTrie(k, cands)
+		for _, tx := range d.Transactions() {
+			if tx.Len() < k {
+				continue
+			}
+			trie.Walk(tx, func(idx int) { counts[idx]++ })
+		}
+		stats.Passes++
+
+		var next []generator
+		for i, cand := range cands {
+			if counts[i] < minSup {
+				continue
+			}
+			free := true
+			for drop := 0; drop < len(cand) && free; drop++ {
+				sub := make(itemset.Itemset, 0, len(cand)-1)
+				sub = append(sub, cand[:drop]...)
+				sub = append(sub, cand[drop+1:]...)
+				if s, ok := supports[sub.Key()]; ok && s == counts[i] {
+					free = false
+				}
+			}
+			if !free {
+				if stats.FirstPruneLevel == 0 {
+					stats.FirstPruneLevel = k
+				}
+				continue
+			}
+			next = append(next, generator{items: cand, support: counts[i]})
+		}
+		stats.GeneratorsPerLevel = append(stats.GeneratorsPerLevel, len(next))
+		allGens = append(allGens, next)
+		level = next
+	}
+
+	// Closure pass. Generators of size < l-1 are their own closures
+	// when l is the first prune level (no equal-support superset can
+	// exist below it); all others need an explicit h(·) computation.
+	fc := closedset.New()
+	if nTx >= minSup {
+		bottom := galois.Closure(ctx, itemset.Empty())
+		fc.AddGenerator(bottom, nTx, itemset.Empty())
+	}
+	closureNeeded := func(size int) bool {
+		if stats.FirstPruneLevel == 0 {
+			return false
+		}
+		return size >= stats.FirstPruneLevel-1
+	}
+	ranClosurePass := false
+	for _, lv := range allGens {
+		for _, g := range lv {
+			if closureNeeded(len(g.items)) {
+				cl := galois.Closure(ctx, g.items)
+				fc.AddGenerator(cl, g.support, g.items)
+				stats.ClosuresComputed++
+				ranClosurePass = true
+			} else {
+				fc.AddGenerator(g.items.Clone(), g.support, g.items)
+			}
+		}
+	}
+	if ranClosurePass {
+		stats.Passes++
+	}
+	return fc, stats, nil
+}

@@ -1,0 +1,145 @@
+package aclose
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/closealg"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/naive"
+	"closedrules/internal/testgen"
+)
+
+func classic(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMineClassic(t *testing.T) {
+	fc, stats, err := Mine(classic(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Len() != 6 {
+		t.Fatalf("|FC| = %d, want 6: %v", fc.Len(), fc.All())
+	}
+	if s, ok := fc.Support(itemset.Of(1, 2, 4)); !ok || s != 3 {
+		t.Errorf("supp(BCE) = %d,%v", s, ok)
+	}
+	// In the classic example AC is discovered at level 2 with
+	// supp(AC)=supp(A), so the first prune is at level 2.
+	if stats.FirstPruneLevel != 2 {
+		t.Errorf("FirstPruneLevel = %d, want 2", stats.FirstPruneLevel)
+	}
+	if stats.ClosuresComputed == 0 {
+		t.Error("expected a closure pass")
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	if _, _, err := Mine(classic(t), 0); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+}
+
+func TestNoPruneMeansNoClosurePass(t *testing.T) {
+	// A context where every frequent itemset is free: all closures are
+	// trivial and A-Close must skip the closure pass entirely.
+	// Pairwise-overlapping transactions with unique intersections work:
+	// {0,1},{1,2},{2,0} — every 1-set has supp 2, every 2-set supp 1.
+	d, _ := dataset.FromTransactions([][]int{{0, 1}, {1, 2}, {0, 2}})
+	fc, stats, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FirstPruneLevel != 0 {
+		t.Fatalf("FirstPruneLevel = %d, want 0", stats.FirstPruneLevel)
+	}
+	if stats.ClosuresComputed != 0 {
+		t.Errorf("ClosuresComputed = %d, want 0", stats.ClosuresComputed)
+	}
+	want := naive.ClosedItemsets(d.Context(), 1)
+	if !fc.Equal(want) {
+		t.Fatalf("FC mismatch: got %v want %v", fc.All(), want.All())
+	}
+}
+
+func TestMineUniversalItem(t *testing.T) {
+	d, _ := dataset.FromTransactions([][]int{{0, 1}, {0, 2}, {0, 1, 2}})
+	fc, stats, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.FirstPruneLevel != 1 {
+		t.Errorf("FirstPruneLevel = %d, want 1 (universal item)", stats.FirstPruneLevel)
+	}
+	want := naive.ClosedItemsets(d.Context(), 1)
+	if !fc.Equal(want) {
+		t.Fatalf("FC mismatch: got %v want %v", fc.All(), want.All())
+	}
+}
+
+func TestMineAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 80; iter++ {
+		d := testgen.Random(r, 25, 10, 0.4)
+		minSup := 1 + r.Intn(4)
+		fc, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.ClosedItemsets(d.Context(), minSup)
+		if !fc.Equal(want) {
+			t.Fatalf("iter %d (minSup %d): aclose %d closed, naive %d",
+				iter, minSup, fc.Len(), want.Len())
+		}
+	}
+}
+
+func TestMineAgreesWithClose(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	for iter := 0; iter < 40; iter++ {
+		d := testgen.Correlated(r, 60, 5, 3, 0.2)
+		minSup := 2 + r.Intn(6)
+		a, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := closealg.Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(c) {
+			t.Fatalf("iter %d: A-Close and Close disagree (%d vs %d)", iter, a.Len(), c.Len())
+		}
+	}
+}
+
+// TestGeneratorsAreFreeSets checks the A-Close invariant that every
+// reported generator is a free set (no proper subset of equal support).
+func TestGeneratorsAreFreeSets(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for iter := 0; iter < 30; iter++ {
+		d := testgen.Random(r, 20, 8, 0.45)
+		minSup := 1 + r.Intn(3)
+		fc, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := d.Context()
+		fam := naive.FrequentItemsets(ctx, 1)
+		for _, g := range fc.AllGenerators() {
+			if !naive.IsFree(ctx, fam, g.Generator, g.Support) {
+				t.Fatalf("iter %d: generator %v (supp %d) is not free",
+					iter, g.Generator, g.Support)
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Package apriori implements the classical Apriori frequent-itemset
+// miner (Agrawal & Srikant, VLDB 1994). It is the baseline the Close
+// and A-Close papers compare against: one database pass per level,
+// candidate generation by join + subset pruning, support counting via
+// a prefix trie over the candidates.
+package apriori
+
+import (
+	"fmt"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/levelwise"
+)
+
+// Stats reports the work done by a mining run, mirroring the
+// pass/candidate accounting of the papers' evaluations.
+type Stats struct {
+	Passes             int   // database passes (= levels counted)
+	CandidatesPerLevel []int // candidates counted at level k (index k-1)
+	FrequentPerLevel   []int // frequent itemsets found at level k
+}
+
+// TotalCandidates sums the candidate counts over all levels.
+func (s Stats) TotalCandidates() int {
+	n := 0
+	for _, c := range s.CandidatesPerLevel {
+		n += c
+	}
+	return n
+}
+
+// Mine returns all non-empty frequent itemsets with absolute support ≥
+// minSup, together with run statistics.
+func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, Stats, error) {
+	var stats Stats
+	if minSup < 1 {
+		return nil, stats, fmt.Errorf("apriori: minSup %d < 1", minSup)
+	}
+	fam := itemset.NewFamily()
+
+	// Level 1: one pass counting single items.
+	sup := d.ItemSupports()
+	stats.Passes = 1
+	stats.CandidatesPerLevel = append(stats.CandidatesPerLevel, d.NumItems())
+	var level []itemset.Itemset
+	for it, s := range sup {
+		if s >= minSup {
+			one := itemset.Of(it)
+			fam.Add(one, s)
+			level = append(level, one)
+		}
+	}
+	stats.FrequentPerLevel = append(stats.FrequentPerLevel, len(level))
+
+	for k := 2; len(level) >= 2; k++ {
+		cands := levelwise.Join(level)
+		cands = levelwise.PruneBySubsets(cands, levelwise.Keys(level))
+		if len(cands) == 0 {
+			break
+		}
+		stats.CandidatesPerLevel = append(stats.CandidatesPerLevel, len(cands))
+
+		counts := make([]int, len(cands))
+		trie := levelwise.NewTrie(k, cands)
+		for _, tx := range d.Transactions() {
+			if tx.Len() < k {
+				continue
+			}
+			trie.Walk(tx, func(idx int) { counts[idx]++ })
+		}
+		stats.Passes++
+
+		var next []itemset.Itemset
+		for i, c := range cands {
+			if counts[i] >= minSup {
+				fam.Add(c, counts[i])
+				next = append(next, c)
+			}
+		}
+		stats.FrequentPerLevel = append(stats.FrequentPerLevel, len(next))
+		level = next
+	}
+	return fam, stats, nil
+}

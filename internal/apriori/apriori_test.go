@@ -1,0 +1,139 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/naive"
+	"closedrules/internal/testgen"
+)
+
+func classic(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMineClassic(t *testing.T) {
+	d := classic(t)
+	fam, stats, err := Mine(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 15 {
+		t.Fatalf("|FI| = %d, want 15", fam.Len())
+	}
+	if s, _ := fam.Support(itemset.Of(0, 1, 2, 4)); s != 2 {
+		t.Errorf("supp(ABCE) = %d", s)
+	}
+	if stats.Passes != 4 { // levels 1..4 each take one pass
+		t.Errorf("Passes = %d, want 4", stats.Passes)
+	}
+	if len(stats.FrequentPerLevel) != 4 {
+		t.Fatalf("FrequentPerLevel = %v", stats.FrequentPerLevel)
+	}
+	wantPerLevel := []int{4, 6, 4, 1}
+	for i, want := range wantPerLevel {
+		if stats.FrequentPerLevel[i] != want {
+			t.Errorf("level %d: %d frequent, want %d", i+1, stats.FrequentPerLevel[i], want)
+		}
+	}
+}
+
+func TestMineMinSupValidation(t *testing.T) {
+	d := classic(t)
+	if _, _, err := Mine(d, 0); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+	if _, _, err := Mine(d, -3); err == nil {
+		t.Error("negative minSup accepted")
+	}
+}
+
+func TestMineHighMinSup(t *testing.T) {
+	d := classic(t)
+	fam, _, err := Mine(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 0 {
+		t.Errorf("minsup 5: |FI| = %d, want 0", fam.Len())
+	}
+	fam, _, err = Mine(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// B, C, E and BE.
+	if fam.Len() != 4 {
+		t.Errorf("minsup 4: |FI| = %d, want 4: %v", fam.Len(), fam.All())
+	}
+}
+
+func TestMineEmptyDataset(t *testing.T) {
+	d, _ := dataset.FromTransactions(nil)
+	fam, stats, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 0 || stats.Passes != 1 {
+		t.Errorf("empty dataset: %d itemsets, %d passes", fam.Len(), stats.Passes)
+	}
+}
+
+func TestMineSingleTransaction(t *testing.T) {
+	d, _ := dataset.FromTransactions([][]int{{0, 1, 2}})
+	fam, _, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 7 { // 2^3 - 1
+		t.Errorf("|FI| = %d, want 7", fam.Len())
+	}
+}
+
+func TestMineAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 60; iter++ {
+		d := testgen.Random(r, 25, 10, 0.4)
+		minSup := 1 + r.Intn(4)
+		fam, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.FrequentItemsets(d.Context(), minSup)
+		if !fam.Equal(want) {
+			t.Fatalf("iter %d (minSup %d): apriori %d itemsets, naive %d",
+				iter, minSup, fam.Len(), want.Len())
+		}
+	}
+}
+
+func TestMineAgainstNaiveCorrelated(t *testing.T) {
+	r := rand.New(rand.NewSource(32))
+	for iter := 0; iter < 10; iter++ {
+		d := testgen.Correlated(r, 40, 4, 3, 0.2)
+		minSup := 2 + r.Intn(6)
+		fam, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.FrequentItemsets(d.Context(), minSup)
+		if !fam.Equal(want) {
+			t.Fatalf("iter %d: apriori %d, naive %d", iter, fam.Len(), want.Len())
+		}
+	}
+}
+
+func TestStatsTotalCandidates(t *testing.T) {
+	s := Stats{CandidatesPerLevel: []int{5, 3, 1}}
+	if s.TotalCandidates() != 9 {
+		t.Errorf("TotalCandidates = %d", s.TotalCandidates())
+	}
+}

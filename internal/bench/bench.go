@@ -1,0 +1,181 @@
+// Package bench defines the experiment suite reconstructed from the
+// paper's companion evaluations (DESIGN.md §4): the workload catalog
+// (four datasets in two correlation regimes), the experiment runners
+// E1–E8, and a plain-text table renderer. Both the benchtables command
+// and the root bench_test.go drive experiments through this package so
+// the numbers in EXPERIMENTS.md and the benchmarks cannot drift apart.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/gen"
+)
+
+// Scale selects the dataset sizes: Small keeps `go test -bench` quick;
+// Full approaches the papers' original scales.
+type Scale int
+
+const (
+	Small Scale = iota
+	Medium
+	Full
+)
+
+// ParseScale maps a flag value to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "small":
+		return Small, nil
+	case "medium":
+		return Medium, nil
+	case "full":
+		return Full, nil
+	}
+	return Small, fmt.Errorf("bench: unknown scale %q", s)
+}
+
+// Workload is one evaluation dataset with its sweep parameters.
+type Workload struct {
+	Name     string
+	D        *dataset.Dataset
+	MinSups  []float64 // relative minimum supports, descending
+	MinConfs []float64 // confidence sweep for rule experiments
+	// RuleMinSup is the support used by the rule/bases experiments
+	// (the papers fix one support per dataset and sweep confidence).
+	RuleMinSup float64
+}
+
+// Workloads builds the four canonical datasets at the given scale.
+func Workloads(s Scale) ([]Workload, error) {
+	type dims struct{ questTx, questItems, mushObj, censObj int }
+	var d dims
+	switch s {
+	case Small:
+		d = dims{questTx: 2000, questItems: 200, mushObj: 1000, censObj: 1000}
+	case Medium:
+		d = dims{questTx: 10000, questItems: 500, mushObj: 4000, censObj: 5000}
+	case Full:
+		d = dims{questTx: 100000, questItems: 1000, mushObj: 8124, censObj: 10000}
+	default:
+		return nil, fmt.Errorf("bench: bad scale %d", s)
+	}
+
+	t10, err := gen.Quest(gen.T10I4(d.questTx, d.questItems, 1))
+	if err != nil {
+		return nil, err
+	}
+	t20, err := gen.Quest(gen.T20I6(d.questTx, d.questItems, 2))
+	if err != nil {
+		return nil, err
+	}
+	mush, err := gen.Mushroom(gen.MushroomConfig{NumObjects: d.mushObj, Seed: 3})
+	if err != nil {
+		return nil, err
+	}
+	c20, err := gen.Census(gen.C20(d.censObj, 4))
+	if err != nil {
+		return nil, err
+	}
+
+	return []Workload{
+		{
+			Name: fmt.Sprintf("T10I4D%dK", d.questTx/1000), D: t10,
+			MinSups:    []float64{0.02, 0.01, 0.005},
+			MinConfs:   []float64{0.9, 0.7, 0.5},
+			RuleMinSup: 0.005,
+		},
+		{
+			Name: fmt.Sprintf("T20I6D%dK", d.questTx/1000), D: t20,
+			MinSups:    []float64{0.02, 0.01},
+			MinConfs:   []float64{0.9, 0.7, 0.5},
+			RuleMinSup: 0.01,
+		},
+		{
+			Name: "MUSHROOMS*", D: mush,
+			MinSups:    []float64{0.6, 0.5, 0.4, 0.3},
+			MinConfs:   []float64{0.9, 0.7, 0.5},
+			RuleMinSup: 0.3,
+		},
+		{
+			Name: "C20*", D: c20,
+			MinSups:    []float64{0.8, 0.7, 0.6, 0.5},
+			MinConfs:   []float64{0.9, 0.7, 0.5},
+			RuleMinSup: 0.5,
+		},
+	}, nil
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// String renders an aligned plain-text table.
+func (t Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.ID, t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// timed runs fn and returns its duration.
+func timed(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Microseconds())/1000.0)
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+func ratio(small, big int) string {
+	if small == 0 {
+		if big == 0 {
+			return "—"
+		}
+		return "∞"
+	}
+	return fmt.Sprintf("%.1f×", float64(big)/float64(small))
+}

@@ -1,0 +1,137 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScale(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Scale
+		ok   bool
+	}{
+		{"small", Small, true},
+		{"MEDIUM", Medium, true},
+		{"Full", Full, true},
+		{"tiny", Small, false},
+	} {
+		got, err := ParseScale(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseScale(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestWorkloadsSmall(t *testing.T) {
+	ws, err := Workloads(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 4 {
+		t.Fatalf("%d workloads", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		names[w.Name] = true
+		if w.D.NumTransactions() == 0 {
+			t.Errorf("%s: empty dataset", w.Name)
+		}
+		if len(w.MinSups) == 0 || len(w.MinConfs) == 0 || w.RuleMinSup <= 0 {
+			t.Errorf("%s: missing sweep parameters", w.Name)
+		}
+		for i := 1; i < len(w.MinSups); i++ {
+			if w.MinSups[i] >= w.MinSups[i-1] {
+				t.Errorf("%s: MinSups not descending", w.Name)
+			}
+		}
+	}
+	if !names["MUSHROOMS*"] || !names["C20*"] {
+		t.Errorf("workload names: %v", names)
+	}
+}
+
+func TestWorkloadsBadScale(t *testing.T) {
+	if _, err := Workloads(Scale(42)); err == nil {
+		t.Error("bad scale accepted")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tbl := Table{
+		ID:     "EX",
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+		Notes:  "a note",
+	}
+	out := tbl.String()
+	if !strings.Contains(out, "== EX — demo ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Errorf("missing note:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// header, separator, 2 rows, note
+	if len(lines) != 6 {
+		t.Errorf("%d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRatioAndPct(t *testing.T) {
+	if got := ratio(2, 10); got != "5.0×" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(0, 10); got != "∞" {
+		t.Errorf("ratio zero = %q", got)
+	}
+	if got := ratio(0, 0); got != "—" {
+		t.Errorf("ratio 0/0 = %q", got)
+	}
+	if got := pct(0.305); got != "30.5%" {
+		t.Errorf("pct = %q", got)
+	}
+}
+
+func TestE5Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	tbl, err := E5(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Errorf("E5 rows = %d", len(tbl.Rows))
+	}
+}
+
+// TestExperimentsRunOnTinyData wires every experiment through a tiny
+// workload to catch integration regressions without the full cost.
+func TestExperimentsRunOnTinyData(t *testing.T) {
+	ws, err := Workloads(Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use only the census workload (smallest FI counts) and the first
+	// threshold of each sweep.
+	w := ws[3]
+	w.MinSups = w.MinSups[:1]
+	w.MinConfs = w.MinConfs[:1]
+
+	for name, fn := range map[string]func(Workload) (Table, error){
+		"E1": E1, "E2": E2, "E3": E3, "E4": E4, "E6": E6, "E7": E7, "E8": E8,
+	} {
+		tbl, err := fn(w)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: no rows", name)
+		}
+		if tbl.ID == "" || tbl.Title == "" {
+			t.Errorf("%s: missing metadata", name)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+// Package charm implements the CHARM closed-itemset miner (Zaki &
+// Hsiao, SDM 2002), the best-known follow-on to Close/A-Close. It
+// explores the itemset-tidset search tree depth-first, using the four
+// tidset-containment properties to collapse branches, and a
+// subsumption hash to confirm closedness. CHARM does not track
+// minimal generators; it serves as an independent producer of FC for
+// cross-checking and as an ablation point in the benchmarks.
+package charm
+
+import (
+	"fmt"
+	"sort"
+
+	"closedrules/internal/bitset"
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/galois"
+	"closedrules/internal/itemset"
+)
+
+type node struct {
+	items itemset.Itemset
+	tids  bitset.Set
+}
+
+type miner struct {
+	minSup int
+	fc     *closedset.Set
+	// byHash buckets found closed itemsets by tidset hash for the
+	// subsumption check.
+	byHash map[uint64][]subEntry
+}
+
+type subEntry struct {
+	items   itemset.Itemset
+	support int
+}
+
+// Mine returns the frequent closed itemsets (including the bottom
+// h(∅)) at absolute support ≥ minSup.
+func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, error) {
+	if minSup < 1 {
+		return nil, fmt.Errorf("charm: minSup %d < 1", minSup)
+	}
+	ctx := d.Context()
+	m := &miner{minSup: minSup, fc: closedset.New(), byHash: map[uint64][]subEntry{}}
+
+	if d.NumTransactions() >= minSup {
+		bottom := galois.Closure(ctx, itemset.Empty())
+		m.fc.Add(bottom, d.NumTransactions())
+		m.byHash[bitset.Full(d.NumTransactions()).Hash()] = append(
+			m.byHash[bitset.Full(d.NumTransactions()).Hash()],
+			subEntry{items: bottom, support: d.NumTransactions()})
+	}
+
+	// Universal items (support |O|) belong to every closure; they are
+	// absorbed into each root's prefix instead of spawning branches.
+	var roots []node
+	var universal itemset.Itemset
+	for it := 0; it < ctx.NumItems; it++ {
+		sup := ctx.Cols[it].Count()
+		switch {
+		case d.NumTransactions() > 0 && sup == d.NumTransactions():
+			universal = universal.With(it)
+		case sup >= minSup:
+			roots = append(roots, node{items: itemset.Of(it), tids: ctx.Cols[it]})
+		}
+	}
+	if universal.Len() > 0 {
+		for i := range roots {
+			roots[i].items = roots[i].items.Union(universal)
+		}
+	}
+
+	sortBySupport(roots)
+	m.extend(roots)
+	return m.fc, nil
+}
+
+func sortBySupport(ns []node) {
+	sort.SliceStable(ns, func(i, j int) bool {
+		ci, cj := ns[i].tids.Count(), ns[j].tids.Count()
+		if ci != cj {
+			return ci < cj
+		}
+		return ns[i].items.Compare(ns[j].items) < 0
+	})
+}
+
+// extend processes one level of the IT-tree (Zaki's CHARM-EXTEND).
+func (m *miner) extend(nodes []node) {
+	skip := make([]bool, len(nodes))
+	for i := range nodes {
+		if skip[i] {
+			continue
+		}
+		x := nodes[i].items
+		ti := nodes[i].tids
+		var children []node
+		for j := i + 1; j < len(nodes); j++ {
+			if skip[j] {
+				continue
+			}
+			tj := nodes[j].tids
+			inter := ti.Intersect(tj)
+			sup := inter.Count()
+			tiSubTj := inter.Equal(ti) // ti ⊆ tj
+			tjSubTi := inter.Equal(tj) // tj ⊆ ti
+			switch {
+			case tiSubTj && tjSubTi: // property 1: identical tidsets
+				x = x.Union(nodes[j].items)
+				skip[j] = true
+			case tiSubTj: // property 2: ti ⊂ tj — absorb j's items
+				x = x.Union(nodes[j].items)
+			case tjSubTi: // property 3: tj ⊂ ti — child, drop j
+				if sup >= m.minSup {
+					children = append(children, node{items: nodes[j].items, tids: inter})
+				}
+				skip[j] = true
+			default: // property 4: incomparable
+				if sup >= m.minSup {
+					children = append(children, node{items: nodes[j].items, tids: inter})
+				}
+			}
+		}
+		// Children inherit the fully absorbed prefix x: every item of x
+		// occurs in all of ti ⊇ child tids.
+		for k := range children {
+			children[k].items = children[k].items.Union(x)
+		}
+		sortBySupport(children)
+		if len(children) > 0 {
+			m.extend(children)
+		}
+		m.insertIfClosed(x, ti)
+	}
+}
+
+// insertIfClosed adds x unless a previously found closed itemset with
+// the same tidset subsumes it.
+func (m *miner) insertIfClosed(x itemset.Itemset, tids bitset.Set) {
+	h := tids.Hash()
+	sup := tids.Count()
+	for _, e := range m.byHash[h] {
+		if e.support == sup && e.items.ContainsAll(x) {
+			return // subsumed: x is not closed
+		}
+	}
+	m.byHash[h] = append(m.byHash[h], subEntry{items: x, support: sup})
+	m.fc.Add(x, sup)
+}

@@ -1,0 +1,98 @@
+package charm
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/naive"
+	"closedrules/internal/testgen"
+)
+
+func classic(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMineClassic(t *testing.T) {
+	fc, err := Mine(classic(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Len() != 6 {
+		t.Fatalf("|FC| = %d, want 6: %v", fc.Len(), fc.All())
+	}
+	if s, ok := fc.Support(itemset.Of(0, 1, 2, 4)); !ok || s != 2 {
+		t.Errorf("supp(ABCE) = %d,%v", s, ok)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	if _, err := Mine(classic(t), 0); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+}
+
+func TestMineUniversalItem(t *testing.T) {
+	d, _ := dataset.FromTransactions([][]int{{0, 1}, {0, 2}, {0, 1, 2}})
+	fc, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.ClosedItemsets(d.Context(), 1)
+	if !fc.Equal(want) {
+		t.Fatalf("FC mismatch: got %v want %v", fc.All(), want.All())
+	}
+}
+
+func TestMineSingleItemUniverse(t *testing.T) {
+	d, _ := dataset.FromTransactions([][]int{{0}, {0}, {}})
+	fc, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.ClosedItemsets(d.Context(), 1)
+	if !fc.Equal(want) {
+		t.Fatalf("FC mismatch: got %v want %v", fc.All(), want.All())
+	}
+}
+
+func TestMineAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 120; iter++ {
+		d := testgen.Random(r, 25, 10, 0.4)
+		minSup := 1 + r.Intn(4)
+		fc, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.ClosedItemsets(d.Context(), minSup)
+		if !fc.Equal(want) {
+			t.Fatalf("iter %d (minSup %d): charm %d closed, naive %d\ncharm: %v\nnaive: %v",
+				iter, minSup, fc.Len(), want.Len(), fc.All(), want.All())
+		}
+	}
+}
+
+func TestMineAgainstNaiveCorrelated(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	for iter := 0; iter < 15; iter++ {
+		d := testgen.Correlated(r, 60, 5, 3, 0.15)
+		minSup := 2 + r.Intn(8)
+		fc, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.ClosedItemsets(d.Context(), minSup)
+		if !fc.Equal(want) {
+			t.Fatalf("iter %d: charm %d, naive %d", iter, fc.Len(), want.Len())
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package closealg
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/apriori"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/naive"
+	"closedrules/internal/testgen"
+)
+
+func classic(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMineClassic(t *testing.T) {
+	fc, stats, err := Mine(classic(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FC = {∅, C, AC, BE, BCE, ABCE}.
+	if fc.Len() != 6 {
+		t.Fatalf("|FC| = %d, want 6: %v", fc.Len(), fc.All())
+	}
+	for _, chk := range []struct {
+		items itemset.Itemset
+		sup   int
+	}{
+		{itemset.Of(), 5},
+		{itemset.Of(2), 4},
+		{itemset.Of(0, 2), 3},
+		{itemset.Of(1, 4), 4},
+		{itemset.Of(1, 2, 4), 3},
+		{itemset.Of(0, 1, 2, 4), 2},
+	} {
+		if s, ok := fc.Support(chk.items); !ok || s != chk.sup {
+			t.Errorf("supp(%v) = %d,%v want %d", chk.items, s, ok, chk.sup)
+		}
+	}
+	if stats.Passes < 2 {
+		t.Errorf("Passes = %d", stats.Passes)
+	}
+	// Level-wise generator counts: 4 singletons (A,B,C,E), then the
+	// frequent free 2-sets {AB, AE, BC, CE}.
+	if stats.GeneratorsPerLevel[0] != 4 {
+		t.Errorf("level-1 generators = %d, want 4", stats.GeneratorsPerLevel[0])
+	}
+	if len(stats.GeneratorsPerLevel) > 1 && stats.GeneratorsPerLevel[1] != 4 {
+		t.Errorf("level-2 generators = %d, want 4 (%v)",
+			stats.GeneratorsPerLevel[1], stats.GeneratorsPerLevel)
+	}
+}
+
+func TestMineGeneratorsClassic(t *testing.T) {
+	fc, _, err := Mine(classic(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.ClosedItemsets(classic(t).Context(), 2)
+	gotGens := fc.AllGenerators()
+	wantGens := want.AllGenerators()
+	if len(gotGens) != len(wantGens) {
+		t.Fatalf("%d generators, want %d", len(gotGens), len(wantGens))
+	}
+	for i := range gotGens {
+		if !gotGens[i].Generator.Equal(wantGens[i].Generator) ||
+			!gotGens[i].Closure.Equal(wantGens[i].Closure) {
+			t.Errorf("generator %d: got %v→%v want %v→%v", i,
+				gotGens[i].Generator, gotGens[i].Closure,
+				wantGens[i].Generator, wantGens[i].Closure)
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	if _, _, err := Mine(classic(t), 0); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+}
+
+func TestMineUniversalItem(t *testing.T) {
+	// Item 0 in every transaction: bottom is {0}, singletons of h(∅)
+	// are not generators.
+	d, _ := dataset.FromTransactions([][]int{{0, 1}, {0, 2}, {0, 1, 2}})
+	fc, _, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bot, ok := fc.Bottom()
+	if !ok || !bot.Items.Equal(itemset.Of(0)) || bot.Support != 3 {
+		t.Fatalf("Bottom = %+v, %v", bot, ok)
+	}
+	want := naive.ClosedItemsets(d.Context(), 1)
+	if !fc.Equal(want) {
+		t.Fatalf("FC mismatch: got %v want %v", fc.All(), want.All())
+	}
+}
+
+func TestMineEmptyDataset(t *testing.T) {
+	d, _ := dataset.FromTransactions(nil)
+	fc, _, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Len() != 0 {
+		t.Errorf("|FC| = %d on empty data", fc.Len())
+	}
+}
+
+func TestMineAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for iter := 0; iter < 80; iter++ {
+		d := testgen.Random(r, 25, 10, 0.4)
+		minSup := 1 + r.Intn(4)
+		fc, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.ClosedItemsets(d.Context(), minSup)
+		if !fc.Equal(want) {
+			t.Fatalf("iter %d (minSup %d): close %d closed, naive %d\nclose: %v\nnaive: %v",
+				iter, minSup, fc.Len(), want.Len(), fc.All(), want.All())
+		}
+	}
+}
+
+func TestMineGeneratorsAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for iter := 0; iter < 40; iter++ {
+		d := testgen.Random(r, 20, 8, 0.45)
+		minSup := 1 + r.Intn(3)
+		fc, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.ClosedItemsets(d.Context(), minSup)
+		g1, g2 := fc.AllGenerators(), want.AllGenerators()
+		if len(g1) != len(g2) {
+			t.Fatalf("iter %d: %d generators vs naive %d", iter, len(g1), len(g2))
+		}
+		for i := range g1 {
+			if !g1[i].Generator.Equal(g2[i].Generator) || !g1[i].Closure.Equal(g2[i].Closure) ||
+				g1[i].Support != g2[i].Support {
+				t.Fatalf("iter %d: generator %d mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func TestMineAgainstNaiveCorrelated(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for iter := 0; iter < 10; iter++ {
+		d := testgen.Correlated(r, 50, 5, 3, 0.15)
+		minSup := 2 + r.Intn(8)
+		fc, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.ClosedItemsets(d.Context(), minSup)
+		if !fc.Equal(want) {
+			t.Fatalf("iter %d: close %d, naive %d", iter, fc.Len(), want.Len())
+		}
+	}
+}
+
+// TestFewerCandidatesThanApriori documents the paper's core efficiency
+// claim: on correlated data Close counts strictly fewer candidates
+// than Apriori, because generators are a strict subset of the frequent
+// itemsets there.
+func TestFewerCandidatesThanApriori(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	d := testgen.Correlated(r, 120, 6, 3, 0.1)
+	minSup := 6
+	fc, stats, err := Mine(d, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, aStats, err := apriori.Mine(d, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Len() >= fi.Len() {
+		t.Skipf("data not correlated enough: |FC|=%d |FI|=%d", fc.Len(), fi.Len())
+	}
+	if stats.TotalCandidates() >= aStats.TotalCandidates() {
+		t.Errorf("Close candidates %d should be < Apriori candidates %d on correlated data",
+			stats.TotalCandidates(), aStats.TotalCandidates())
+	}
+}

@@ -1,0 +1,224 @@
+// Package closedset defines the result type shared by all closed-
+// itemset miners: a set of frequent closed itemsets FC with supports
+// and (optionally) their minimal generators, plus the closure lookup
+// h(X) = smallest element of FC containing X that underpins basis
+// construction and rule derivation.
+package closedset
+
+import (
+	"sort"
+	"sync"
+
+	"closedrules/internal/itemset"
+)
+
+// Closed is one frequent closed itemset with its absolute support and
+// the minimal generators discovered for it (possibly empty when the
+// miner does not track generators).
+type Closed struct {
+	Items      itemset.Itemset
+	Support    int
+	Generators []itemset.Itemset
+}
+
+// Set is a collection of frequent closed itemsets keyed by value.
+// The zero value is not usable; call New. A Set is safe for concurrent
+// reads once mining has finished; mutation (Add, AddGenerator) must
+// not run concurrently with anything else.
+type Set struct {
+	byKey map[string]int
+	list  []Closed
+
+	mu     sync.Mutex // guards the lazily built sorted index
+	sorted []int      // indices ordered by (size, lex); nil when stale
+}
+
+// New returns an empty set.
+func New() *Set {
+	return &Set{byKey: map[string]int{}}
+}
+
+// Add inserts a closed itemset or updates its support if present.
+func (s *Set) Add(items itemset.Itemset, support int) {
+	k := items.Key()
+	if i, ok := s.byKey[k]; ok {
+		s.list[i].Support = support
+		return
+	}
+	s.byKey[k] = len(s.list)
+	s.list = append(s.list, Closed{Items: items, Support: support})
+	s.sorted = nil
+}
+
+// AddGenerator records gen as a (minimal) generator of the closed
+// itemset; the closed itemset is created with the given support if
+// missing. Duplicate generators are ignored.
+func (s *Set) AddGenerator(items itemset.Itemset, support int, gen itemset.Itemset) {
+	k := items.Key()
+	i, ok := s.byKey[k]
+	if !ok {
+		s.Add(items, support)
+		i = s.byKey[k]
+	}
+	for _, g := range s.list[i].Generators {
+		if g.Equal(gen) {
+			return
+		}
+	}
+	s.list[i].Generators = append(s.list[i].Generators, gen)
+}
+
+// Len returns |FC|.
+func (s *Set) Len() int { return len(s.list) }
+
+// Contains reports whether items is one of the closed itemsets.
+func (s *Set) Contains(items itemset.Itemset) bool {
+	_, ok := s.byKey[items.Key()]
+	return ok
+}
+
+// Support returns the support of the closed itemset.
+func (s *Set) Support(items itemset.Itemset) (int, bool) {
+	i, ok := s.byKey[items.Key()]
+	if !ok {
+		return 0, false
+	}
+	return s.list[i].Support, true
+}
+
+// Get returns the full record of the closed itemset.
+func (s *Set) Get(items itemset.Itemset) (Closed, bool) {
+	i, ok := s.byKey[items.Key()]
+	if !ok {
+		return Closed{}, false
+	}
+	return s.list[i], true
+}
+
+func (s *Set) ensureSorted() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sorted == nil {
+		idx := make([]int, len(s.list))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			return s.list[idx[a]].Items.Compare(s.list[idx[b]].Items) < 0
+		})
+		s.sorted = idx
+	}
+	return s.sorted
+}
+
+// All returns the closed itemsets in canonical (size, lex) order.
+func (s *Set) All() []Closed {
+	sorted := s.ensureSorted()
+	out := make([]Closed, len(s.list))
+	for i, idx := range sorted {
+		out[i] = s.list[idx]
+	}
+	return out
+}
+
+// ClosureOf returns h(X): the smallest closed itemset of the set
+// containing X. The second result is false when no element contains X
+// (X is not frequent at the mining threshold, or the set is
+// incomplete). Because FC is closed under intersection, the smallest
+// container is unique whenever it exists.
+func (s *Set) ClosureOf(x itemset.Itemset) (Closed, bool) {
+	for _, idx := range s.ensureSorted() {
+		if s.list[idx].Items.ContainsAll(x) {
+			return s.list[idx], true
+		}
+	}
+	return Closed{}, false
+}
+
+// SupportOf returns supp(X) = supp(h(X)) for any itemset X contained
+// in some closed itemset of the set.
+func (s *Set) SupportOf(x itemset.Itemset) (int, bool) {
+	c, ok := s.ClosureOf(x)
+	if !ok {
+		return 0, false
+	}
+	return c.Support, true
+}
+
+// Maximal returns the maximal closed itemsets (the maximal frequent
+// itemsets, by the paper's §2 property).
+func (s *Set) Maximal() []Closed {
+	var out []Closed
+	for i, ci := range s.list {
+		isMax := true
+		for j, cj := range s.list {
+			if i != j && cj.Items.ContainsAll(ci.Items) {
+				isMax = false
+				break
+			}
+		}
+		if isMax {
+			out = append(out, ci)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Items.Compare(out[b].Items) < 0 })
+	return out
+}
+
+// Bottom returns the least closed itemset, h(∅). A complete mining run
+// always contains it, and every other element is a superset. The bool
+// result is false when the set is empty or no element is contained in
+// all others (an incomplete set).
+func (s *Set) Bottom() (Closed, bool) {
+	if len(s.list) == 0 {
+		return Closed{}, false
+	}
+	bot := s.list[s.ensureSorted()[0]]
+	for _, c := range s.list {
+		if !c.Items.ContainsAll(bot.Items) {
+			return bot, false
+		}
+	}
+	return bot, true
+}
+
+// Equal reports whether two sets contain the same closed itemsets with
+// the same supports (generators are not compared).
+func (s *Set) Equal(t *Set) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for _, c := range s.list {
+		sup, ok := t.Support(c.Items)
+		if !ok || sup != c.Support {
+			return false
+		}
+	}
+	return true
+}
+
+// AllGenerators returns every (generator, closure) pair, in canonical
+// order of the generator. Closed itemsets that equal their unique
+// generator (free closed sets) are included.
+func (s *Set) AllGenerators() []GeneratorOf {
+	var out []GeneratorOf
+	for _, c := range s.list {
+		for _, g := range c.Generators {
+			out = append(out, GeneratorOf{Generator: g, Closure: c.Items, Support: c.Support})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if cmp := out[a].Generator.Compare(out[b].Generator); cmp != 0 {
+			return cmp < 0
+		}
+		return out[a].Closure.Compare(out[b].Closure) < 0
+	})
+	return out
+}
+
+// GeneratorOf links a minimal generator to its closure.
+type GeneratorOf struct {
+	Generator itemset.Itemset
+	Closure   itemset.Itemset
+	Support   int
+}

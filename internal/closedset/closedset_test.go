@@ -1,0 +1,177 @@
+package closedset
+
+import (
+	"testing"
+
+	"closedrules/internal/itemset"
+)
+
+// buildClassic assembles the FC of the Close-paper example by hand:
+// {∅:5, C:4, AC:3, BE:4, BCE:3, ABCE:2} with A=0,…,E=4.
+func buildClassic() *Set {
+	s := New()
+	s.Add(itemset.Of(), 5)
+	s.Add(itemset.Of(2), 4)
+	s.Add(itemset.Of(0, 2), 3)
+	s.Add(itemset.Of(1, 4), 4)
+	s.Add(itemset.Of(1, 2, 4), 3)
+	s.Add(itemset.Of(0, 1, 2, 4), 2)
+	return s
+}
+
+func TestAddAndLookup(t *testing.T) {
+	s := New()
+	s.Add(itemset.Of(1, 2), 5)
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Contains(itemset.Of(1, 2)) || s.Contains(itemset.Of(1)) {
+		t.Error("Contains wrong")
+	}
+	s.Add(itemset.Of(1, 2), 9) // update support
+	if sup, ok := s.Support(itemset.Of(1, 2)); !ok || sup != 9 {
+		t.Errorf("Support = %d,%v", sup, ok)
+	}
+	if s.Len() != 1 {
+		t.Errorf("duplicate insert changed Len to %d", s.Len())
+	}
+	if _, ok := s.Support(itemset.Of(3)); ok {
+		t.Error("phantom support")
+	}
+}
+
+func TestAddGeneratorDedup(t *testing.T) {
+	s := New()
+	s.AddGenerator(itemset.Of(1, 2), 4, itemset.Of(1))
+	s.AddGenerator(itemset.Of(1, 2), 4, itemset.Of(1)) // duplicate
+	s.AddGenerator(itemset.Of(1, 2), 4, itemset.Of(2))
+	c, ok := s.Get(itemset.Of(1, 2))
+	if !ok || len(c.Generators) != 2 {
+		t.Fatalf("Generators = %v", c.Generators)
+	}
+}
+
+func TestAllCanonicalOrder(t *testing.T) {
+	s := buildClassic()
+	all := s.All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Items.Compare(all[i].Items) >= 0 {
+			t.Fatalf("All not in canonical order at %d: %v then %v",
+				i, all[i-1].Items, all[i].Items)
+		}
+	}
+	if !all[0].Items.Equal(itemset.Of()) {
+		t.Errorf("first should be ∅, got %v", all[0].Items)
+	}
+}
+
+func TestClosureOfSmallest(t *testing.T) {
+	s := buildClassic()
+	cases := []struct{ in, want itemset.Itemset }{
+		{itemset.Of(), itemset.Of()},
+		{itemset.Of(2), itemset.Of(2)},
+		{itemset.Of(0), itemset.Of(0, 2)},
+		{itemset.Of(1), itemset.Of(1, 4)},
+		{itemset.Of(1, 2), itemset.Of(1, 2, 4)},
+		{itemset.Of(0, 4), itemset.Of(0, 1, 2, 4)},
+	}
+	for _, c := range cases {
+		got, ok := s.ClosureOf(c.in)
+		if !ok || !got.Items.Equal(c.want) {
+			t.Errorf("ClosureOf(%v) = %v,%v want %v", c.in, got.Items, ok, c.want)
+		}
+	}
+	if _, ok := s.ClosureOf(itemset.Of(3)); ok {
+		t.Error("ClosureOf over uncovered item should fail")
+	}
+}
+
+func TestClosureOfAfterMutation(t *testing.T) {
+	// The sorted index must be rebuilt after Add.
+	s := New()
+	s.Add(itemset.Of(0, 1), 3)
+	if got, ok := s.ClosureOf(itemset.Of(0)); !ok || !got.Items.Equal(itemset.Of(0, 1)) {
+		t.Fatalf("ClosureOf = %v,%v", got.Items, ok)
+	}
+	s.Add(itemset.Of(0), 5)
+	if got, ok := s.ClosureOf(itemset.Of(0)); !ok || !got.Items.Equal(itemset.Of(0)) {
+		t.Fatalf("after Add: ClosureOf = %v,%v", got.Items, ok)
+	}
+}
+
+func TestSupportOf(t *testing.T) {
+	s := buildClassic()
+	if sup, ok := s.SupportOf(itemset.Of(0)); !ok || sup != 3 {
+		t.Errorf("SupportOf(A) = %d,%v", sup, ok)
+	}
+	if sup, ok := s.SupportOf(itemset.Of(0, 1)); !ok || sup != 2 {
+		t.Errorf("SupportOf(AB) = %d,%v", sup, ok)
+	}
+}
+
+func TestMaximal(t *testing.T) {
+	s := buildClassic()
+	max := s.Maximal()
+	if len(max) != 1 || !max[0].Items.Equal(itemset.Of(0, 1, 2, 4)) {
+		t.Errorf("Maximal = %v", max)
+	}
+	// Two incomparable maxima.
+	s2 := New()
+	s2.Add(itemset.Of(0, 1), 2)
+	s2.Add(itemset.Of(2, 3), 2)
+	s2.Add(itemset.Of(0), 3)
+	if got := s2.Maximal(); len(got) != 2 {
+		t.Errorf("Maximal = %v", got)
+	}
+}
+
+func TestBottom(t *testing.T) {
+	s := buildClassic()
+	bot, ok := s.Bottom()
+	if !ok || bot.Items.Len() != 0 || bot.Support != 5 {
+		t.Errorf("Bottom = %+v,%v", bot, ok)
+	}
+	if _, ok := New().Bottom(); ok {
+		t.Error("empty set has a bottom")
+	}
+	// Incomplete set without a universal least element.
+	s2 := New()
+	s2.Add(itemset.Of(0), 3)
+	s2.Add(itemset.Of(1), 3)
+	if _, ok := s2.Bottom(); ok {
+		t.Error("no least element but Bottom ok")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a, b := buildClassic(), buildClassic()
+	if !a.Equal(b) {
+		t.Error("identical sets not Equal")
+	}
+	b.Add(itemset.Of(2), 99)
+	if a.Equal(b) {
+		t.Error("different support but Equal")
+	}
+	c := buildClassic()
+	c.Add(itemset.Of(3), 1)
+	if a.Equal(c) {
+		t.Error("different size but Equal")
+	}
+}
+
+func TestAllGeneratorsOrder(t *testing.T) {
+	s := New()
+	s.AddGenerator(itemset.Of(0, 2), 3, itemset.Of(0))
+	s.AddGenerator(itemset.Of(1, 4), 4, itemset.Of(4))
+	s.AddGenerator(itemset.Of(1, 4), 4, itemset.Of(1))
+	gens := s.AllGenerators()
+	if len(gens) != 3 {
+		t.Fatalf("%d generators", len(gens))
+	}
+	for i := 1; i < len(gens); i++ {
+		if gens[i-1].Generator.Compare(gens[i].Generator) > 0 {
+			t.Errorf("generators out of order: %v then %v",
+				gens[i-1].Generator, gens[i].Generator)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package closedset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"closedrules/internal/itemset"
+)
+
+// The text format for closed-itemset collections, one record per line:
+//
+//	<support> TAB <items> [TAB <generator> ...]
+//
+// where <items> and each <generator> are space-separated item ids and
+// the empty itemset is written as "-". Lines starting with '#' are
+// comments. The format is stable and diff-friendly so mined FC sets
+// can be stored, compared and re-analyzed without re-mining.
+
+const ioHeader = "# closedrules closed-itemset collection v1"
+
+// Write serializes the set in canonical order.
+func Write(w io.Writer, s *Set) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, ioHeader); err != nil {
+		return err
+	}
+	for _, c := range s.All() {
+		if _, err := fmt.Fprintf(bw, "%d\t%s", c.Support, formatItems(c.Items)); err != nil {
+			return err
+		}
+		for _, g := range c.Generators {
+			if _, err := fmt.Fprintf(bw, "\t%s", formatItems(g)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a collection written by Write.
+func Read(r io.Reader) (*Set, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	s := New()
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, "\t")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("closedset: line %d: %d fields", lineNo, len(fields))
+		}
+		sup, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("closedset: line %d: support: %v", lineNo, err)
+		}
+		if sup < 0 {
+			return nil, fmt.Errorf("closedset: line %d: negative support", lineNo)
+		}
+		items, err := parseItems(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("closedset: line %d: items: %v", lineNo, err)
+		}
+		s.Add(items, sup)
+		for _, gf := range fields[2:] {
+			g, err := parseItems(gf)
+			if err != nil {
+				return nil, fmt.Errorf("closedset: line %d: generator: %v", lineNo, err)
+			}
+			s.AddGenerator(items, sup, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("closedset: read: %v", err)
+	}
+	return s, nil
+}
+
+func formatItems(s itemset.Itemset) string {
+	if s.Len() == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i, x := range s {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(strconv.Itoa(x))
+	}
+	return b.String()
+}
+
+func parseItems(f string) (itemset.Itemset, error) {
+	f = strings.TrimSpace(f)
+	if f == "-" || f == "" {
+		return itemset.Empty(), nil
+	}
+	parts := strings.Fields(f)
+	items := make([]int, 0, len(parts))
+	for _, p := range parts {
+		x, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, err
+		}
+		if x < 0 {
+			return nil, fmt.Errorf("negative item %d", x)
+		}
+		items = append(items, x)
+	}
+	return itemset.Of(items...), nil
+}

@@ -1,0 +1,102 @@
+package closedset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"closedrules/internal/itemset"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := New()
+	s.AddGenerator(itemset.Of(), 5, itemset.Of())
+	s.AddGenerator(itemset.Of(0, 2), 3, itemset.Of(0))
+	s.AddGenerator(itemset.Of(1, 4), 4, itemset.Of(1))
+	s.AddGenerator(itemset.Of(1, 4), 4, itemset.Of(4))
+	s.Add(itemset.Of(2), 4)
+
+	var sb strings.Builder
+	if err := Write(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip mismatch:\n%s", sb.String())
+	}
+	// Generators preserved too.
+	c, ok := got.Get(itemset.Of(1, 4))
+	if !ok || len(c.Generators) != 2 {
+		t.Errorf("generators lost: %+v", c)
+	}
+	bot, ok := got.Bottom()
+	if !ok || bot.Items.Len() != 0 || bot.Support != 5 {
+		t.Errorf("bottom lost: %+v,%v", bot, ok)
+	}
+}
+
+func TestReadSkipsCommentsAndBlankLines(t *testing.T) {
+	in := "# header\n\n4\t2\n# comment\n3\t0 2\t0\n"
+	s, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"notanumber\t1 2\n",
+		"5\n",
+		"5\tx y\n",
+		"5\t1 2\tbadgen\n",
+		"-3\t1\n",
+		"5\t-1 2\n",
+	}
+	for i, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad input accepted: %q", i, in)
+		}
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	for iter := 0; iter < 40; iter++ {
+		s := New()
+		for n := 0; n < r.Intn(25); n++ {
+			var items []int
+			for i := 0; i < r.Intn(6); i++ {
+				items = append(items, r.Intn(40))
+			}
+			is := itemset.Of(items...)
+			sup := 1 + r.Intn(100)
+			s.Add(is, sup)
+			for g := 0; g < r.Intn(3); g++ {
+				var gi []int
+				for _, x := range is {
+					if r.Intn(2) == 0 {
+						gi = append(gi, x)
+					}
+				}
+				s.AddGenerator(is, sup, itemset.Of(gi...))
+			}
+		}
+		var sb strings.Builder
+		if err := Write(&sb, s); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(s) {
+			t.Fatalf("iter %d: round trip mismatch", iter)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"closedrules/internal/closedset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/rules"
+)
+
+// DeriveAllRules regenerates the complete set of valid association
+// rules from the condensed representation alone: the frequent itemsets
+// are expanded from FC (the §2 generating-set property) and every
+// rule's support and confidence is produced by the basis-backed
+// engine — the database is never consulted. It is the operational form
+// of the paper's claim that the bases are generating sets; the tests
+// verify it returns exactly what rules.Generate measures on the data.
+//
+// maxWidth bounds the expansion of maximal closed itemsets (see
+// ExpandFrequent).
+func DeriveAllRules(eng *Engine, fc *closedset.Set, minConf float64, maxWidth int) ([]rules.Rule, error) {
+	if err := checkConf(minConf); err != nil {
+		return nil, err
+	}
+	fam, err := ExpandFrequent(fc, maxWidth)
+	if err != nil {
+		return nil, err
+	}
+	var out []rules.Rule
+	for _, f := range fam.All() {
+		if f.Items.Len() < 2 {
+			continue
+		}
+		var derr error
+		f.Items.Subsets(func(ante itemset.Itemset) bool {
+			cons := f.Items.Diff(ante)
+			r, err := eng.Rule(ante, cons)
+			if err != nil {
+				derr = err
+				return false
+			}
+			if r.Confidence() >= minConf {
+				out = append(out, r)
+			}
+			return true
+		})
+		if derr != nil {
+			return nil, derr
+		}
+	}
+	rules.Sort(out)
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"closedrules/internal/itemset"
+	"closedrules/internal/rules"
+)
+
+// Engine derives any valid association rule — with its exact support
+// and confidence — from the two bases alone, without access to the
+// database or to the full FC set. It is the constructive counterpart
+// of the paper's Theorems 1 and 2:
+//
+//   - closures come from LinClosure over the Duquenne–Guigues basis
+//     (h(X) is the implicational closure of X);
+//   - supports of closed itemsets come from the rule records of the
+//     (reduced) Luxenburger basis, seeded with |O| for the bottom;
+//   - any rule A → C is then measured as
+//     conf = supp(h(A∪C)) / supp(h(A)), supp = supp(h(A∪C)).
+//
+// Build the engine from unfiltered bases (MinConfidence 0,
+// IncludeEmptyAntecedent true) for complete derivability; confidence-
+// filtered bases yield a partial engine that cannot see below the
+// filter, mirroring the paper's remark that the bases are generating
+// sets for the rules above the thresholds.
+type Engine struct {
+	imps     *Implications
+	numTx    int
+	supports map[string]int // closure key → absolute support
+}
+
+// NewEngine assembles a derivation engine from the Duquenne–Guigues
+// basis and a Luxenburger basis (full or reduced). numTx is |O|.
+func NewEngine(numTx int, dg, lux []rules.Rule) (*Engine, error) {
+	if numTx < 0 {
+		return nil, fmt.Errorf("core: negative numTx")
+	}
+	e := &Engine{imps: NewImplications(dg), numTx: numTx, supports: map[string]int{}}
+
+	// The bottom closed set is the closure of ∅; its support is |O|.
+	bottom := e.imps.Close(itemset.Empty())
+	e.supports[bottom.Key()] = numTx
+
+	// Every Luxenburger rule records supp(I2) on the rule (and supp(I1)
+	// as the antecedent support); harvest both ends.
+	for _, r := range lux {
+		e.supports[r.Union().Key()] = r.Support
+		e.supports[r.Antecedent.Key()] = r.AntecedentSupport
+	}
+	// DG rules record supp(h(P)) too.
+	for _, r := range dg {
+		e.supports[r.Union().Key()] = r.Support
+	}
+	return e, nil
+}
+
+// Closure returns h(X) as derived from the exact basis.
+func (e *Engine) Closure(x itemset.Itemset) itemset.Itemset {
+	return e.imps.Close(x)
+}
+
+// Support returns supp(X) = supp(h(X)) if the closure's support is
+// derivable from the bases.
+func (e *Engine) Support(x itemset.Itemset) (int, bool) {
+	s, ok := e.supports[e.Closure(x).Key()]
+	return s, ok
+}
+
+// Rule reconstructs the measured rule A → C. The consequent support is
+// filled in when derivable, else left 0.
+func (e *Engine) Rule(antecedent, consequent itemset.Itemset) (rules.Rule, error) {
+	if antecedent.Intersect(consequent).Len() > 0 {
+		return rules.Rule{}, fmt.Errorf("core: antecedent and consequent overlap")
+	}
+	u := antecedent.Union(consequent)
+	supU, ok := e.Support(u)
+	if !ok {
+		return rules.Rule{}, fmt.Errorf("core: support of %v not derivable", u)
+	}
+	supA, ok := e.Support(antecedent)
+	if !ok {
+		return rules.Rule{}, fmt.Errorf("core: support of %v not derivable", antecedent)
+	}
+	r := rules.Rule{
+		Antecedent:        antecedent,
+		Consequent:        consequent,
+		Support:           supU,
+		AntecedentSupport: supA,
+	}
+	if supC, ok := e.Support(consequent); ok {
+		r.ConsequentSupport = supC
+	}
+	return r, nil
+}
+
+// Holds reports whether A → C is a valid rule at the given thresholds,
+// as decided purely from the bases.
+func (e *Engine) Holds(antecedent, consequent itemset.Itemset, minSup int, minConf float64) (bool, error) {
+	r, err := e.Rule(antecedent, consequent)
+	if err != nil {
+		return false, err
+	}
+	return r.Support >= minSup && r.Confidence() >= minConf, nil
+}
+
+// DeriveExact reports whether the exact rule A → C (confidence 1)
+// follows from the Duquenne–Guigues basis by Armstrong inference.
+func (e *Engine) DeriveExact(antecedent, consequent itemset.Itemset) bool {
+	return e.imps.Derives(rules.Rule{Antecedent: antecedent, Consequent: consequent})
+}

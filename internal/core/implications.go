@@ -1,0 +1,105 @@
+package core
+
+import (
+	"closedrules/internal/itemset"
+	"closedrules/internal/rules"
+)
+
+// Implications is a set of implications (exact rules) equipped with the
+// LinClosure fixpoint operator (Beeri & Bernstein): Close(X) is the
+// smallest itemset containing X that satisfies every implication. When
+// the implications are the Duquenne–Guigues basis of a context,
+// Close(X) = h(X) for every frequent X — the syntactic closure matches
+// the semantic one, which is exactly Theorem 1's completeness claim.
+type Implications struct {
+	premises    []itemset.Itemset
+	conclusions []itemset.Itemset
+	// byItem[i] lists the implications whose premise contains item i.
+	byItem map[int][]int
+	// emptyPremise lists implications with an empty premise (∅ → h(∅)).
+	emptyPremise []int
+}
+
+// NewImplications indexes a list of exact rules for LinClosure.
+// Non-exact rules are rejected by the caller's contract but tolerated
+// here: they are treated as implications regardless of confidence.
+func NewImplications(basis []rules.Rule) *Implications {
+	s := &Implications{byItem: map[int][]int{}}
+	for _, r := range basis {
+		idx := len(s.premises)
+		s.premises = append(s.premises, r.Antecedent)
+		s.conclusions = append(s.conclusions, r.Consequent)
+		if r.Antecedent.Len() == 0 {
+			s.emptyPremise = append(s.emptyPremise, idx)
+			continue
+		}
+		for _, it := range r.Antecedent {
+			s.byItem[it] = append(s.byItem[it], idx)
+		}
+	}
+	return s
+}
+
+// Len returns the number of implications.
+func (s *Implications) Len() int { return len(s.premises) }
+
+// Close computes the closure of x under the implication set with the
+// LinClosure counting strategy: each implication fires once, when the
+// last item of its premise is reached.
+func (s *Implications) Close(x itemset.Itemset) itemset.Itemset {
+	need := make([]int, len(s.premises))
+	inClosure := map[int]bool{}
+	var queue []int
+
+	add := func(it int) {
+		if !inClosure[it] {
+			inClosure[it] = true
+			queue = append(queue, it)
+		}
+	}
+
+	fire := func(idx int) {
+		for _, c := range s.conclusions[idx] {
+			add(c)
+		}
+	}
+
+	for i := range s.premises {
+		need[i] = s.premises[i].Len()
+	}
+	for _, idx := range s.emptyPremise {
+		fire(idx)
+	}
+	for _, it := range x {
+		add(it)
+	}
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, idx := range s.byItem[it] {
+			need[idx]--
+			if need[idx] == 0 {
+				fire(idx)
+			}
+		}
+	}
+
+	out := make([]int, 0, len(inClosure))
+	for it := range inClosure {
+		out = append(out, it)
+	}
+	return itemset.Of(out...)
+}
+
+// Derives reports whether the exact rule A → C is a consequence of the
+// implication set (Armstrong derivability): C ⊆ Close(A).
+func (s *Implications) Derives(r rules.Rule) bool {
+	return s.Close(r.Antecedent).ContainsAll(r.Consequent)
+}
+
+// Respects reports whether the itemset is a model of the implication
+// set: every implication with premise ⊆ x has its conclusion ⊆ x,
+// i.e. x is its own closure.
+func (s *Implications) Respects(x itemset.Itemset) bool {
+	return s.Close(x).Equal(x)
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"closedrules/internal/closedset"
+	"closedrules/internal/lattice"
+	"closedrules/internal/rules"
+)
+
+// LuxenburgerOptions controls the construction of the approximate-rule
+// bases of Theorem 2.
+type LuxenburgerOptions struct {
+	// MinConfidence keeps only rules with confidence ≥ this threshold.
+	MinConfidence float64
+	// IncludeEmptyAntecedent keeps rules whose antecedent is the empty
+	// closed set (possible when h(∅) = ∅ ∈ FC). Conventional rule
+	// listings exclude them; support derivation along lattice paths
+	// needs them, so the inference engine always works on the
+	// unfiltered diagram.
+	IncludeEmptyAntecedent bool
+}
+
+// LuxenburgerFull builds the (unreduced) Luxenburger basis: one rule
+// I1 → I2∖I1 for every pair of frequent closed itemsets I1 ⊂ I2. For
+// comparable closed itemsets supports strictly decrease upward, so
+// every rule is approximate (confidence < 1).
+func LuxenburgerFull(fc *closedset.Set, opt LuxenburgerOptions) ([]rules.Rule, error) {
+	if err := checkConf(opt.MinConfidence); err != nil {
+		return nil, err
+	}
+	all := fc.All()
+	var out []rules.Rule
+	for i, lo := range all {
+		if lo.Items.Len() == 0 && !opt.IncludeEmptyAntecedent {
+			continue
+		}
+		for j, hi := range all {
+			if i == j || !hi.Items.ContainsAll(lo.Items) || len(hi.Items) == len(lo.Items) {
+				continue
+			}
+			r := closedPairRule(lo, hi, fc)
+			if r.Confidence() >= opt.MinConfidence {
+				out = append(out, r)
+			}
+		}
+	}
+	rules.Sort(out)
+	return out, nil
+}
+
+// LuxenburgerReduction builds the transitive reduction of the
+// Luxenburger basis (Theorem 2, second part): only the Hasse edges of
+// the iceberg lattice. Every approximate rule's support and confidence
+// is recoverable from these edges by path products, which is what
+// Engine implements.
+func LuxenburgerReduction(lat *lattice.Lattice, fc *closedset.Set, opt LuxenburgerOptions) ([]rules.Rule, error) {
+	if err := checkConf(opt.MinConfidence); err != nil {
+		return nil, err
+	}
+	var out []rules.Rule
+	for _, e := range lat.Edges() {
+		lo, hi := lat.Nodes[e[0]], lat.Nodes[e[1]]
+		if lo.Items.Len() == 0 && !opt.IncludeEmptyAntecedent {
+			continue
+		}
+		r := closedPairRule(lo, hi, fc)
+		if r.Confidence() >= opt.MinConfidence {
+			out = append(out, r)
+		}
+	}
+	rules.Sort(out)
+	return out, nil
+}
+
+func closedPairRule(lo, hi closedset.Closed, fc *closedset.Set) rules.Rule {
+	cons := hi.Items.Diff(lo.Items)
+	consSup := 0
+	if s, ok := fc.SupportOf(cons); ok {
+		consSup = s
+	}
+	return rules.Rule{
+		Antecedent:        lo.Items,
+		Consequent:        cons,
+		Support:           hi.Support,
+		AntecedentSupport: lo.Support,
+		ConsequentSupport: consSup,
+	}
+}
+
+func checkConf(c float64) error {
+	if c < 0 || c > 1 {
+		return fmt.Errorf("core: minConfidence %v outside [0,1]", c)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+// Package core implements the primary contribution of the ICDE'2000
+// paper: bases for association rules built on frequent closed
+// itemsets.
+//
+//   - Theorem 1: the Duquenne–Guigues basis for exact (100% confidence)
+//     rules, defined on the frequent pseudo-closed itemsets;
+//   - Theorem 2: the Luxenburger basis for approximate rules, defined
+//     on pairs of comparable frequent closed itemsets, and its
+//     transitive reduction on the Hasse diagram of the iceberg lattice;
+//   - the inference machinery (LinClosure over implications, path
+//     products over the lattice) that constructively proves the basis
+//     property: every valid rule, with its support and confidence, is
+//     derivable from the bases alone;
+//   - the informative (min-max) bases on minimal generators, the
+//     follow-on refinement by the same authors (SIGKDD Expl. 2000),
+//     included as an extension.
+package core
+
+import (
+	"fmt"
+
+	"closedrules/internal/closedset"
+	"closedrules/internal/itemset"
+)
+
+// Pseudo is a frequent pseudo-closed itemset together with its closure
+// and support: the raw material of the Duquenne–Guigues basis.
+type Pseudo struct {
+	Items   itemset.Itemset
+	Closure itemset.Itemset
+	Support int // supp(Items) = supp(Closure)
+}
+
+// PseudoClosedSets computes the frequent pseudo-closed itemsets from
+// the frequent itemsets and the frequent closed itemsets (Theorem 1's
+// definition): a frequent itemset I is pseudo-closed iff it is not
+// closed and h(Q) ⊆ I for every frequent pseudo-closed Q ⊊ I. The
+// empty set is pseudo-closed iff it is not closed (h(∅) ≠ ∅).
+//
+// numTx is |O|, needed for the support of ∅. The frequent family must
+// be complete down to the mining threshold; results are in
+// size-ascending canonical order.
+func PseudoClosedSets(numTx int, fam *itemset.Family, fc *closedset.Set) ([]Pseudo, error) {
+	var out []Pseudo
+	consider := func(items itemset.Itemset) error {
+		if fc.Contains(items) {
+			return nil // closed, not pseudo-closed
+		}
+		for _, q := range out {
+			if items.ContainsAll(q.Items) && !items.ContainsAll(q.Closure) {
+				return nil // misses the closure of a pseudo-closed subset
+			}
+		}
+		cl, ok := fc.ClosureOf(items)
+		if !ok {
+			return fmt.Errorf("core: no closure for frequent itemset %v (FC incomplete?)", items)
+		}
+		out = append(out, Pseudo{Items: items, Closure: cl.Items, Support: cl.Support})
+		return nil
+	}
+
+	// ∅ is frequent iff |O| ≥ minsup, which holds exactly when the
+	// mining run produced a bottom element (FC non-empty).
+	if numTx > 0 && fc.Len() > 0 {
+		if err := consider(itemset.Empty()); err != nil {
+			return nil, err
+		}
+	}
+	// fam.All() is (size, lex)-ordered: every proper subset of an
+	// itemset precedes it, which is all the recurrence needs.
+	for _, f := range fam.All() {
+		if err := consider(f.Items); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+// Property-based tests (testing/quick) for the implication machinery:
+// LinClosure over an arbitrary implication set must be a closure
+// operator, and derivability must respect Armstrong's axioms.
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"closedrules/internal/itemset"
+	"closedrules/internal/rules"
+)
+
+// impSystem is a randomly generated implication system over a small
+// item universe; it implements quick.Generator so testing/quick can
+// draw values directly.
+type impSystem struct {
+	n    int
+	imps []rules.Rule
+}
+
+func (impSystem) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 2 + r.Intn(8)
+	s := impSystem{n: n}
+	for k := 0; k < r.Intn(10); k++ {
+		var prem, conc []int
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				prem = append(prem, i)
+			}
+			if r.Intn(3) == 0 {
+				conc = append(conc, i)
+			}
+		}
+		s.imps = append(s.imps, rules.Rule{
+			Antecedent: itemset.Of(prem...),
+			Consequent: itemset.Of(conc...),
+		})
+	}
+	return reflect.ValueOf(s)
+}
+
+// randomSubset draws a subset of {0..n-1} from the rand source.
+func randomSubset(r *rand.Rand, n int) itemset.Itemset {
+	var items []int
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			items = append(items, i)
+		}
+	}
+	return itemset.Of(items...)
+}
+
+func TestQuickLinClosureIsClosureOperator(t *testing.T) {
+	r := rand.New(rand.NewSource(907))
+	f := func(sys impSystem) bool {
+		imps := NewImplications(sys.imps)
+		x := randomSubset(r, sys.n)
+		y := x.Union(randomSubset(r, sys.n))
+		cx, cy := imps.Close(x), imps.Close(y)
+		// extensive
+		if !cx.ContainsAll(x) {
+			return false
+		}
+		// idempotent
+		if !imps.Close(cx).Equal(cx) {
+			return false
+		}
+		// monotone: x ⊆ y ⇒ Close(x) ⊆ Close(y)
+		return cy.ContainsAll(cx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClosedSetsAreModels(t *testing.T) {
+	r := rand.New(rand.NewSource(911))
+	f := func(sys impSystem) bool {
+		imps := NewImplications(sys.imps)
+		x := randomSubset(r, sys.n)
+		cx := imps.Close(x)
+		// The closure respects the system, and every implication with
+		// premise inside cx has its conclusion inside cx.
+		if !imps.Respects(cx) {
+			return false
+		}
+		for _, im := range sys.imps {
+			if cx.ContainsAll(im.Antecedent) && !cx.ContainsAll(im.Consequent) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickArmstrongAxioms: derivability must satisfy reflexivity,
+// augmentation and transitivity.
+func TestQuickArmstrongAxioms(t *testing.T) {
+	r := rand.New(rand.NewSource(919))
+	f := func(sys impSystem) bool {
+		imps := NewImplications(sys.imps)
+		x := randomSubset(r, sys.n)
+		y := randomSubset(r, sys.n)
+		z := randomSubset(r, sys.n)
+		// Reflexivity: X → X' for X' ⊆ X.
+		if !imps.Derives(rules.Rule{Antecedent: x, Consequent: x.Intersect(y)}) {
+			return false
+		}
+		// Augmentation: if X → Y then X∪Z → Y∪Z.
+		if imps.Derives(rules.Rule{Antecedent: x, Consequent: y}) {
+			if !imps.Derives(rules.Rule{Antecedent: x.Union(z), Consequent: y.Union(z)}) {
+				return false
+			}
+		}
+		// Transitivity: X → Y and Y → Z imply X → Z.
+		if imps.Derives(rules.Rule{Antecedent: x, Consequent: y}) &&
+			imps.Derives(rules.Rule{Antecedent: y, Consequent: z}) {
+			if !imps.Derives(rules.Rule{Antecedent: x, Consequent: z}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: r}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package dataset implements the data-mining context of the paper: a
+// triplet D = (O, I, R) where O is a finite set of objects
+// (transactions), I a finite set of items and R ⊆ O×I a binary
+// relation. It provides the transaction-list view used by level-wise
+// miners and the bitset (binary context) view used by the Galois
+// operators, plus readers/writers for the common interchange formats.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"closedrules/internal/bitset"
+	"closedrules/internal/itemset"
+)
+
+// Dataset is an immutable transaction database over items 0..NumItems-1.
+type Dataset struct {
+	tx       []itemset.Itemset
+	numItems int
+	names    []string // optional, indexed by item id; nil if unnamed
+}
+
+// FromTransactions builds a dataset from raw transactions. Each
+// transaction is sorted and deduplicated; items must be non-negative.
+// numItems is inferred as max item + 1.
+func FromTransactions(raw [][]int) (*Dataset, error) {
+	return FromTransactionsN(raw, 0)
+}
+
+// FromTransactionsN builds a dataset with an explicit item-universe
+// size; numItems is grown if a transaction mentions a larger item.
+func FromTransactionsN(raw [][]int, numItems int) (*Dataset, error) {
+	if numItems < 0 {
+		return nil, fmt.Errorf("dataset: negative numItems %d", numItems)
+	}
+	d := &Dataset{tx: make([]itemset.Itemset, len(raw)), numItems: numItems}
+	for i, t := range raw {
+		for _, x := range t {
+			if x < 0 {
+				return nil, fmt.Errorf("dataset: transaction %d has negative item %d", i, x)
+			}
+			if x+1 > d.numItems {
+				d.numItems = x + 1
+			}
+		}
+		d.tx[i] = itemset.Of(t...)
+	}
+	return d, nil
+}
+
+// WithNames attaches item names. len(names) must be ≥ NumItems.
+func (d *Dataset) WithNames(names []string) (*Dataset, error) {
+	if len(names) < d.numItems {
+		return nil, fmt.Errorf("dataset: %d names for %d items", len(names), d.numItems)
+	}
+	nd := *d
+	nd.names = names
+	return &nd, nil
+}
+
+// NumTransactions returns the number of objects |O|.
+func (d *Dataset) NumTransactions() int { return len(d.tx) }
+
+// NumItems returns the number of items |I|.
+func (d *Dataset) NumItems() int { return d.numItems }
+
+// Transaction returns the i-th transaction (shared slice; do not mutate).
+func (d *Dataset) Transaction(i int) itemset.Itemset { return d.tx[i] }
+
+// Transactions returns all transactions (shared slices; do not mutate).
+func (d *Dataset) Transactions() []itemset.Itemset { return d.tx }
+
+// Names returns the item-name table, or nil if the dataset is unnamed.
+func (d *Dataset) Names() []string { return d.names }
+
+// ItemName returns the name of an item, falling back to its id.
+func (d *Dataset) ItemName(item int) string {
+	if d.names != nil && item >= 0 && item < len(d.names) && d.names[item] != "" {
+		return d.names[item]
+	}
+	return fmt.Sprintf("%d", item)
+}
+
+// AbsoluteSupport converts a relative minimum support in (0,1] to an
+// absolute count (ceiling), and passes through absolute counts ≥ 1.
+func (d *Dataset) AbsoluteSupport(rel float64) int {
+	n := float64(d.NumTransactions())
+	k := int(rel*n + 0.999999999)
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Stats summarizes a dataset.
+type Stats struct {
+	NumTransactions int
+	NumItems        int
+	MinLen, MaxLen  int
+	AvgLen          float64
+	Density         float64 // |R| / (|O|·|I|)
+}
+
+// Stats computes summary statistics.
+func (d *Dataset) Stats() Stats {
+	s := Stats{NumTransactions: len(d.tx), NumItems: d.numItems}
+	if len(d.tx) == 0 {
+		return s
+	}
+	s.MinLen = d.tx[0].Len()
+	total := 0
+	for _, t := range d.tx {
+		n := t.Len()
+		total += n
+		if n < s.MinLen {
+			s.MinLen = n
+		}
+		if n > s.MaxLen {
+			s.MaxLen = n
+		}
+	}
+	s.AvgLen = float64(total) / float64(len(d.tx))
+	if d.numItems > 0 {
+		s.Density = float64(total) / (float64(len(d.tx)) * float64(d.numItems))
+	}
+	return s
+}
+
+// ItemSupports returns the absolute support of every single item.
+func (d *Dataset) ItemSupports() []int {
+	sup := make([]int, d.numItems)
+	for _, t := range d.tx {
+		for _, x := range t {
+			sup[x]++
+		}
+	}
+	return sup
+}
+
+// Context is the binary-matrix view of a dataset: Rows[o] is the intent
+// bitset of object o (over items), Cols[i] the extent bitset (tidset)
+// of item i (over objects).
+type Context struct {
+	NumObjects int
+	NumItems   int
+	Rows       []bitset.Set
+	Cols       []bitset.Set
+}
+
+// Context materializes the bitset view. It is O(|R|).
+func (d *Dataset) Context() *Context {
+	c := &Context{
+		NumObjects: len(d.tx),
+		NumItems:   d.numItems,
+		Rows:       make([]bitset.Set, len(d.tx)),
+		Cols:       make([]bitset.Set, d.numItems),
+	}
+	for i := range c.Cols {
+		c.Cols[i] = bitset.New(len(d.tx))
+	}
+	for o, t := range d.tx {
+		row := bitset.New(d.numItems)
+		for _, x := range t {
+			row.Add(x)
+			c.Cols[x].Add(o)
+		}
+		c.Rows[o] = row
+	}
+	return c
+}
+
+// Project returns a new dataset containing only the given items,
+// renumbered densely in ascending order of their original ids, along
+// with the mapping old→new (-1 for dropped items). Transactions that
+// become empty are kept (objects are part of the context).
+func (d *Dataset) Project(keep itemset.Itemset) (*Dataset, []int) {
+	remap := make([]int, d.numItems)
+	for i := range remap {
+		remap[i] = -1
+	}
+	for newID, old := range keep {
+		remap[old] = newID
+	}
+	nd := &Dataset{tx: make([]itemset.Itemset, len(d.tx)), numItems: keep.Len()}
+	for i, t := range d.tx {
+		nt := make(itemset.Itemset, 0, t.Len())
+		for _, x := range t {
+			if remap[x] >= 0 {
+				nt = append(nt, remap[x])
+			}
+		}
+		sort.Ints(nt)
+		nd.tx[i] = nt
+	}
+	if d.names != nil {
+		names := make([]string, keep.Len())
+		for newID, old := range keep {
+			if old < len(d.names) {
+				names[newID] = d.names[old]
+			}
+		}
+		nd.names = names
+	}
+	return nd, remap
+}

@@ -1,0 +1,318 @@
+package dataset
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"closedrules/internal/itemset"
+)
+
+// classic is the 5-object, 5-item running example of the Close paper
+// (items A=0, B=1, C=2, D=3, E=4).
+func classic(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := FromTransactions([][]int{
+		{0, 2, 3},    // ACD
+		{1, 2, 4},    // BCE
+		{0, 1, 2, 4}, // ABCE
+		{1, 4},       // BE
+		{0, 1, 2, 4}, // ABCE
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFromTransactionsNormalizes(t *testing.T) {
+	d, err := FromTransactions([][]int{{3, 1, 1, 2}, {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTransactions() != 2 {
+		t.Fatalf("NumTransactions = %d", d.NumTransactions())
+	}
+	if d.NumItems() != 4 {
+		t.Fatalf("NumItems = %d", d.NumItems())
+	}
+	if !d.Transaction(0).Equal(itemset.Of(1, 2, 3)) {
+		t.Errorf("tx0 = %v", d.Transaction(0))
+	}
+	if d.Transaction(1).Len() != 0 {
+		t.Errorf("tx1 = %v", d.Transaction(1))
+	}
+}
+
+func TestFromTransactionsRejectsNegative(t *testing.T) {
+	if _, err := FromTransactions([][]int{{1, -2}}); err == nil {
+		t.Fatal("no error for negative item")
+	}
+}
+
+func TestStats(t *testing.T) {
+	d := classic(t)
+	s := d.Stats()
+	if s.NumTransactions != 5 || s.NumItems != 5 {
+		t.Fatalf("dims: %+v", s)
+	}
+	if s.MinLen != 2 || s.MaxLen != 4 {
+		t.Errorf("len range: %+v", s)
+	}
+	if s.AvgLen != (3+3+4+2+4)/5.0 {
+		t.Errorf("AvgLen = %v", s.AvgLen)
+	}
+	want := 16.0 / 25.0
+	if s.Density < want-1e-12 || s.Density > want+1e-12 {
+		t.Errorf("Density = %v, want %v", s.Density, want)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	d, _ := FromTransactions(nil)
+	s := d.Stats()
+	if s.NumTransactions != 0 || s.AvgLen != 0 || s.Density != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestItemSupports(t *testing.T) {
+	d := classic(t)
+	got := d.ItemSupports()
+	want := []int{3, 4, 4, 1, 4} // A,B,C,D,E
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("support[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAbsoluteSupport(t *testing.T) {
+	d := classic(t)
+	cases := []struct {
+		rel  float64
+		want int
+	}{
+		{0.2, 1}, {0.4, 2}, {0.5, 3}, {0.6, 3}, {1.0, 5}, {0.0001, 1},
+	}
+	for _, c := range cases {
+		if got := d.AbsoluteSupport(c.rel); got != c.want {
+			t.Errorf("AbsoluteSupport(%v) = %d, want %d", c.rel, got, c.want)
+		}
+	}
+}
+
+func TestContextRowsCols(t *testing.T) {
+	d := classic(t)
+	c := d.Context()
+	if c.NumObjects != 5 || c.NumItems != 5 {
+		t.Fatalf("context dims %d×%d", c.NumObjects, c.NumItems)
+	}
+	// Row 2 = ABCE = {0,1,2,4}
+	for _, x := range []int{0, 1, 2, 4} {
+		if !c.Rows[2].Has(x) {
+			t.Errorf("row 2 missing %d", x)
+		}
+	}
+	if c.Rows[2].Has(3) {
+		t.Error("row 2 has D")
+	}
+	// Col C=2 present in objects {0,1,2,4}
+	for _, o := range []int{0, 1, 2, 4} {
+		if !c.Cols[2].Has(o) {
+			t.Errorf("col C missing object %d", o)
+		}
+	}
+	if c.Cols[2].Has(3) {
+		t.Error("col C has object 3")
+	}
+	// Consistency: Rows[o].Has(i) == Cols[i].Has(o) for all o,i.
+	for o := 0; o < c.NumObjects; o++ {
+		for i := 0; i < c.NumItems; i++ {
+			if c.Rows[o].Has(i) != c.Cols[i].Has(o) {
+				t.Fatalf("rows/cols inconsistent at (%d,%d)", o, i)
+			}
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	d := classic(t)
+	if d.ItemName(0) != "0" {
+		t.Errorf("unnamed ItemName = %q", d.ItemName(0))
+	}
+	nd, err := d.WithNames([]string{"A", "B", "C", "D", "E"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd.ItemName(0) != "A" || nd.ItemName(4) != "E" {
+		t.Error("names not applied")
+	}
+	if _, err := d.WithNames([]string{"A"}); err == nil {
+		t.Error("short name table accepted")
+	}
+}
+
+func TestReadDat(t *testing.T) {
+	in := "1 2 3\n\n# comment\n2 4\n0\n"
+	d, err := ReadDat(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTransactions() != 3 {
+		t.Fatalf("NumTransactions = %d", d.NumTransactions())
+	}
+	if !d.Transaction(1).Equal(itemset.Of(2, 4)) {
+		t.Errorf("tx1 = %v", d.Transaction(1))
+	}
+	if d.NumItems() != 5 {
+		t.Errorf("NumItems = %d", d.NumItems())
+	}
+}
+
+func TestReadDatErrors(t *testing.T) {
+	for _, in := range []string{"1 x 3\n", "1 -2\n", "4294967296999999999999999\n"} {
+		if _, err := ReadDat(strings.NewReader(in)); err == nil {
+			t.Errorf("no error for %q", in)
+		}
+	}
+}
+
+func TestDatRoundTrip(t *testing.T) {
+	d := classic(t)
+	var sb strings.Builder
+	if err := WriteDat(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadDat(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumTransactions() != d.NumTransactions() {
+		t.Fatalf("round trip lost transactions")
+	}
+	for i := range d.Transactions() {
+		if !d.Transaction(i).Equal(d2.Transaction(i)) {
+			t.Errorf("tx %d: %v != %v", i, d.Transaction(i), d2.Transaction(i))
+		}
+	}
+}
+
+func TestReadTable(t *testing.T) {
+	in := "color,size\nred,big\nblue,small\nred,small\n"
+	d, err := ReadTable(strings.NewReader(in), ',', true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTransactions() != 3 {
+		t.Fatalf("NumTransactions = %d", d.NumTransactions())
+	}
+	if d.NumItems() != 4 {
+		t.Fatalf("NumItems = %d (names %v)", d.NumItems(), d.Names())
+	}
+	// first row: color=red, size=big → items 0,1
+	if !d.Transaction(0).Equal(itemset.Of(0, 1)) {
+		t.Errorf("tx0 = %v", d.Transaction(0))
+	}
+	if d.ItemName(0) != "color=red" {
+		t.Errorf("name 0 = %q", d.ItemName(0))
+	}
+	// row 3 shares items with rows 1 and 2
+	if !d.Transaction(2).Equal(itemset.Of(0, 3)) {
+		t.Errorf("tx2 = %v", d.Transaction(2))
+	}
+}
+
+func TestReadTableNoHeaderAndMissing(t *testing.T) {
+	in := "a;?\nb;x\n;x\n"
+	d, err := ReadTable(strings.NewReader(in), ';', false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTransactions() != 3 {
+		t.Fatalf("NumTransactions = %d", d.NumTransactions())
+	}
+	if d.Transaction(0).Len() != 1 { // "?" dropped
+		t.Errorf("tx0 = %v", d.Transaction(0))
+	}
+	if d.Transaction(2).Len() != 1 { // empty first field dropped
+		t.Errorf("tx2 = %v", d.Transaction(2))
+	}
+	if d.ItemName(0) != "c0=a" {
+		t.Errorf("name = %q", d.ItemName(0))
+	}
+}
+
+func TestReadTableRaggedRows(t *testing.T) {
+	in := "a,b\nc\n"
+	if _, err := ReadTable(strings.NewReader(in), ',', false); err == nil {
+		t.Fatal("ragged rows accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	d := classic(t)
+	nd, remap := d.Project(itemset.Of(1, 2, 4)) // keep B, C, E
+	if nd.NumItems() != 3 {
+		t.Fatalf("NumItems = %d", nd.NumItems())
+	}
+	if remap[1] != 0 || remap[2] != 1 || remap[4] != 2 || remap[0] != -1 || remap[3] != -1 {
+		t.Fatalf("remap = %v", remap)
+	}
+	// ACD → {C} → {1}
+	if !nd.Transaction(0).Equal(itemset.Of(1)) {
+		t.Errorf("tx0 = %v", nd.Transaction(0))
+	}
+	// ABCE → BCE → {0,1,2}
+	if !nd.Transaction(2).Equal(itemset.Of(0, 1, 2)) {
+		t.Errorf("tx2 = %v", nd.Transaction(2))
+	}
+	if nd.NumTransactions() != 5 {
+		t.Errorf("transactions dropped")
+	}
+}
+
+func TestWriteSupports(t *testing.T) {
+	d := classic(t)
+	var sb strings.Builder
+	if err := WriteSupports(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// descending support: first line is one of B/C/E (support 4), last is D.
+	if !strings.HasSuffix(lines[4], "\t1") {
+		t.Errorf("last line %q should be the support-1 item", lines[4])
+	}
+}
+
+func TestContextLargeRandomConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	raw := make([][]int, 80)
+	for i := range raw {
+		n := r.Intn(10)
+		t := make([]int, n)
+		for j := range t {
+			t[j] = r.Intn(130) // force multi-word bitsets
+		}
+		raw[i] = t
+	}
+	d, err := FromTransactions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Context()
+	for o := 0; o < c.NumObjects; o++ {
+		if c.Rows[o].Count() != d.Transaction(o).Len() {
+			t.Fatalf("row %d count mismatch", o)
+		}
+	}
+	sup := d.ItemSupports()
+	for i := 0; i < c.NumItems; i++ {
+		if c.Cols[i].Count() != sup[i] {
+			t.Fatalf("col %d support mismatch", i)
+		}
+	}
+}

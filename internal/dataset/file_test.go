@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDatFileRoundTrip(t *testing.T) {
+	d := classic(t)
+	path := filepath.Join(t.TempDir(), "x.dat")
+	if err := WriteDatFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTransactions() != d.NumTransactions() {
+		t.Fatalf("%d transactions, want %d", got.NumTransactions(), d.NumTransactions())
+	}
+}
+
+func TestDatFileErrors(t *testing.T) {
+	if _, err := ReadDatFile("/nonexistent/nope.dat"); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := WriteDatFile(filepath.Join(string(os.PathSeparator), "no", "dir", "x.dat"), mustDataset(t)); err == nil {
+		t.Error("unwritable path accepted")
+	}
+}
+
+func TestReadTableFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := os.WriteFile(path, []byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := ReadTableFile(path, ',', true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTransactions() != 1 || d.NumItems() != 2 {
+		t.Errorf("dims %d×%d", d.NumTransactions(), d.NumItems())
+	}
+	if _, err := ReadTableFile("/nonexistent/t.csv", ',', true); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func mustDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := FromTransactions([][]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestFromTransactionsNValidation(t *testing.T) {
+	if _, err := FromTransactionsN(nil, -1); err == nil {
+		t.Error("negative numItems accepted")
+	}
+	d, err := FromTransactionsN([][]int{{2}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumItems() != 10 {
+		t.Errorf("NumItems = %d, want 10", d.NumItems())
+	}
+	// universe grows when a transaction exceeds it
+	d2, err := FromTransactionsN([][]int{{15}}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.NumItems() != 16 {
+		t.Errorf("NumItems = %d, want 16", d2.NumItems())
+	}
+}

@@ -1,0 +1,188 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ReadDat parses the FIMI ".dat" basket format: one transaction per
+// line, whitespace-separated non-negative integer item ids. Blank lines
+// are skipped. Lines starting with '#' are treated as comments.
+func ReadDat(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var raw [][]int
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		t := make([]int, 0, len(fields))
+		for _, f := range fields {
+			x, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad item %q: %v", lineNo, f, err)
+			}
+			if x < 0 {
+				return nil, fmt.Errorf("dataset: line %d: negative item %d", lineNo, x)
+			}
+			t = append(t, x)
+		}
+		raw = append(raw, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %v", err)
+	}
+	return FromTransactions(raw)
+}
+
+// ReadDatFile reads a .dat file from disk.
+func ReadDatFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDat(f)
+}
+
+// WriteDat writes the dataset in the FIMI ".dat" format.
+func WriteDat(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range d.Transactions() {
+		for i, x := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(x)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDatFile writes a .dat file to disk.
+func WriteDatFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteDat(f, d); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTable parses a delimiter-separated nominal table (such as the UCI
+// mushroom file or a census extract): every row is one object and every
+// column an attribute; each distinct (column, value) pair becomes one
+// item named "<header>=<value>". If hasHeader is false, columns are
+// named c0, c1, …. Missing values ("?" or empty) produce no item.
+func ReadTable(r io.Reader, sep rune, hasHeader bool) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var headers []string
+	ids := map[string]int{}
+	var names []string
+	var raw [][]int
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), "\r\n")
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		fields := strings.Split(line, string(sep))
+		if headers == nil {
+			if hasHeader {
+				headers = make([]string, len(fields))
+				for i, h := range fields {
+					headers[i] = strings.TrimSpace(h)
+				}
+				continue
+			}
+			headers = make([]string, len(fields))
+			for i := range fields {
+				headers[i] = fmt.Sprintf("c%d", i)
+			}
+		}
+		if len(fields) != len(headers) {
+			return nil, fmt.Errorf("dataset: line %d: %d fields, want %d", lineNo, len(fields), len(headers))
+		}
+		t := make([]int, 0, len(fields))
+		for i, f := range fields {
+			v := strings.TrimSpace(f)
+			if v == "" || v == "?" {
+				continue
+			}
+			key := headers[i] + "=" + v
+			id, ok := ids[key]
+			if !ok {
+				id = len(names)
+				ids[key] = id
+				names = append(names, key)
+			}
+			t = append(t, id)
+		}
+		raw = append(raw, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %v", err)
+	}
+	d, err := FromTransactions(raw)
+	if err != nil {
+		return nil, err
+	}
+	if d.numItems < len(names) {
+		d.numItems = len(names)
+	}
+	return d.WithNames(names)
+}
+
+// ReadTableFile reads a nominal table from disk.
+func ReadTableFile(path string, sep rune, hasHeader bool) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTable(f, sep, hasHeader)
+}
+
+// WriteSupports writes "item support" lines sorted by descending
+// support, a quick diagnostic view of a dataset.
+func WriteSupports(w io.Writer, d *Dataset) error {
+	sup := d.ItemSupports()
+	order := make([]int, len(sup))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sup[order[a]] != sup[order[b]] {
+			return sup[order[a]] > sup[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	bw := bufio.NewWriter(w)
+	for _, it := range order {
+		if _, err := fmt.Fprintf(bw, "%s\t%d\n", d.ItemName(it), sup[it]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,54 @@
+// Package eclat implements the Eclat frequent-itemset miner (Zaki,
+// 1997): depth-first search over the itemset lattice with vertical
+// tidset (bitset) intersections. It serves as an independent
+// cross-check of Apriori and as the vertical baseline in benchmarks.
+package eclat
+
+import (
+	"fmt"
+
+	"closedrules/internal/bitset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+)
+
+// Mine returns all non-empty frequent itemsets with absolute support ≥
+// minSup.
+func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
+	if minSup < 1 {
+		return nil, fmt.Errorf("eclat: minSup %d < 1", minSup)
+	}
+	c := d.Context()
+	fam := itemset.NewFamily()
+
+	type entry struct {
+		item int
+		tids bitset.Set
+	}
+	var frontier []entry
+	for it := 0; it < c.NumItems; it++ {
+		if c.Cols[it].Count() >= minSup {
+			frontier = append(frontier, entry{item: it, tids: c.Cols[it]})
+		}
+	}
+
+	var recurse func(prefix itemset.Itemset, ext []entry)
+	recurse = func(prefix itemset.Itemset, ext []entry) {
+		for i, e := range ext {
+			p := prefix.With(e.item)
+			fam.Add(p, e.tids.Count())
+			var next []entry
+			for _, f := range ext[i+1:] {
+				t := e.tids.Intersect(f.tids)
+				if t.Count() >= minSup {
+					next = append(next, entry{item: f.item, tids: t})
+				}
+			}
+			if len(next) > 0 {
+				recurse(p, next)
+			}
+		}
+	}
+	recurse(itemset.Empty(), frontier)
+	return fam, nil
+}

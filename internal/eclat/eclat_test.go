@@ -1,0 +1,68 @@
+package eclat
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/naive"
+	"closedrules/internal/testgen"
+)
+
+func classic(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMineClassic(t *testing.T) {
+	fam, err := Mine(classic(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 15 {
+		t.Fatalf("|FI| = %d, want 15", fam.Len())
+	}
+	if s, _ := fam.Support(itemset.Of(1, 2)); s != 3 {
+		t.Errorf("supp(BC) = %d, want 3", s)
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	if _, err := Mine(classic(t), 0); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+}
+
+func TestMineEmpty(t *testing.T) {
+	d, _ := dataset.FromTransactions(nil)
+	fam, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 0 {
+		t.Errorf("|FI| = %d", fam.Len())
+	}
+}
+
+func TestMineAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 60; iter++ {
+		d := testgen.Random(r, 25, 10, 0.4)
+		minSup := 1 + r.Intn(4)
+		fam, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.FrequentItemsets(d.Context(), minSup)
+		if !fam.Equal(want) {
+			t.Fatalf("iter %d: eclat %d itemsets, naive %d", iter, fam.Len(), want.Len())
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package fca
+
+import (
+	"closedrules/internal/dataset"
+	"closedrules/internal/galois"
+)
+
+// Concepts enumerates all formal concepts of the context — the
+// (extent, intent) pairs of the Galois connection, with intents in
+// lectic order. The concept lattice they form, restricted to frequent
+// intents, is exactly the iceberg lattice the Luxenburger basis is
+// defined on.
+func Concepts(c *dataset.Context) ([]galois.Concept, error) {
+	intents, err := Intents(c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]galois.Concept, len(intents))
+	for i, in := range intents {
+		out[i] = galois.Concept{Extent: galois.Extent(c, in), Intent: in}
+	}
+	return out, nil
+}

@@ -1,0 +1,80 @@
+package fca
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/galois"
+	"closedrules/internal/testgen"
+)
+
+func TestConceptsClassic(t *testing.T) {
+	c := classic(t)
+	concepts, err := Concepts(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(concepts) != 8 {
+		t.Fatalf("%d concepts, want 8", len(concepts))
+	}
+	for _, con := range concepts {
+		// Duality: intent of the extent is the intent; extent of the
+		// intent is the extent — maximal rectangles.
+		if !galois.Intent(c, con.Extent).Equal(con.Intent) {
+			t.Errorf("concept %v: f(extent) ≠ intent", con.Intent)
+		}
+		if !galois.Extent(c, con.Intent).Equal(con.Extent) {
+			t.Errorf("concept %v: g(intent) ≠ extent", con.Intent)
+		}
+	}
+}
+
+// TestConceptsAntiIsomorphism: larger intents have smaller extents —
+// the order anti-isomorphism between the two sides of the connection.
+func TestConceptsAntiIsomorphism(t *testing.T) {
+	r := rand.New(rand.NewSource(827))
+	for iter := 0; iter < 40; iter++ {
+		d := testgen.Random(r, 15, 8, 0.45)
+		c := d.Context()
+		concepts, err := Concepts(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range concepts {
+			for j := range concepts {
+				if i == j {
+					continue
+				}
+				if concepts[j].Intent.ContainsAll(concepts[i].Intent) &&
+					!concepts[i].Intent.Equal(concepts[j].Intent) {
+					if !concepts[j].Extent.IsSubset(concepts[i].Extent) {
+						t.Fatalf("iter %d: intent %v ⊂ %v but extents not reversed",
+							iter, concepts[i].Intent, concepts[j].Intent)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestConceptCountEqualsDistinctExtents: concepts biject with the
+// distinct extents of the context.
+func TestConceptCountEqualsDistinctExtents(t *testing.T) {
+	r := rand.New(rand.NewSource(829))
+	for iter := 0; iter < 30; iter++ {
+		d := testgen.Random(r, 12, 7, 0.5)
+		c := d.Context()
+		concepts, err := Concepts(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, con := range concepts {
+			key := con.Extent.String()
+			if seen[key] {
+				t.Fatalf("iter %d: duplicate extent %s", iter, key)
+			}
+			seen[key] = true
+		}
+	}
+}

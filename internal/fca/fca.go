@@ -1,0 +1,145 @@
+// Package fca implements the classical formal-concept-analysis
+// algorithms the paper's framework descends from (Ganter & Wille,
+// reference [1]): NextClosure enumeration of all closed sets in lectic
+// order, and Ganter's computation of the (full, frequency-free)
+// Duquenne–Guigues stem base. They serve as an independent
+// cross-validation of the frequency-restricted machinery in
+// internal/core and as the bridge to the FCA literature.
+package fca
+
+import (
+	"fmt"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/galois"
+	"closedrules/internal/itemset"
+	"closedrules/internal/rules"
+)
+
+// Closure is an abstract closure operator over items 0..n-1. It must
+// be extensive, monotone and idempotent.
+type Closure func(itemset.Itemset) itemset.Itemset
+
+// NextClosed returns the lectically smallest closed set strictly
+// greater than a (Ganter's NextClosure step), or ok=false when a is
+// the lectically largest closed set. n is the universe width.
+//
+// The lectic order on subsets of {0..n-1}: A < B iff the smallest
+// element where they differ belongs to B.
+func NextClosed(n int, close Closure, a itemset.Itemset) (itemset.Itemset, bool) {
+	for i := n - 1; i >= 0; i-- {
+		if a.Contains(i) {
+			continue
+		}
+		// A ⊕ i = close((A ∩ {0..i-1}) ∪ {i})
+		var prefix itemset.Itemset
+		for _, x := range a {
+			if x < i {
+				prefix = append(prefix, x)
+			}
+		}
+		b := close(prefix.With(i))
+		// Accept if B agrees with A below i (B ∩ {0..i-1} ⊆ A).
+		ok := true
+		for _, x := range b {
+			if x >= i {
+				break
+			}
+			if !prefix.Contains(x) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// AllClosed enumerates every closed set of the operator in lectic
+// order, starting from close(∅). The operator must have finitely many
+// closed sets over {0..n-1} (always true); limit guards against a
+// broken operator (non-idempotent closures can loop) — 0 means no
+// limit.
+func AllClosed(n int, close Closure, limit int) ([]itemset.Itemset, error) {
+	var out []itemset.Itemset
+	a := close(itemset.Empty())
+	for {
+		out = append(out, a)
+		if limit > 0 && len(out) > limit {
+			return nil, fmt.Errorf("fca: more than %d closed sets (broken operator?)", limit)
+		}
+		next, ok := NextClosed(n, close, a)
+		if !ok {
+			return out, nil
+		}
+		a = next
+	}
+}
+
+// ContextClosure returns the closure operator h = f∘g of a binary
+// context.
+func ContextClosure(c *dataset.Context) Closure {
+	return func(x itemset.Itemset) itemset.Itemset {
+		return galois.Closure(c, x)
+	}
+}
+
+// Intents enumerates all intents (closed itemsets) of the context in
+// lectic order — including the top intent I when no object contains
+// every item.
+func Intents(c *dataset.Context) ([]itemset.Itemset, error) {
+	return AllClosed(c.NumItems, ContextClosure(c), 0)
+}
+
+// StemBase computes the full Duquenne–Guigues basis of the context —
+// no frequency threshold — with Ganter's algorithm: enumerate, in
+// lectic order, the sets closed under the implications found so far;
+// each such set that is not an intent is a pseudo-intent and
+// contributes the implication P → h(P)∖P.
+//
+// Rule supports are the true supports from the context (0 for
+// pseudo-intents with empty extent).
+func StemBase(c *dataset.Context) ([]rules.Rule, error) {
+	h := ContextClosure(c)
+	var basis []rules.Rule
+	// imps is rebuilt lazily; LinClosure over the current basis.
+	closeL := func(x itemset.Itemset) itemset.Itemset {
+		// Fixpoint over current implications; premises/conclusions are
+		// small, so the simple loop is fine here.
+		cur := x.Clone()
+		for changed := true; changed; {
+			changed = false
+			for _, im := range basis {
+				if cur.ContainsAll(im.Antecedent) && !cur.ContainsAll(im.Consequent) {
+					cur = cur.Union(im.Consequent)
+					changed = true
+				}
+			}
+		}
+		return cur
+	}
+
+	a := closeL(itemset.Empty())
+	for {
+		ha := h(a)
+		if !ha.Equal(a) {
+			// a is a pseudo-intent.
+			sup := galois.Support(c, a)
+			basis = append(basis, rules.Rule{
+				Antecedent:        a,
+				Consequent:        ha.Diff(a),
+				Support:           sup,
+				AntecedentSupport: sup,
+			})
+		}
+		next, ok := NextClosed(c.NumItems, closeL, a)
+		if !ok {
+			break
+		}
+		a = next
+	}
+	rules.Sort(basis)
+	return basis, nil
+}

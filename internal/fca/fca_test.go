@@ -1,0 +1,310 @@
+package fca
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/core"
+	"closedrules/internal/dataset"
+	"closedrules/internal/galois"
+	"closedrules/internal/itemset"
+	"closedrules/internal/naive"
+	"closedrules/internal/rules"
+	"closedrules/internal/testgen"
+)
+
+func classic(t *testing.T) *dataset.Context {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Context()
+}
+
+// fullPseudoIntents enumerates the pseudo-intents of a context by the
+// definition, over all 2^n subsets — the oracle for StemBase.
+func fullPseudoIntents(c *dataset.Context) []itemset.Itemset {
+	n := c.NumItems
+	var all []itemset.Itemset
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		var s itemset.Itemset
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				s = append(s, i)
+			}
+		}
+		all = append(all, s)
+	}
+	// size-ascending order
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if all[j].Compare(all[i]) < 0 {
+				all[i], all[j] = all[j], all[i]
+			}
+		}
+	}
+	var pseudo []itemset.Itemset
+	var closures []itemset.Itemset
+	for _, s := range all {
+		h := galois.Closure(c, s)
+		if h.Equal(s) {
+			continue
+		}
+		ok := true
+		for qi, q := range pseudo {
+			if s.ContainsAll(q) && !s.Equal(q) && !s.ContainsAll(closures[qi]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			pseudo = append(pseudo, s)
+			closures = append(closures, h)
+		}
+	}
+	return pseudo
+}
+
+func TestIntentsClassic(t *testing.T) {
+	c := classic(t)
+	intents, err := Intents(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FC at minsup 1 is {∅, C, AC, BE, ACD, BCE, ABCE} = 7; plus the
+	// top intent ABCDE (empty extent) = 8.
+	if len(intents) != 8 {
+		t.Fatalf("|intents| = %d, want 8: %v", len(intents), intents)
+	}
+	want := naive.ClosedItemsets(c, 1)
+	found := 0
+	for _, in := range intents {
+		if want.Contains(in) {
+			found++
+		}
+	}
+	if found != want.Len() {
+		t.Errorf("intents cover %d/%d frequent closed sets", found, want.Len())
+	}
+	// The extra one is the full item set.
+	full := itemset.Of(0, 1, 2, 3, 4)
+	hasFull := false
+	for _, in := range intents {
+		if in.Equal(full) {
+			hasFull = true
+		}
+	}
+	if !hasFull {
+		t.Error("top intent missing")
+	}
+}
+
+func TestIntentsLecticOrderAndUnique(t *testing.T) {
+	r := rand.New(rand.NewSource(501))
+	for iter := 0; iter < 60; iter++ {
+		d := testgen.Random(r, 15, 8, 0.45)
+		c := d.Context()
+		intents, err := Intents(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for i, in := range intents {
+			if seen[in.Key()] {
+				t.Fatalf("iter %d: duplicate intent %v", iter, in)
+			}
+			seen[in.Key()] = true
+			if !galois.IsClosed(c, in) {
+				t.Fatalf("iter %d: %v is not closed", iter, in)
+			}
+			if i > 0 && lecticLess(intents[i], intents[i-1]) {
+				t.Fatalf("iter %d: lectic order violated at %d", iter, i)
+			}
+		}
+		// Completeness vs brute force: frequent closed ∪ {top}.
+		want := naive.ClosedItemsets(c, 1)
+		extra := 0
+		full := itemset.Itemset(nil)
+		for i := 0; i < c.NumItems; i++ {
+			full = append(full, i)
+		}
+		for _, in := range intents {
+			if !want.Contains(in) {
+				extra++
+				if !in.Equal(full) {
+					t.Fatalf("iter %d: unexpected non-frequent intent %v", iter, in)
+				}
+			}
+		}
+		if len(intents)-extra != want.Len() {
+			t.Fatalf("iter %d: %d intents (-%d top), naive %d",
+				iter, len(intents), extra, want.Len())
+		}
+	}
+}
+
+// lecticLess reports a < b in the lectic order: the smallest
+// differing element belongs to b.
+func lecticLess(a, b itemset.Itemset) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			return false // a has the smaller differing element
+		default:
+			return true
+		}
+	}
+	return i == len(a) && j < len(b)
+}
+
+func TestNextClosedStopsAtTop(t *testing.T) {
+	c := classic(t)
+	full := itemset.Of(0, 1, 2, 3, 4)
+	if _, ok := NextClosed(c.NumItems, ContextClosure(c), full); ok {
+		t.Error("NextClosed after the top intent should stop")
+	}
+}
+
+func TestAllClosedLimit(t *testing.T) {
+	// A deliberately broken operator (not idempotent) to exercise the
+	// guard: closure flips between two states.
+	bad := func(x itemset.Itemset) itemset.Itemset { return x }
+	// The identity operator is fine (every set closed): 2^6 sets.
+	out, err := AllClosed(6, bad, 0)
+	if err != nil || len(out) != 64 {
+		t.Fatalf("identity operator: %d sets, err %v", len(out), err)
+	}
+	if _, err := AllClosed(6, bad, 10); err == nil {
+		t.Error("limit not enforced")
+	}
+}
+
+func TestStemBaseClassic(t *testing.T) {
+	c := classic(t)
+	sb, err := StemBase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := fullPseudoIntents(c)
+	if len(sb) != len(oracle) {
+		t.Fatalf("|stem base| = %d, oracle %d\nsb: %v\noracle: %v",
+			len(sb), len(oracle), sb, oracle)
+	}
+	wantKeys := map[string]bool{}
+	for _, p := range oracle {
+		wantKeys[p.Key()] = true
+	}
+	for _, r := range sb {
+		if !wantKeys[r.Antecedent.Key()] {
+			t.Errorf("unexpected pseudo-intent %v", r.Antecedent)
+		}
+	}
+}
+
+func TestStemBaseMatchesOracleRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(503))
+	for iter := 0; iter < 60; iter++ {
+		d := testgen.Random(r, 12, 7, 0.45)
+		c := d.Context()
+		sb, err := StemBase(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := fullPseudoIntents(c)
+		if len(sb) != len(oracle) {
+			t.Fatalf("iter %d: stem base %d, oracle %d", iter, len(sb), len(oracle))
+		}
+		keys := map[string]bool{}
+		for _, p := range oracle {
+			keys[p.Key()] = true
+		}
+		for _, rule := range sb {
+			if !keys[rule.Antecedent.Key()] {
+				t.Fatalf("iter %d: %v is not a pseudo-intent", iter, rule.Antecedent)
+			}
+		}
+	}
+}
+
+// TestStemBaseDerivesAllExactRules: the full stem base must derive
+// every exact rule between frequent itemsets (it is complete for all
+// implications of the context, a superset of the frequent ones).
+func TestStemBaseDerivesAllExactRules(t *testing.T) {
+	r := rand.New(rand.NewSource(509))
+	for iter := 0; iter < 30; iter++ {
+		d := testgen.Random(r, 12, 7, 0.45)
+		c := d.Context()
+		sb, err := StemBase(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imps := core.NewImplications(sb)
+		fam := naive.FrequentItemsets(c, 1)
+		all, err := rules.Generate(fam, 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact, _ := rules.Split(all)
+		for _, rule := range exact {
+			if !imps.Derives(rule) {
+				t.Fatalf("iter %d: stem base cannot derive %v", iter, rule)
+			}
+		}
+	}
+}
+
+// TestStemBaseMinimality: no stem-base rule follows from the others.
+func TestStemBaseMinimality(t *testing.T) {
+	r := rand.New(rand.NewSource(521))
+	for iter := 0; iter < 30; iter++ {
+		d := testgen.Random(r, 12, 7, 0.45)
+		sb, err := StemBase(d.Context())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for drop := range sb {
+			rest := make([]rules.Rule, 0, len(sb)-1)
+			rest = append(rest, sb[:drop]...)
+			rest = append(rest, sb[drop+1:]...)
+			if core.NewImplications(rest).Derives(sb[drop]) {
+				t.Fatalf("iter %d: stem base rule %v redundant", iter, sb[drop])
+			}
+		}
+	}
+}
+
+// TestStemBaseClosureMatchesContext: LinClosure over the stem base is
+// the context closure operator — for every subset, not just frequent
+// ones (Ganter & Wille Thm. on the stem base).
+func TestStemBaseClosureMatchesContext(t *testing.T) {
+	r := rand.New(rand.NewSource(523))
+	for iter := 0; iter < 20; iter++ {
+		d := testgen.Random(r, 10, 6, 0.5)
+		c := d.Context()
+		sb, err := StemBase(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imps := core.NewImplications(sb)
+		n := c.NumItems
+		for mask := 0; mask < 1<<uint(n); mask++ {
+			var s itemset.Itemset
+			for i := 0; i < n; i++ {
+				if mask&(1<<uint(i)) != 0 {
+					s = append(s, i)
+				}
+			}
+			want := galois.Closure(c, s)
+			if got := imps.Close(s); !got.Equal(want) {
+				t.Fatalf("iter %d: Close(%v) = %v, want %v", iter, s, got, want)
+			}
+		}
+	}
+}

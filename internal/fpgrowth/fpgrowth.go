@@ -1,0 +1,146 @@
+// Package fpgrowth implements the FP-Growth frequent-itemset miner
+// (Han, Pei & Yin, SIGMOD 2000): transactions are compressed into a
+// prefix tree (FP-tree) ordered by descending item frequency, and
+// frequent itemsets are mined recursively from conditional trees,
+// without candidate generation. It is the third independent frequent
+// miner (after Apriori and Eclat) used to cross-check results and as a
+// baseline in the benchmarks.
+package fpgrowth
+
+import (
+	"fmt"
+	"sort"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+)
+
+type fpNode struct {
+	item     int // item id, -1 for the root
+	count    int
+	parent   *fpNode
+	children map[int]*fpNode
+	next     *fpNode // header-list chaining
+}
+
+type fpTree struct {
+	root    *fpNode
+	heads   map[int]*fpNode // item → first node in header list
+	tails   map[int]*fpNode
+	support map[int]int // item supports within this (conditional) tree
+}
+
+func newTree() *fpTree {
+	return &fpTree{
+		root:    &fpNode{item: -1, children: map[int]*fpNode{}},
+		heads:   map[int]*fpNode{},
+		tails:   map[int]*fpNode{},
+		support: map[int]int{},
+	}
+}
+
+// insert adds a (frequency-ordered) item path with the given count.
+func (t *fpTree) insert(path []int, count int) {
+	n := t.root
+	for _, it := range path {
+		child, ok := n.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: n, children: map[int]*fpNode{}}
+			n.children[it] = child
+			if t.heads[it] == nil {
+				t.heads[it] = child
+				t.tails[it] = child
+			} else {
+				t.tails[it].next = child
+				t.tails[it] = child
+			}
+		}
+		child.count += count
+		t.support[it] += count
+		n = child
+	}
+}
+
+// Mine returns all non-empty frequent itemsets with absolute support ≥
+// minSup.
+func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
+	if minSup < 1 {
+		return nil, fmt.Errorf("fpgrowth: minSup %d < 1", minSup)
+	}
+	sup := d.ItemSupports()
+
+	// Global frequency order: descending support, ascending id.
+	order := make([]int, 0, d.NumItems())
+	for it, s := range sup {
+		if s >= minSup {
+			order = append(order, it)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if sup[order[a]] != sup[order[b]] {
+			return sup[order[a]] > sup[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	rank := make(map[int]int, len(order))
+	for i, it := range order {
+		rank[it] = i
+	}
+
+	tree := newTree()
+	path := make([]int, 0, 64)
+	for _, tx := range d.Transactions() {
+		path = path[:0]
+		for _, it := range tx {
+			if _, ok := rank[it]; ok {
+				path = append(path, it)
+			}
+		}
+		sort.Slice(path, func(a, b int) bool { return rank[path[a]] < rank[path[b]] })
+		if len(path) > 0 {
+			tree.insert(path, 1)
+		}
+	}
+
+	fam := itemset.NewFamily()
+	mineTree(tree, minSup, itemset.Empty(), fam)
+	return fam, nil
+}
+
+// mineTree recursively mines one (conditional) FP-tree.
+func mineTree(t *fpTree, minSup int, suffix itemset.Itemset, fam *itemset.Family) {
+	// Items processed in any order; each spawns a conditional tree.
+	items := make([]int, 0, len(t.heads))
+	for it := range t.heads {
+		if t.support[it] >= minSup {
+			items = append(items, it)
+		}
+	}
+	sort.Ints(items)
+	for _, it := range items {
+		withItem := suffix.With(it)
+		fam.Add(withItem, t.support[it])
+
+		// Conditional pattern base: prefix paths of every node of it.
+		cond := newTree()
+		for n := t.heads[it]; n != nil; n = n.next {
+			var rev []int
+			for p := n.parent; p != nil && p.item >= 0; p = p.parent {
+				rev = append(rev, p.item)
+			}
+			if len(rev) == 0 {
+				continue
+			}
+			// reverse to root→leaf order
+			for l, r := 0, len(rev)-1; l < r; l, r = l+1, r-1 {
+				rev[l], rev[r] = rev[r], rev[l]
+			}
+			cond.insert(rev, n.count)
+		}
+		// Prune infrequent items from the conditional tree by support
+		// filtering at the next level of recursion (mineTree checks).
+		if len(cond.heads) > 0 {
+			mineTree(cond, minSup, withItem, fam)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package fpgrowth
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/apriori"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/naive"
+	"closedrules/internal/testgen"
+)
+
+func classic(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMineClassic(t *testing.T) {
+	fam, err := Mine(classic(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 15 {
+		t.Fatalf("|FI| = %d, want 15: %v", fam.Len(), fam.All())
+	}
+	for _, chk := range []struct {
+		items itemset.Itemset
+		sup   int
+	}{
+		{itemset.Of(0), 3},
+		{itemset.Of(1, 4), 4},
+		{itemset.Of(0, 1, 2, 4), 2},
+		{itemset.Of(1, 2, 4), 3},
+	} {
+		if s, ok := fam.Support(chk.items); !ok || s != chk.sup {
+			t.Errorf("supp(%v) = %d,%v want %d", chk.items, s, ok, chk.sup)
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	if _, err := Mine(classic(t), 0); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+}
+
+func TestMineEmptyAndDegenerate(t *testing.T) {
+	d, _ := dataset.FromTransactions(nil)
+	fam, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 0 {
+		t.Errorf("|FI| = %d on empty data", fam.Len())
+	}
+	d2, _ := dataset.FromTransactions([][]int{{}, {}, {0}})
+	fam2, err := Mine(d2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam2.Len() != 0 {
+		t.Errorf("|FI| = %d, want 0", fam2.Len())
+	}
+}
+
+func TestMineSingleLongTransaction(t *testing.T) {
+	d, _ := dataset.FromTransactions([][]int{{0, 1, 2, 3}})
+	fam, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 15 { // 2^4 - 1
+		t.Errorf("|FI| = %d, want 15", fam.Len())
+	}
+}
+
+func TestMineAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(311))
+	for iter := 0; iter < 80; iter++ {
+		d := testgen.Random(r, 25, 10, 0.4)
+		minSup := 1 + r.Intn(4)
+		fam, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.FrequentItemsets(d.Context(), minSup)
+		if !fam.Equal(want) {
+			t.Fatalf("iter %d (minSup %d): fpgrowth %d itemsets, naive %d",
+				iter, minSup, fam.Len(), want.Len())
+		}
+	}
+}
+
+func TestMineAgainstAprioriCorrelated(t *testing.T) {
+	r := rand.New(rand.NewSource(313))
+	for iter := 0; iter < 15; iter++ {
+		d := testgen.Correlated(r, 60, 5, 3, 0.2)
+		minSup := 2 + r.Intn(6)
+		fam, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _, err := apriori.Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fam.Equal(want) {
+			t.Fatalf("iter %d: fpgrowth %d, apriori %d", iter, fam.Len(), want.Len())
+		}
+	}
+}
+
+// TestTiedSupportsOrdering exercises the frequency-order tie-breaking:
+// many items with identical supports must still mine correctly.
+func TestTiedSupportsOrdering(t *testing.T) {
+	d, _ := dataset.FromTransactions([][]int{
+		{0, 1, 2, 3}, {0, 1, 2, 3}, {4, 5, 6, 7}, {4, 5, 6, 7},
+	})
+	fam, err := Mine(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.FrequentItemsets(d.Context(), 2)
+	if !fam.Equal(want) {
+		t.Fatalf("fpgrowth %d, naive %d", fam.Len(), want.Len())
+	}
+}

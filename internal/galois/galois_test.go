@@ -1,0 +1,267 @@
+package galois
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/bitset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+)
+
+// classic is the Close-paper running example:
+// 1:ACD 2:BCE 3:ABCE 4:BE 5:ABCE with A=0,…,E=4.
+func classic(t *testing.T) *dataset.Context {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Context()
+}
+
+func TestExtent(t *testing.T) {
+	c := classic(t)
+	cases := []struct {
+		items itemset.Itemset
+		want  []int
+	}{
+		{itemset.Of(), []int{0, 1, 2, 3, 4}},
+		{itemset.Of(0), []int{0, 2, 4}},       // A
+		{itemset.Of(1, 4), []int{1, 2, 3, 4}}, // BE
+		{itemset.Of(0, 2), []int{0, 2, 4}},    // AC
+		{itemset.Of(0, 1), []int{2, 4}},       // AB
+		{itemset.Of(3, 4), nil},               // DE never co-occur
+	}
+	for _, cs := range cases {
+		got := Extent(c, cs.items).Slice()
+		if len(got) != len(cs.want) {
+			t.Errorf("Extent(%v) = %v, want %v", cs.items, got, cs.want)
+			continue
+		}
+		for i := range cs.want {
+			if got[i] != cs.want[i] {
+				t.Errorf("Extent(%v) = %v, want %v", cs.items, got, cs.want)
+				break
+			}
+		}
+	}
+}
+
+func TestIntent(t *testing.T) {
+	c := classic(t)
+	// objects {0,2,4} = ACD, ABCE, ABCE → common items {A,C}
+	got := Intent(c, bitset.FromSlice(5, []int{0, 2, 4}))
+	if !got.Equal(itemset.Of(0, 2)) {
+		t.Errorf("Intent = %v, want {0,2}", got)
+	}
+	// empty object set → all items
+	if got := Intent(c, bitset.New(5)); !got.Equal(itemset.Of(0, 1, 2, 3, 4)) {
+		t.Errorf("Intent(∅) = %v", got)
+	}
+	// all objects → ∅ here (no universal item)
+	if got := Intent(c, bitset.Full(5)); got.Len() != 0 {
+		t.Errorf("Intent(O) = %v", got)
+	}
+}
+
+func TestClosureClassicValues(t *testing.T) {
+	c := classic(t)
+	// Hand-checked closures from the Close paper's example.
+	cases := []struct{ in, want itemset.Itemset }{
+		{itemset.Of(), itemset.Of()},
+		{itemset.Of(0), itemset.Of(0, 2)},          // h(A)=AC
+		{itemset.Of(1), itemset.Of(1, 4)},          // h(B)=BE
+		{itemset.Of(2), itemset.Of(2)},             // h(C)=C
+		{itemset.Of(4), itemset.Of(1, 4)},          // h(E)=BE
+		{itemset.Of(3), itemset.Of(0, 2, 3)},       // h(D)=ACD
+		{itemset.Of(0, 1), itemset.Of(0, 1, 2, 4)}, // h(AB)=ABCE
+		{itemset.Of(1, 2), itemset.Of(1, 2, 4)},    // h(BC)=BCE
+		{itemset.Of(0, 4), itemset.Of(0, 1, 2, 4)}, // h(AE)=ABCE
+		{itemset.Of(2, 4), itemset.Of(1, 2, 4)},    // h(CE)=BCE
+	}
+	for _, cs := range cases {
+		if got := Closure(c, cs.in); !got.Equal(cs.want) {
+			t.Errorf("h(%v) = %v, want %v", cs.in, got, cs.want)
+		}
+	}
+}
+
+func TestSupport(t *testing.T) {
+	c := classic(t)
+	cases := []struct {
+		items itemset.Itemset
+		want  int
+	}{
+		{itemset.Of(), 5},
+		{itemset.Of(0), 3},
+		{itemset.Of(1), 4},
+		{itemset.Of(3), 1},
+		{itemset.Of(1, 4), 4},
+		{itemset.Of(0, 1, 2, 4), 2},
+		{itemset.Of(3, 4), 0},
+	}
+	for _, cs := range cases {
+		if got := Support(c, cs.items); got != cs.want {
+			t.Errorf("Support(%v) = %d, want %d", cs.items, got, cs.want)
+		}
+	}
+}
+
+func TestClosureWithSupport(t *testing.T) {
+	c := classic(t)
+	cl, sup := ClosureWithSupport(c, itemset.Of(0))
+	if !cl.Equal(itemset.Of(0, 2)) || sup != 3 {
+		t.Errorf("ClosureWithSupport(A) = %v,%d", cl, sup)
+	}
+	// empty extent: closure is the full universe, support 0
+	cl, sup = ClosureWithSupport(c, itemset.Of(3, 4))
+	if sup != 0 || !cl.Equal(itemset.Of(0, 1, 2, 3, 4)) {
+		t.Errorf("ClosureWithSupport(DE) = %v,%d", cl, sup)
+	}
+}
+
+func TestIsClosed(t *testing.T) {
+	c := classic(t)
+	closed := []itemset.Itemset{
+		itemset.Of(), itemset.Of(2), itemset.Of(0, 2), itemset.Of(1, 4),
+		itemset.Of(1, 2, 4), itemset.Of(0, 2, 3), itemset.Of(0, 1, 2, 4),
+	}
+	for _, s := range closed {
+		if !IsClosed(c, s) {
+			t.Errorf("IsClosed(%v) = false", s)
+		}
+	}
+	notClosed := []itemset.Itemset{
+		itemset.Of(0), itemset.Of(1), itemset.Of(4), itemset.Of(3),
+		itemset.Of(0, 1), itemset.Of(2, 4), itemset.Of(0, 3),
+	}
+	for _, s := range notClosed {
+		if IsClosed(c, s) {
+			t.Errorf("IsClosed(%v) = true", s)
+		}
+	}
+}
+
+func TestConceptOf(t *testing.T) {
+	c := classic(t)
+	con := ConceptOf(c, itemset.Of(0))
+	if !con.Intent.Equal(itemset.Of(0, 2)) {
+		t.Errorf("Intent = %v", con.Intent)
+	}
+	if got := con.Extent.Slice(); len(got) != 3 {
+		t.Errorf("Extent = %v", got)
+	}
+}
+
+func TestExtentInto(t *testing.T) {
+	c := classic(t)
+	dst := bitset.Full(5)
+	ExtentInto(c, itemset.Of(0, 2), dst)
+	if !dst.Equal(Extent(c, itemset.Of(0, 2))) {
+		t.Error("ExtentInto != Extent")
+	}
+}
+
+// randomContext draws a small random context for property tests.
+func randomContext(r *rand.Rand) *dataset.Context {
+	nObj := 1 + r.Intn(20)
+	nIt := 1 + r.Intn(10)
+	raw := make([][]int, nObj)
+	for i := range raw {
+		for x := 0; x < nIt; x++ {
+			if r.Intn(100) < 40 {
+				raw[i] = append(raw[i], x)
+			}
+		}
+	}
+	d, _ := dataset.FromTransactions(raw)
+	if d.NumItems() < nIt {
+		// Pad the universe so itemsets over nIt items stay in range.
+		raw = append(raw, []int{nIt - 1})
+		d2, _ := dataset.FromTransactions(raw)
+		d = d2
+	}
+	return d.Context()
+}
+
+func randomItemset(r *rand.Rand, numItems int) itemset.Itemset {
+	var items []int
+	for x := 0; x < numItems; x++ {
+		if r.Intn(100) < 25 {
+			items = append(items, x)
+		}
+	}
+	return itemset.Of(items...)
+}
+
+// TestClosureOperatorLaws checks the three defining properties of a
+// closure operator: extensivity, monotonicity and idempotency, plus
+// the support invariant supp(X) = supp(h(X)).
+func TestClosureOperatorLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 400; iter++ {
+		c := randomContext(r)
+		x := randomItemset(r, c.NumItems)
+		y := randomItemset(r, c.NumItems)
+		hx := Closure(c, x)
+		if !hx.ContainsAll(x) && Support(c, x) > 0 {
+			t.Fatalf("extensivity: %v ⊄ h=%v", x, hx)
+		}
+		if !Closure(c, hx).Equal(hx) {
+			t.Fatalf("idempotency: h(h(%v)) != h(%v)", x, x)
+		}
+		union := x.Union(y)
+		hu := Closure(c, union)
+		if !hu.ContainsAll(hx) && !(Support(c, union) == 0) {
+			// monotonicity: X ⊆ X∪Y ⇒ h(X) ⊆ h(X∪Y); with an empty
+			// extent h(X∪Y) is the whole universe which contains hx
+			// anyway, so the guard only documents intent.
+			t.Fatalf("monotonicity: h(%v)=%v ⊄ h(%v)=%v", x, hx, union, hu)
+		}
+		if Support(c, x) != Support(c, hx) {
+			t.Fatalf("support invariant: supp(%v)=%d, supp(h)=%d",
+				x, Support(c, x), Support(c, hx))
+		}
+	}
+}
+
+// TestGaloisDuality checks g(f(·)) and f(g(·)) are closure operators on
+// both sides: extent of intent of an object set contains the set.
+func TestGaloisDuality(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for iter := 0; iter < 200; iter++ {
+		c := randomContext(r)
+		objs := bitset.New(c.NumObjects)
+		for o := 0; o < c.NumObjects; o++ {
+			if r.Intn(100) < 30 {
+				objs.Add(o)
+			}
+		}
+		intent := Intent(c, objs)
+		ext := Extent(c, intent)
+		if !objs.IsSubset(ext) {
+			t.Fatalf("g(f(O)) ⊉ O: objs=%v ext=%v", objs, ext)
+		}
+		// And f(g(f(O))) = f(O): triple application collapses.
+		if !Intent(c, ext).Equal(intent) {
+			t.Fatalf("f g f != f")
+		}
+	}
+}
+
+// TestAntitone checks the Galois connection is order-reversing:
+// X ⊆ Y ⇒ g(Y) ⊆ g(X).
+func TestAntitone(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 200; iter++ {
+		c := randomContext(r)
+		x := randomItemset(r, c.NumItems)
+		y := x.Union(randomItemset(r, c.NumItems))
+		if !Extent(c, y).IsSubset(Extent(c, x)) {
+			t.Fatalf("antitone violated for %v ⊆ %v", x, y)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"closedrules/internal/dataset"
+)
+
+// CensusConfig parameterizes the census-like generator standing in for
+// the PUMS extracts C20D10K / C73D10K: every object carries exactly
+// one value per attribute, and attributes are strongly correlated
+// through latent population clusters — the regime where closed-itemset
+// methods dominate.
+type CensusConfig struct {
+	NumObjects         int
+	NumAttributes      int // C20D10K ↦ 20, C73D10K ↦ 73
+	ValuesPerAttribute int
+	NumClusters        int     // latent population groups
+	Noise              float64 // probability a noisy attribute deviates from its cluster value
+	// DeterministicFraction is the fraction of attributes that are
+	// exact functions of the latent cluster (no noise) — the stand-in
+	// for the derived/encoded fields of real census extracts. These
+	// functional dependencies are what make |FC| ≪ |FI|.
+	DeterministicFraction float64
+	Seed                  int64
+}
+
+// C20 returns a configuration shaped like C20D10K at the given scale.
+func C20(numObjects int, seed int64) CensusConfig {
+	return CensusConfig{
+		NumObjects:            numObjects,
+		NumAttributes:         20,
+		ValuesPerAttribute:    10,
+		NumClusters:           8,
+		Noise:                 0.15,
+		DeterministicFraction: 0.5,
+		Seed:                  seed,
+	}
+}
+
+// C73 returns a configuration shaped like C73D10K at the given scale.
+func C73(numObjects int, seed int64) CensusConfig {
+	c := C20(numObjects, seed)
+	c.NumAttributes = 73
+	c.ValuesPerAttribute = 6
+	return c
+}
+
+// Census generates the dataset; items are named "aI=vJ".
+func Census(cfg CensusConfig) (*dataset.Dataset, error) {
+	if cfg.NumObjects < 0 || cfg.NumAttributes < 1 || cfg.ValuesPerAttribute < 1 ||
+		cfg.NumClusters < 1 || cfg.Noise < 0 || cfg.Noise > 1 ||
+		cfg.DeterministicFraction < 0 || cfg.DeterministicFraction > 1 {
+		return nil, fmt.Errorf("gen: invalid census config %+v", cfg)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	numDet := int(cfg.DeterministicFraction * float64(cfg.NumAttributes))
+
+	// Cluster-preferred value per attribute, with skewed cluster
+	// weights (cluster k has weight ∝ 1/(k+1), Zipf-like). Preferred
+	// values are themselves Zipf-skewed toward low value ids — census
+	// attributes have dominant modal values ("worked last year = yes"),
+	// which is what pushes itemsets over high support thresholds.
+	zipfValue := func() int {
+		total := 0.0
+		for v := 0; v < cfg.ValuesPerAttribute; v++ {
+			total += 1 / float64((v+1)*(v+1))
+		}
+		x := r.Float64() * total
+		acc := 0.0
+		for v := 0; v < cfg.ValuesPerAttribute; v++ {
+			acc += 1 / float64((v+1)*(v+1))
+			if x <= acc {
+				return v
+			}
+		}
+		return cfg.ValuesPerAttribute - 1
+	}
+	pref := make([][]int, cfg.NumClusters)
+	for c := range pref {
+		pref[c] = make([]int, cfg.NumAttributes)
+		for a := range pref[c] {
+			pref[c][a] = zipfValue()
+		}
+	}
+	cum := make([]float64, cfg.NumClusters)
+	total := 0.0
+	for c := range cum {
+		total += 1 / float64(c+1)
+		cum[c] = total
+	}
+	pickCluster := func() int {
+		x := r.Float64() * total
+		for c, v := range cum {
+			if x <= v {
+				return c
+			}
+		}
+		return cfg.NumClusters - 1
+	}
+
+	raw := make([][]int, cfg.NumObjects)
+	for o := range raw {
+		c := pickCluster()
+		row := make([]int, cfg.NumAttributes)
+		for a := 0; a < cfg.NumAttributes; a++ {
+			v := pref[c][a]
+			if a >= numDet && r.Float64() < cfg.Noise {
+				v = r.Intn(cfg.ValuesPerAttribute)
+			}
+			row[a] = a*cfg.ValuesPerAttribute + v
+		}
+		raw[o] = row
+	}
+	numItems := cfg.NumAttributes * cfg.ValuesPerAttribute
+	d, err := dataset.FromTransactionsN(raw, numItems)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, numItems)
+	for a := 0; a < cfg.NumAttributes; a++ {
+		for v := 0; v < cfg.ValuesPerAttribute; v++ {
+			names[a*cfg.ValuesPerAttribute+v] = fmt.Sprintf("a%d=v%d", a, v)
+		}
+	}
+	return d.WithNames(names)
+}

@@ -1,0 +1,235 @@
+package gen
+
+import (
+	"testing"
+
+	"closedrules/internal/closealg"
+	"closedrules/internal/eclat"
+)
+
+func TestQuestShape(t *testing.T) {
+	d, err := Quest(T10I4(2000, 200, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTransactions() != 2000 {
+		t.Fatalf("NumTransactions = %d", d.NumTransactions())
+	}
+	if d.NumItems() != 200 {
+		t.Fatalf("NumItems = %d", d.NumItems())
+	}
+	s := d.Stats()
+	if s.AvgLen < 5 || s.AvgLen > 15 {
+		t.Errorf("AvgLen = %v, want ≈10", s.AvgLen)
+	}
+	if s.MaxLen > 80 {
+		t.Errorf("MaxLen = %d suspiciously large", s.MaxLen)
+	}
+}
+
+func TestQuestDeterministic(t *testing.T) {
+	a, err := Quest(T10I4(200, 100, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Quest(T10I4(200, 100, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Transactions() {
+		if !a.Transaction(i).Equal(b.Transaction(i)) {
+			t.Fatalf("tx %d differs between equal seeds", i)
+		}
+	}
+	c, err := Quest(T10I4(200, 100, 43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Transactions() {
+		if !a.Transaction(i).Equal(c.Transaction(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestQuestValidation(t *testing.T) {
+	bad := T10I4(100, 50, 1)
+	bad.AvgTxLen = 0
+	if _, err := Quest(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// TestQuestWeaklyCorrelated: in the T10I4 regime the number of
+// frequent closed itemsets is close to the number of frequent
+// itemsets (the Close paper's observation for synthetic data).
+func TestQuestWeaklyCorrelated(t *testing.T) {
+	d, err := Quest(T10I4(2000, 150, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSup := d.AbsoluteSupport(0.01)
+	fi, err := eclat.Mine(d, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _, err := closealg.Mine(d, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Len() == 0 {
+		t.Skip("no frequent itemsets at this scale")
+	}
+	// FC includes the bottom; allow for it in the comparison. The
+	// regime split: quest stays well above the census/mushroom regime
+	// (which lands far below 0.5 — see the census test).
+	ratio := float64(fc.Len()-1) / float64(fi.Len())
+	if ratio < 0.5 {
+		t.Errorf("|FC|/|FI| = %.2f — too correlated for the quest regime", ratio)
+	}
+}
+
+func TestCensusShape(t *testing.T) {
+	d, err := Census(C20(500, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTransactions() != 500 {
+		t.Fatalf("NumTransactions = %d", d.NumTransactions())
+	}
+	if d.NumItems() != 200 { // 20 attributes × 10 values
+		t.Fatalf("NumItems = %d", d.NumItems())
+	}
+	for i, tx := range d.Transactions() {
+		if tx.Len() != 20 {
+			t.Fatalf("tx %d has %d items, want 20", i, tx.Len())
+		}
+	}
+	if d.ItemName(0) != "a0=v0" {
+		t.Errorf("name = %q", d.ItemName(0))
+	}
+}
+
+// TestCensusStronglyCorrelated: the census regime has |FC| ≪ |FI|.
+func TestCensusStronglyCorrelated(t *testing.T) {
+	d, err := Census(CensusConfig{
+		NumObjects: 400, NumAttributes: 12, ValuesPerAttribute: 8,
+		NumClusters: 5, Noise: 0.1, DeterministicFraction: 0.5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSup := d.AbsoluteSupport(0.1)
+	fi, err := eclat.Mine(d, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, _, err := closealg.Mine(d, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Len() < 50 {
+		t.Skipf("only %d frequent itemsets", fi.Len())
+	}
+	ratio := float64(fc.Len()) / float64(fi.Len())
+	if ratio > 0.5 {
+		t.Errorf("|FC|/|FI| = %.2f (%d/%d) — not correlated enough for the census regime",
+			ratio, fc.Len(), fi.Len())
+	}
+}
+
+func TestCensusValidation(t *testing.T) {
+	bad := C20(100, 1)
+	bad.Noise = 1.5
+	if _, err := Census(bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestMushroomShape(t *testing.T) {
+	d, err := Mushroom(MushroomConfig{NumObjects: 800, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumTransactions() != 800 {
+		t.Fatalf("NumTransactions = %d", d.NumTransactions())
+	}
+	// 23 attributes, one value each → row length 23.
+	for i, tx := range d.Transactions() {
+		if tx.Len() != 23 {
+			t.Fatalf("tx %d has %d items", i, tx.Len())
+		}
+	}
+	// Roughly half the objects edible.
+	sup := d.ItemSupports()
+	edible := sup[0]
+	if edible < 300 || edible > 520 {
+		t.Errorf("edible count = %d, want ≈ 414", edible)
+	}
+}
+
+// TestMushroomUniversalItem: veil-type=p must appear in every object,
+// giving a non-trivial h(∅).
+func TestMushroomUniversalItem(t *testing.T) {
+	d, err := Mushroom(MushroomConfig{NumObjects: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := d.ItemSupports()
+	found := false
+	for it, s := range sup {
+		if s == d.NumTransactions() && d.ItemName(it) == "veil-type=p" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("veil-type=p is not universal")
+	}
+}
+
+// TestMushroomHasExactRules: odor nearly determines the class, so
+// exact rules must exist at moderate support.
+func TestMushroomHasExactRules(t *testing.T) {
+	d, err := Mushroom(MushroomConfig{NumObjects: 1000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	minSup := d.AbsoluteSupport(0.2)
+	fc, _, err := closealg.Mine(d, minSup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Strong correlation ⇒ some closed set has a generator strictly
+	// smaller than itself ⇒ exact rules exist.
+	foundProper := false
+	for _, g := range fc.AllGenerators() {
+		if !g.Generator.Equal(g.Closure) {
+			foundProper = true
+			break
+		}
+	}
+	if !foundProper {
+		t.Error("no proper generator: mushroom data lacks exact rules")
+	}
+}
+
+func TestMushroomDeterministic(t *testing.T) {
+	a, _ := Mushroom(MushroomConfig{NumObjects: 100, Seed: 21})
+	b, _ := Mushroom(MushroomConfig{NumObjects: 100, Seed: 21})
+	for i := range a.Transactions() {
+		if !a.Transaction(i).Equal(b.Transaction(i)) {
+			t.Fatalf("tx %d differs between equal seeds", i)
+		}
+	}
+}
+
+func TestMushroomValidation(t *testing.T) {
+	if _, err := Mushroom(MushroomConfig{NumObjects: -1}); err == nil {
+		t.Error("negative NumObjects accepted")
+	}
+}

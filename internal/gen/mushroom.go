@@ -1,0 +1,178 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"closedrules/internal/dataset"
+)
+
+// MushroomConfig parameterizes the mushroom-like generator standing in
+// for the UCI Agaricus-Lepiota dataset used throughout the Close /
+// A-Close / bases evaluations: 8124 objects × 23 nominal attributes
+// (class + 22 descriptors) with strong functional dependencies between
+// attributes — the most closure-friendly of the classic datasets.
+type MushroomConfig struct {
+	NumObjects int // UCI original: 8124
+	Seed       int64
+}
+
+// mushAttr describes one nominal attribute: a name, its domain, and
+// per-class value weights (edible, poisonous). A weight table with a
+// single non-zero entry makes the attribute class-determined; a table
+// identical across classes makes it class-independent.
+type mushAttr struct {
+	name   string
+	values []string
+	wE, wP []float64 // weights per value for edible / poisonous
+	// copyOf, when ≥ 0, makes the attribute copy the sampled value of
+	// attribute copyOf with probability copyProb — the hard inter-
+	// attribute dependencies of the real data (above/below-ring
+	// attributes nearly always agree).
+	copyOf   int
+	copyProb float64
+}
+
+// mushSpec mirrors the UCI schema: domain sizes follow the real
+// attribute domains; the weight tables encode the dataset's famous
+// dependencies (odor almost determines the class; veil-type is
+// constant; ring-number is almost constant). Values are invented —
+// only the dependency structure matters for the experiments.
+func mushSpec() []mushAttr {
+	skew := func(ws ...float64) []float64 { return ws }
+	at := func(name string, values []string, wE, wP []float64) mushAttr {
+		return mushAttr{name: name, values: values, wE: wE, wP: wP, copyOf: -1}
+	}
+	spec := []mushAttr{
+		at("class", []string{"e", "p"}, skew(1, 0), skew(0, 1)),
+		at("cap-shape", []string{"b", "c", "f", "k", "s", "x"},
+			skew(2, 1, 8, 1, 1, 8), skew(1, 1, 8, 3, 1, 8)),
+		at("cap-surface", []string{"f", "g", "s", "y"},
+			skew(5, 1, 5, 5), skew(4, 1, 4, 6)),
+		at("cap-color", []string{"b", "c", "e", "g", "n", "p", "r", "u", "w", "y"},
+			skew(1, 1, 3, 5, 6, 1, 1, 1, 3, 2), skew(2, 1, 3, 4, 5, 2, 1, 1, 4, 3)),
+		at("bruises", []string{"t", "f"}, skew(7, 3), skew(3, 7)),
+		// Odor: the near-deterministic class indicator of the UCI data.
+		at("odor", []string{"a", "l", "n", "c", "f", "m", "p", "s", "y"},
+			skew(4, 4, 12, 0, 0, 0, 0, 0, 0), skew(0, 0, 1, 2, 11, 1, 3, 3, 3)),
+		at("gill-attachment", []string{"a", "f"}, skew(1, 39), skew(1, 79)),
+		at("gill-spacing", []string{"c", "w"}, skew(7, 3), skew(9, 1)),
+		at("gill-size", []string{"b", "n"}, skew(8, 2), skew(4, 6)),
+		at("gill-color", []string{"b", "e", "g", "h", "k", "n", "o", "p", "r", "u", "w", "y"},
+			skew(0, 1, 3, 2, 2, 4, 1, 4, 0, 2, 4, 1), skew(6, 1, 2, 3, 1, 2, 1, 3, 1, 1, 2, 1)),
+		at("stalk-shape", []string{"e", "t"}, skew(4, 6), skew(6, 4)),
+		at("stalk-root", []string{"b", "c", "e", "r", "?"},
+			skew(5, 1, 2, 1, 3), skew(4, 1, 2, 0, 5)),
+		at("stalk-surface-above-ring", []string{"f", "k", "s", "y"},
+			skew(2, 1, 9, 1), skew(2, 6, 4, 1)),
+		at("stalk-surface-below-ring", []string{"f", "k", "s", "y"},
+			skew(2, 1, 8, 2), skew(2, 6, 4, 1)),
+		at("stalk-color-above-ring", []string{"b", "c", "e", "g", "n", "o", "p", "w", "y"},
+			skew(0, 0, 1, 2, 1, 1, 2, 12, 0), skew(4, 1, 0, 1, 2, 0, 6, 4, 1)),
+		at("stalk-color-below-ring", []string{"b", "c", "e", "g", "n", "o", "p", "w", "y"},
+			skew(0, 0, 1, 2, 1, 1, 2, 12, 0), skew(4, 1, 0, 1, 2, 0, 6, 4, 1)),
+		// Veil type is constant in the real data: a universal item, so
+		// h(∅) ≠ ∅ and the DG basis carries the rule ∅ → {veil-type=p}.
+		at("veil-type", []string{"p"}, skew(1), skew(1)),
+		at("veil-color", []string{"n", "o", "w", "y"}, skew(0, 0, 1, 0), skew(1, 1, 20, 1)),
+		at("ring-number", []string{"n", "o", "t"}, skew(0, 18, 2), skew(1, 18, 1)),
+		at("ring-type", []string{"e", "f", "l", "n", "p"},
+			skew(3, 1, 0, 0, 8), skew(4, 0, 5, 1, 4)),
+		at("spore-print-color", []string{"b", "h", "k", "n", "o", "r", "u", "w", "y"},
+			skew(1, 1, 6, 6, 1, 0, 1, 2, 1), skew(0, 8, 2, 2, 0, 1, 0, 5, 0)),
+		at("population", []string{"a", "c", "n", "s", "v", "y"},
+			skew(1, 1, 2, 3, 4, 2), skew(0, 1, 1, 2, 7, 1)),
+		at("habitat", []string{"d", "g", "l", "m", "p", "u", "w"},
+			skew(6, 7, 2, 2, 1, 1, 1), skew(6, 4, 3, 1, 3, 2, 0)),
+	}
+	for i := range spec {
+		spec[i].copyOf = -1
+	}
+	// Above/below-ring surfaces and colors nearly always agree in the
+	// real data: hard dependencies that create non-closed itemsets.
+	const (
+		ssAbove, ssBelow = 12, 13
+		scAbove, scBelow = 14, 15
+	)
+	spec[ssBelow].copyOf, spec[ssBelow].copyProb = ssAbove, 0.85
+	spec[scBelow].copyOf, spec[scBelow].copyProb = scAbove, 0.85
+	return spec
+}
+
+// Mushroom generates the dataset; items are named
+// "<attribute>=<value>" as ReadTable would produce.
+func Mushroom(cfg MushroomConfig) (*dataset.Dataset, error) {
+	if cfg.NumObjects < 0 {
+		return nil, fmt.Errorf("gen: invalid mushroom config %+v", cfg)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	spec := mushSpec()
+
+	// Dense item ids: attribute a, value v ↦ base[a]+v.
+	base := make([]int, len(spec))
+	numItems := 0
+	var names []string
+	for a, at := range spec {
+		base[a] = numItems
+		numItems += len(at.values)
+		for _, v := range at.values {
+			names = append(names, at.name+"="+v)
+		}
+	}
+
+	// ~51.8% edible, like the original.
+	raw := make([][]int, cfg.NumObjects)
+	vals := make([]int, len(spec))
+	for o := range raw {
+		edible := r.Float64() < 0.518
+		row := make([]int, 0, len(spec))
+		for a, at := range spec {
+			w := at.wP
+			if edible {
+				w = at.wE
+			}
+			var v int
+			switch {
+			case a == 0: // class attribute is the label itself
+				if edible {
+					v = 0
+				} else {
+					v = 1
+				}
+			case at.copyOf >= 0 && r.Float64() < at.copyProb &&
+				vals[at.copyOf] < len(at.values):
+				v = vals[at.copyOf]
+			default:
+				v = weighted(r, w)
+			}
+			vals[a] = v
+			row = append(row, base[a]+v)
+		}
+		raw[o] = row
+	}
+	d, err := dataset.FromTransactionsN(raw, numItems)
+	if err != nil {
+		return nil, err
+	}
+	return d.WithNames(names)
+}
+
+// weighted draws an index proportionally to the weights.
+func weighted(r *rand.Rand, w []float64) int {
+	total := 0.0
+	for _, x := range w {
+		total += x
+	}
+	if total <= 0 {
+		return 0
+	}
+	x := r.Float64() * total
+	acc := 0.0
+	for i, v := range w {
+		acc += v
+		if x <= acc {
+			return i
+		}
+	}
+	return len(w) - 1
+}

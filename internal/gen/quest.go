@@ -1,0 +1,212 @@
+// Package gen synthesizes the evaluation datasets of the paper's
+// experiment suite. None of the original datasets (IBM Quest
+// synthetic data, UCI Mushrooms, PUMS census extracts) can be shipped
+// here, so each has a generator reproducing its statistical regime;
+// DESIGN.md §3 documents each substitution and why it preserves the
+// behaviours the experiments measure.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"closedrules/internal/dataset"
+)
+
+// QuestConfig parameterizes the IBM Quest ("Tx Iy Dz") market-basket
+// generator of Agrawal & Srikant (VLDB 1994). The classic datasets of
+// the Close/A-Close evaluations are T10I4D100K (AvgTxLen 10,
+// AvgPatternLen 4, 100K transactions, 1000 items, 2000 patterns) and
+// T20I6D100K.
+type QuestConfig struct {
+	NumTransactions int     // D: number of transactions
+	AvgTxLen        int     // T: average transaction length (Poisson)
+	NumItems        int     // N: item universe size
+	NumPatterns     int     // L: number of maximal potential itemsets
+	AvgPatternLen   int     // I: average pattern length (Poisson)
+	Correlation     float64 // fraction of a pattern reused from the previous one (exp. mean)
+	CorruptionMean  float64 // mean of the per-pattern corruption level
+	CorruptionStd   float64 // std dev of the corruption level
+	Seed            int64
+}
+
+// T10I4 returns the canonical weakly-correlated configuration at a
+// chosen scale (numTx transactions over numItems items).
+func T10I4(numTx, numItems int, seed int64) QuestConfig {
+	return QuestConfig{
+		NumTransactions: numTx,
+		AvgTxLen:        10,
+		NumItems:        numItems,
+		NumPatterns:     numItems * 2,
+		AvgPatternLen:   4,
+		Correlation:     0.5,
+		CorruptionMean:  0.5,
+		CorruptionStd:   0.1,
+		Seed:            seed,
+	}
+}
+
+// T20I6 returns the denser classic configuration.
+func T20I6(numTx, numItems int, seed int64) QuestConfig {
+	c := T10I4(numTx, numItems, seed)
+	c.AvgTxLen = 20
+	c.AvgPatternLen = 6
+	return c
+}
+
+// Quest generates a market-basket dataset. The procedure follows the
+// VLDB'94 description: potential patterns have Poisson-distributed
+// sizes, reuse an exponentially-distributed fraction of the previous
+// pattern's items, and carry exponentially-distributed weights;
+// transactions draw patterns by weight and drop a corruption-dependent
+// suffix of each.
+func Quest(cfg QuestConfig) (*dataset.Dataset, error) {
+	if cfg.NumTransactions < 0 || cfg.NumItems < 1 || cfg.NumPatterns < 1 ||
+		cfg.AvgTxLen < 1 || cfg.AvgPatternLen < 1 {
+		return nil, fmt.Errorf("gen: invalid quest config %+v", cfg)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+
+	// Potential patterns.
+	patterns := make([][]int, cfg.NumPatterns)
+	corrupt := make([]float64, cfg.NumPatterns)
+	for p := range patterns {
+		size := poisson(r, float64(cfg.AvgPatternLen))
+		if size < 1 {
+			size = 1
+		}
+		if size > cfg.NumItems {
+			size = cfg.NumItems
+		}
+		pick := map[int]bool{}
+		var items []int
+		if p > 0 {
+			frac := r.ExpFloat64() * cfg.Correlation
+			if frac > 1 {
+				frac = 1
+			}
+			reuse := int(math.Round(frac * float64(size)))
+			prev := patterns[p-1]
+			perm := r.Perm(len(prev))
+			for _, idx := range perm {
+				if len(items) >= reuse {
+					break
+				}
+				if !pick[prev[idx]] {
+					pick[prev[idx]] = true
+					items = append(items, prev[idx])
+				}
+			}
+		}
+		for len(items) < size {
+			it := r.Intn(cfg.NumItems)
+			if !pick[it] {
+				pick[it] = true
+				items = append(items, it)
+			}
+		}
+		patterns[p] = items
+		c := r.NormFloat64()*cfg.CorruptionStd + cfg.CorruptionMean
+		corrupt[p] = clamp01(c)
+	}
+
+	// Pattern weights (exponential, normalized to a cumulative table).
+	cum := make([]float64, cfg.NumPatterns)
+	total := 0.0
+	for p := range cum {
+		total += r.ExpFloat64()
+		cum[p] = total
+	}
+
+	pickPattern := func() int {
+		x := r.Float64() * total
+		lo, hi := 0, cfg.NumPatterns-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+
+	raw := make([][]int, cfg.NumTransactions)
+	for t := range raw {
+		want := poisson(r, float64(cfg.AvgTxLen))
+		if want < 1 {
+			want = 1
+		}
+		seen := map[int]bool{}
+		var tx []int
+		for len(tx) < want {
+			p := pickPattern()
+			items := append([]int(nil), patterns[p]...)
+			// Corruption: drop random items while a coin keeps coming
+			// up below the pattern's corruption level.
+			for len(items) > 0 && r.Float64() < corrupt[p] {
+				i := r.Intn(len(items))
+				items[i] = items[len(items)-1]
+				items = items[:len(items)-1]
+			}
+			if len(items) == 0 {
+				continue
+			}
+			if len(tx)+len(items) > want {
+				// Oversized: half the time store it anyway, otherwise
+				// discard it; either way the transaction is complete.
+				// An empty transaction always keeps the items — the
+				// original generator never emits empty baskets.
+				if len(tx) == 0 || r.Intn(2) == 0 {
+					for _, it := range items {
+						if !seen[it] {
+							seen[it] = true
+							tx = append(tx, it)
+						}
+					}
+				}
+				break
+			}
+			for _, it := range items {
+				if !seen[it] {
+					seen[it] = true
+					tx = append(tx, it)
+				}
+			}
+		}
+		raw[t] = tx
+	}
+	return dataset.FromTransactionsN(raw, cfg.NumItems)
+}
+
+// poisson samples a Poisson variate by Knuth's product method; fine
+// for the small means used here.
+func poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > 10000 {
+			return k // lambda pathologically large; bail out
+		}
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

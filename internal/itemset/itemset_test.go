@@ -1,0 +1,390 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfNormalizes(t *testing.T) {
+	cases := []struct {
+		in   []int
+		want Itemset
+	}{
+		{nil, Itemset{}},
+		{[]int{3, 1, 2}, Itemset{1, 2, 3}},
+		{[]int{5, 5, 5}, Itemset{5}},
+		{[]int{2, 1, 2, 1}, Itemset{1, 2}},
+		{[]int{0}, Itemset{0}},
+	}
+	for _, c := range cases {
+		if got := Of(c.in...); !got.Equal(c.want) {
+			t.Errorf("Of(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := Of(1, 3, 5, 7)
+	for _, x := range []int{1, 3, 5, 7} {
+		if !s.Contains(x) {
+			t.Errorf("!Contains(%d)", x)
+		}
+	}
+	for _, x := range []int{0, 2, 4, 6, 8, -1} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d)", x)
+		}
+	}
+}
+
+func TestContainsAll(t *testing.T) {
+	s := Of(1, 2, 3, 5, 8)
+	cases := []struct {
+		sub  Itemset
+		want bool
+	}{
+		{Of(), true},
+		{Of(1), true},
+		{Of(8), true},
+		{Of(1, 8), true},
+		{Of(2, 3, 5), true},
+		{Of(1, 2, 3, 5, 8), true},
+		{Of(4), false},
+		{Of(1, 4), false},
+		{Of(1, 2, 3, 5, 8, 9), false},
+		{Of(0, 1), false},
+	}
+	for _, c := range cases {
+		if got := s.ContainsAll(c.sub); got != c.want {
+			t.Errorf("ContainsAll(%v) = %v, want %v", c.sub, got, c.want)
+		}
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := Of(1, 3, 5, 7)
+	b := Of(3, 4, 7, 9)
+	if got := a.Union(b); !got.Equal(Of(1, 3, 4, 5, 7, 9)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(Of(3, 7)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Diff(b); !got.Equal(Of(1, 5)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := b.Diff(a); !got.Equal(Of(4, 9)) {
+		t.Errorf("Diff rev = %v", got)
+	}
+	// operands untouched
+	if !a.Equal(Of(1, 3, 5, 7)) || !b.Equal(Of(3, 4, 7, 9)) {
+		t.Error("operands mutated")
+	}
+}
+
+func TestWithWithout(t *testing.T) {
+	s := Of(2, 4)
+	if got := s.With(3); !got.Equal(Of(2, 3, 4)) {
+		t.Errorf("With(3) = %v", got)
+	}
+	if got := s.With(1); !got.Equal(Of(1, 2, 4)) {
+		t.Errorf("With(1) = %v", got)
+	}
+	if got := s.With(9); !got.Equal(Of(2, 4, 9)) {
+		t.Errorf("With(9) = %v", got)
+	}
+	if got := s.With(2); !got.Equal(s) {
+		t.Errorf("With(existing) = %v", got)
+	}
+	if got := s.Without(2); !got.Equal(Of(4)) {
+		t.Errorf("Without(2) = %v", got)
+	}
+	if got := s.Without(7); !got.Equal(s) {
+		t.Errorf("Without(absent) = %v", got)
+	}
+	if !s.Equal(Of(2, 4)) {
+		t.Error("receiver mutated")
+	}
+}
+
+func TestCompareOrders(t *testing.T) {
+	// canonical: size first, then lex
+	ordered := []Itemset{Of(), Of(1), Of(2), Of(1, 2), Of(1, 3), Of(2, 3), Of(1, 2, 3)}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestCompareLex(t *testing.T) {
+	if Of(1).CompareLex(Of(1, 2)) != -1 {
+		t.Error("prefix should sort first")
+	}
+	if Of(1, 9).CompareLex(Of(2)) != -1 {
+		t.Error("lex order ignores length")
+	}
+	if Of(3).CompareLex(Of(3)) != 0 {
+		t.Error("equal")
+	}
+}
+
+func TestSubsetsEnumeratesProperNonEmpty(t *testing.T) {
+	s := Of(1, 2, 3)
+	var got []Itemset
+	s.Subsets(func(sub Itemset) bool {
+		got = append(got, sub)
+		return true
+	})
+	if len(got) != 6 { // 2^3 - 2
+		t.Fatalf("got %d subsets, want 6", len(got))
+	}
+	seen := map[string]bool{}
+	for _, sub := range got {
+		if sub.Len() == 0 || sub.Len() == s.Len() {
+			t.Errorf("subset %v not proper non-empty", sub)
+		}
+		if !s.ContainsAll(sub) {
+			t.Errorf("%v not subset of %v", sub, s)
+		}
+		seen[sub.Key()] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("duplicates among subsets")
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	n := 0
+	Of(1, 2, 3, 4).Subsets(func(Itemset) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop after %d", n)
+	}
+}
+
+func TestKSubsets(t *testing.T) {
+	s := Of(1, 2, 3, 4)
+	var got []Itemset
+	s.KSubsets(2, func(sub Itemset) bool {
+		got = append(got, sub)
+		return true
+	})
+	want := []Itemset{Of(1, 2), Of(1, 3), Of(1, 4), Of(2, 3), Of(2, 4), Of(3, 4)}
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("KSubsets[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// edge cases
+	count := 0
+	s.KSubsets(0, func(sub Itemset) bool { count++; return sub.Len() == 0 })
+	if count != 1 {
+		t.Errorf("KSubsets(0) visited %d", count)
+	}
+	s.KSubsets(5, func(Itemset) bool { t.Error("KSubsets(5) visited"); return true })
+	s.KSubsets(-1, func(Itemset) bool { t.Error("KSubsets(-1) visited"); return true })
+}
+
+func TestSubsetsGuardsAgainstBlowup(t *testing.T) {
+	wide := make([]int, 31)
+	for i := range wide {
+		wide[i] = i
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 31-item Subsets")
+		}
+	}()
+	Of(wide...).Subsets(func(Itemset) bool { return true })
+}
+
+func TestKeyInjective(t *testing.T) {
+	sets := []Itemset{
+		Of(), Of(0), Of(1), Of(0, 1), Of(128), Of(1, 128), Of(300, 70000),
+		Of(16384), Of(2, 3), Of(23),
+	}
+	keys := map[string]Itemset{}
+	for _, s := range sets {
+		k := s.Key()
+		if prev, dup := keys[k]; dup {
+			t.Errorf("key collision: %v vs %v", prev, s)
+		}
+		keys[k] = s
+	}
+}
+
+func TestStringAndFormat(t *testing.T) {
+	if got := Of().String(); got != "∅" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := Of(2, 1).String(); got != "{1, 2}" {
+		t.Errorf("String = %q", got)
+	}
+	names := []string{"a", "b", "c"}
+	if got := Of(0, 2).Format(names); got != "{a, c}" {
+		t.Errorf("Format = %q", got)
+	}
+	if got := Of(0, 5).Format(names); got != "{a, 5}" {
+		t.Errorf("Format fallback = %q", got)
+	}
+}
+
+func TestFamilyBasics(t *testing.T) {
+	f := NewFamily()
+	if f.Len() != 0 || f.MaxSize() != 0 {
+		t.Fatal("fresh family not empty")
+	}
+	f.Add(Of(1, 2), 10)
+	f.Add(Of(3), 7)
+	f.Add(Of(1, 2), 12) // overwrite
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	if s, ok := f.Support(Of(1, 2)); !ok || s != 12 {
+		t.Errorf("Support({1,2}) = %d,%v", s, ok)
+	}
+	if _, ok := f.Support(Of(9)); ok {
+		t.Error("phantom support")
+	}
+	if !f.Contains(Of(3)) || f.Contains(Of(4)) {
+		t.Error("Contains wrong")
+	}
+	all := f.All()
+	if len(all) != 2 || !all[0].Items.Equal(Of(3)) || !all[1].Items.Equal(Of(1, 2)) {
+		t.Errorf("All order = %v", all)
+	}
+	if f.MaxSize() != 2 {
+		t.Errorf("MaxSize = %d", f.MaxSize())
+	}
+}
+
+func TestFamilyLevels(t *testing.T) {
+	f := NewFamily()
+	f.Add(Of(), 100)
+	f.Add(Of(2), 8)
+	f.Add(Of(1), 9)
+	f.Add(Of(1, 2), 5)
+	lv := f.Levels()
+	if len(lv) != 3 {
+		t.Fatalf("levels = %d", len(lv))
+	}
+	if len(lv[0]) != 1 || len(lv[1]) != 2 || len(lv[2]) != 1 {
+		t.Fatalf("level sizes: %d %d %d", len(lv[0]), len(lv[1]), len(lv[2]))
+	}
+	if !lv[1][0].Items.Equal(Of(1)) {
+		t.Errorf("level 1 not sorted: %v", lv[1])
+	}
+}
+
+func TestFamilyEqual(t *testing.T) {
+	a, b := NewFamily(), NewFamily()
+	a.Add(Of(1), 3)
+	b.Add(Of(1), 3)
+	if !a.Equal(b) {
+		t.Error("equal families differ")
+	}
+	b.Add(Of(2), 1)
+	if a.Equal(b) {
+		t.Error("families with different sizes equal")
+	}
+	a.Add(Of(2), 2)
+	if a.Equal(b) {
+		t.Error("families with different supports equal")
+	}
+}
+
+// Property tests.
+
+func genItemset(r *rand.Rand) Itemset {
+	n := r.Intn(8)
+	items := make([]int, n)
+	for i := range items {
+		items[i] = r.Intn(20)
+	}
+	return Of(items...)
+}
+
+func TestQuickAlgebraLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b, c := genItemset(r), genItemset(r), genItemset(r)
+		if !a.Union(b).Equal(b.Union(a)) {
+			t.Fatalf("union not commutative: %v %v", a, b)
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			t.Fatalf("intersect not commutative: %v %v", a, b)
+		}
+		if !a.Union(a).Equal(a) || !a.Intersect(a).Equal(a) {
+			t.Fatalf("idempotency: %v", a)
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			t.Fatalf("union not associative")
+		}
+		// absorption: A ∪ (A ∩ B) = A
+		if !a.Union(a.Intersect(b)).Equal(a) {
+			t.Fatalf("absorption failed: %v %v", a, b)
+		}
+		// diff: (A\B) ∩ B = ∅ and (A\B) ∪ (A∩B) = A
+		if a.Diff(b).Intersect(b).Len() != 0 {
+			t.Fatalf("diff overlap: %v %v", a, b)
+		}
+		if !a.Diff(b).Union(a.Intersect(b)).Equal(a) {
+			t.Fatalf("diff partition: %v %v", a, b)
+		}
+		if !a.ContainsAll(a.Intersect(b)) {
+			t.Fatalf("intersection not contained")
+		}
+		if !a.Union(b).ContainsAll(a) {
+			t.Fatalf("union does not contain operand")
+		}
+	}
+}
+
+func TestQuickKeyRoundTrip(t *testing.T) {
+	f := func(raw []uint16) bool {
+		items := make([]int, len(raw))
+		for i, x := range raw {
+			items[i] = int(x)
+		}
+		a := Of(items...)
+		b := Of(items...)
+		if a.Key() != b.Key() || !a.Equal(b) {
+			return false
+		}
+		dec, err := FromKey(a.Key())
+		return err == nil && dec.Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromKeyErrors(t *testing.T) {
+	if _, err := FromKey("\xff"); err == nil {
+		t.Error("malformed key accepted")
+	}
+	// Unsorted encoding (2 then 1) is not a canonical key.
+	bad := Itemset{9}.Key() + Itemset{1}.Key()
+	if _, err := FromKey(bad); err == nil {
+		t.Error("non-canonical key accepted")
+	}
+	if got, err := FromKey(""); err != nil || got.Len() != 0 {
+		t.Errorf("empty key: %v, %v", got, err)
+	}
+}

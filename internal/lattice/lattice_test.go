@@ -1,0 +1,241 @@
+package lattice
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/naive"
+	"closedrules/internal/testgen"
+)
+
+func classicFC(t *testing.T) (*Lattice, *dataset.Context) {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := d.Context()
+	return Build(naive.ClosedItemsets(ctx, 2)), ctx
+}
+
+func TestBuildClassic(t *testing.T) {
+	l, _ := classicFC(t)
+	if l.Len() != 6 {
+		t.Fatalf("nodes = %d, want 6", l.Len())
+	}
+	if l.NumEdges() != 7 {
+		t.Fatalf("edges = %d, want 7: %v", l.NumEdges(), l.Edges())
+	}
+	if l.BottomIndex() != 0 || l.Nodes[0].Items.Len() != 0 {
+		t.Errorf("bottom = %d (%v)", l.BottomIndex(), l.Nodes[0].Items)
+	}
+	max := l.MaximalIndices()
+	if len(max) != 1 || !l.Nodes[max[0]].Items.Equal(itemset.Of(0, 1, 2, 4)) {
+		t.Errorf("maximal = %v", max)
+	}
+	if h := l.Height(); h != 3 { // ∅ → C → AC|BCE → ABCE
+		t.Errorf("height = %d, want 3", h)
+	}
+}
+
+func TestBuildCoversMatchNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for iter := 0; iter < 60; iter++ {
+		d := testgen.Random(r, 20, 9, 0.4)
+		minSup := 1 + r.Intn(3)
+		fc := naive.ClosedItemsets(d.Context(), minSup)
+		l := Build(fc)
+		wantPairs := naive.CoverPairs(l.Nodes)
+		want := map[[2]int]bool{}
+		for _, p := range wantPairs {
+			want[p] = true
+		}
+		got := map[[2]int]bool{}
+		for _, e := range l.Edges() {
+			got[e] = true
+		}
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d edges, naive %d", iter, len(got), len(want))
+		}
+		for e := range got {
+			if !want[e] {
+				t.Fatalf("iter %d: spurious edge %v→%v",
+					iter, l.Nodes[e[0]].Items, l.Nodes[e[1]].Items)
+			}
+		}
+	}
+}
+
+func TestUpDownSymmetry(t *testing.T) {
+	l, _ := classicFC(t)
+	for i, ups := range l.Up {
+		for _, j := range ups {
+			found := false
+			for _, d := range l.Down[j] {
+				if d == i {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %d→%d missing from Down", i, j)
+			}
+		}
+	}
+}
+
+func TestNodeIndex(t *testing.T) {
+	l, _ := classicFC(t)
+	idx, ok := l.NodeIndex(itemset.Of(1, 4))
+	if !ok || !l.Nodes[idx].Items.Equal(itemset.Of(1, 4)) {
+		t.Errorf("NodeIndex(BE) = %d,%v", idx, ok)
+	}
+	if _, ok := l.NodeIndex(itemset.Of(3)); ok {
+		t.Error("NodeIndex(D) should miss")
+	}
+}
+
+func TestEdgeConfidence(t *testing.T) {
+	l, _ := classicFC(t)
+	// Edge ∅(5) → C(4): confidence 4/5.
+	bi := l.BottomIndex()
+	ci, _ := l.NodeIndex(itemset.Of(2))
+	got := l.EdgeConfidence(bi, ci)
+	if math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("EdgeConfidence(∅→C) = %v", got)
+	}
+}
+
+// TestPathProductEqualsSupportRatio is Luxenburger's lemma: the product
+// of edge confidences along any path from a to b equals
+// supp(b)/supp(a), independent of the path taken.
+func TestPathProductEqualsSupportRatio(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	for iter := 0; iter < 40; iter++ {
+		d := testgen.Random(r, 20, 8, 0.45)
+		fc := naive.ClosedItemsets(d.Context(), 1)
+		l := Build(fc)
+		for a := 0; a < l.Len(); a++ {
+			for b := 0; b < l.Len(); b++ {
+				if a == b || !l.Nodes[b].Items.ContainsAll(l.Nodes[a].Items) {
+					continue
+				}
+				got, ok := l.PathProduct(a, b)
+				if !ok {
+					t.Fatalf("iter %d: no path %v → %v despite containment",
+						iter, l.Nodes[a].Items, l.Nodes[b].Items)
+				}
+				want := float64(l.Nodes[b].Support) / float64(l.Nodes[a].Support)
+				if math.Abs(got-want) > 1e-9 {
+					t.Fatalf("iter %d: path product %v, want %v", iter, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPathProductUnreachable(t *testing.T) {
+	l, _ := classicFC(t)
+	ac, _ := l.NodeIndex(itemset.Of(0, 2))
+	be, _ := l.NodeIndex(itemset.Of(1, 4))
+	if _, ok := l.PathProduct(ac, be); ok {
+		t.Error("AC → BE should be unreachable")
+	}
+	if got, ok := l.PathProduct(ac, ac); !ok || got != 1 {
+		t.Errorf("self path = %v,%v", got, ok)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	l, _ := classicFC(t)
+	dot := l.DOT([]string{"A", "B", "C", "D", "E"})
+	if !strings.HasPrefix(dot, "digraph lattice {") {
+		t.Errorf("DOT prefix: %q", dot[:20])
+	}
+	if !strings.Contains(dot, "A, B, C, E") {
+		t.Errorf("DOT lacks top node label:\n%s", dot)
+	}
+	if strings.Count(dot, "->") != 7 {
+		t.Errorf("DOT edge count = %d", strings.Count(dot, "->"))
+	}
+}
+
+func TestMeetJoinClassic(t *testing.T) {
+	l, _ := classicFC(t)
+	ac, _ := l.NodeIndex(itemset.Of(0, 2))
+	be, _ := l.NodeIndex(itemset.Of(1, 4))
+	bce, _ := l.NodeIndex(itemset.Of(1, 2, 4))
+	abce, _ := l.NodeIndex(itemset.Of(0, 1, 2, 4))
+	bot := l.BottomIndex()
+
+	if m, ok := l.Meet(ac, be); !ok || m != bot {
+		t.Errorf("Meet(AC,BE) = %d,%v want bottom", m, ok)
+	}
+	if m, ok := l.Meet(ac, abce); !ok || m != ac {
+		t.Errorf("Meet(AC,ABCE) = %d,%v want AC", m, ok)
+	}
+	if j, ok := l.Join(ac, be); !ok || j != abce {
+		t.Errorf("Join(AC,BE) = %d,%v want ABCE", j, ok)
+	}
+	if j, ok := l.Join(bce, bce); !ok || j != bce {
+		t.Errorf("Join(BCE,BCE) = %d,%v", j, ok)
+	}
+}
+
+// TestMeetJoinLaws: on random complete FC sets, meet always exists and
+// is the greatest lower bound; join, when defined, is the least upper
+// bound.
+func TestMeetJoinLaws(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	for iter := 0; iter < 30; iter++ {
+		d := testgen.Random(r, 18, 8, 0.45)
+		fc := naive.ClosedItemsets(d.Context(), 1)
+		l := Build(fc)
+		for a := 0; a < l.Len(); a++ {
+			for b := a; b < l.Len(); b++ {
+				m, ok := l.Meet(a, b)
+				if !ok {
+					t.Fatalf("iter %d: meet(%v,%v) missing — FC not intersection-closed?",
+						iter, l.Nodes[a].Items, l.Nodes[b].Items)
+				}
+				mi := l.Nodes[m].Items
+				if !l.Nodes[a].Items.ContainsAll(mi) || !l.Nodes[b].Items.ContainsAll(mi) {
+					t.Fatalf("iter %d: meet not a lower bound", iter)
+				}
+				// Greatest: any common lower bound is ⊆ meet.
+				for c := 0; c < l.Len(); c++ {
+					ci := l.Nodes[c].Items
+					if l.Nodes[a].Items.ContainsAll(ci) && l.Nodes[b].Items.ContainsAll(ci) &&
+						!mi.ContainsAll(ci) {
+						t.Fatalf("iter %d: %v is a larger common lower bound than %v",
+							iter, ci, mi)
+					}
+				}
+				if j, ok := l.Join(a, b); ok {
+					ji := l.Nodes[j].Items
+					if !ji.ContainsAll(l.Nodes[a].Items) || !ji.ContainsAll(l.Nodes[b].Items) {
+						t.Fatalf("iter %d: join not an upper bound", iter)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBuildEmptyAndSingle(t *testing.T) {
+	d, _ := dataset.FromTransactions(nil)
+	l := Build(naive.ClosedItemsets(d.Context(), 1))
+	if l.Len() != 0 || l.BottomIndex() != -1 || l.Height() != 0 {
+		t.Errorf("empty lattice: len=%d bottom=%d", l.Len(), l.BottomIndex())
+	}
+	d2, _ := dataset.FromTransactions([][]int{{0}})
+	l2 := Build(naive.ClosedItemsets(d2.Context(), 1))
+	if l2.Len() != 1 || l2.NumEdges() != 0 {
+		t.Errorf("singleton lattice: len=%d edges=%d", l2.Len(), l2.NumEdges())
+	}
+}

@@ -1,0 +1,135 @@
+// Package levelwise holds the machinery shared by the level-wise
+// (Apriori-style) miners: the candidate prefix trie used to enumerate,
+// in one database pass, all candidates included in each transaction,
+// and the apriori-gen candidate construction (join + subset prune).
+package levelwise
+
+import (
+	"sort"
+
+	"closedrules/internal/itemset"
+)
+
+// Trie indexes a list of equal-size candidate itemsets for subset
+// enumeration against transactions.
+type Trie struct {
+	root *trieNode
+	k    int
+}
+
+type trieNode struct {
+	item     int
+	children []*trieNode
+	leaf     int // candidate index at depth k, else -1
+}
+
+// NewTrie builds a trie over candidates, which must all have size k ≥ 1
+// and be lexicographically sorted itemsets.
+func NewTrie(k int, candidates []itemset.Itemset) *Trie {
+	t := &Trie{root: &trieNode{leaf: -1}, k: k}
+	for idx, c := range candidates {
+		n := t.root
+		for _, it := range c {
+			n = n.child(it)
+		}
+		n.leaf = idx
+	}
+	return t
+}
+
+func (n *trieNode) child(item int) *trieNode {
+	// children kept sorted by item; candidates arrive in lex order so
+	// appends dominate.
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].item >= item })
+	if i < len(n.children) && n.children[i].item == item {
+		return n.children[i]
+	}
+	c := &trieNode{item: item, leaf: -1}
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	return c
+}
+
+// Walk calls visit(idx) for every candidate that is a subset of the
+// transaction t (sorted itemset).
+func (t *Trie) Walk(tx itemset.Itemset, visit func(candIdx int)) {
+	walk(t.root, tx, visit)
+}
+
+func walk(n *trieNode, tx itemset.Itemset, visit func(int)) {
+	if n.leaf >= 0 {
+		visit(n.leaf)
+		return
+	}
+	// Two-pointer scan: children and tx are both sorted.
+	ci, ti := 0, 0
+	for ci < len(n.children) && ti < len(tx) {
+		switch {
+		case n.children[ci].item < tx[ti]:
+			ci++
+		case n.children[ci].item > tx[ti]:
+			ti++
+		default:
+			walk(n.children[ci], tx[ti+1:], visit)
+			ci++
+			ti++
+		}
+	}
+}
+
+// Join implements the apriori-gen join step: for every pair of k-sets
+// in prev sharing their first k-1 items, it emits their (k+1)-union.
+// prev must be sorted lexicographically; the output is too.
+func Join(prev []itemset.Itemset) []itemset.Itemset {
+	var out []itemset.Itemset
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			a, b := prev[i], prev[j]
+			k := len(a)
+			if !a[:k-1].Equal(b[:k-1]) {
+				break // sorted: once prefixes diverge, no later j matches
+			}
+			cand := make(itemset.Itemset, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// PruneBySubsets removes candidates with any k-subset missing from the
+// previous level (given as a key set). Candidates have size k+1.
+func PruneBySubsets(cands []itemset.Itemset, prevKeys map[string]bool) []itemset.Itemset {
+	out := cands[:0]
+	for _, c := range cands {
+		ok := true
+		for drop := 0; drop < len(c) && ok; drop++ {
+			sub := make(itemset.Itemset, 0, len(c)-1)
+			sub = append(sub, c[:drop]...)
+			sub = append(sub, c[drop+1:]...)
+			if !prevKeys[sub.Key()] {
+				ok = false
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Keys builds the key set of a level for PruneBySubsets.
+func Keys(level []itemset.Itemset) map[string]bool {
+	m := make(map[string]bool, len(level))
+	for _, s := range level {
+		m[s.Key()] = true
+	}
+	return m
+}
+
+// SortLex sorts a candidate list lexicographically in place.
+func SortLex(list []itemset.Itemset) {
+	sort.Slice(list, func(i, j int) bool { return list[i].CompareLex(list[j]) < 0 })
+}

@@ -1,0 +1,194 @@
+package levelwise
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"closedrules/internal/itemset"
+)
+
+func TestJoinBasic(t *testing.T) {
+	level := []itemset.Itemset{
+		itemset.Of(1, 2), itemset.Of(1, 3), itemset.Of(1, 4), itemset.Of(2, 3),
+	}
+	got := Join(level)
+	want := []itemset.Itemset{
+		itemset.Of(1, 2, 3), itemset.Of(1, 2, 4), itemset.Of(1, 3, 4),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Join = %v, want %v", got, want)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Errorf("Join[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJoinSingletons(t *testing.T) {
+	level := []itemset.Itemset{itemset.Of(3), itemset.Of(5), itemset.Of(9)}
+	got := Join(level)
+	// All pairs: {3,5},{3,9},{5,9} (empty shared prefix).
+	if len(got) != 3 {
+		t.Fatalf("Join singletons = %v", got)
+	}
+}
+
+func TestJoinEmptyAndSingle(t *testing.T) {
+	if got := Join(nil); len(got) != 0 {
+		t.Errorf("Join(nil) = %v", got)
+	}
+	if got := Join([]itemset.Itemset{itemset.Of(1, 2)}); len(got) != 0 {
+		t.Errorf("Join(single) = %v", got)
+	}
+}
+
+func TestPruneBySubsets(t *testing.T) {
+	prev := []itemset.Itemset{
+		itemset.Of(1, 2), itemset.Of(1, 3), itemset.Of(2, 3), itemset.Of(1, 4),
+	}
+	cands := []itemset.Itemset{
+		itemset.Of(1, 2, 3), // all subsets present → kept
+		itemset.Of(1, 2, 4), // {2,4} missing → pruned
+	}
+	got := PruneBySubsets(cands, Keys(prev))
+	if len(got) != 1 || !got[0].Equal(itemset.Of(1, 2, 3)) {
+		t.Fatalf("PruneBySubsets = %v", got)
+	}
+}
+
+func TestTrieWalkFindsExactlySubsets(t *testing.T) {
+	cands := []itemset.Itemset{
+		itemset.Of(1, 2, 3), itemset.Of(1, 2, 5), itemset.Of(2, 3, 5), itemset.Of(3, 5, 7),
+	}
+	SortLex(cands)
+	trie := NewTrie(3, cands)
+	tx := itemset.Of(1, 2, 3, 5)
+	var hit []int
+	trie.Walk(tx, func(idx int) { hit = append(hit, idx) })
+	sort.Ints(hit)
+	// subsets of tx: {1,2,3}, {1,2,5}, {2,3,5} — not {3,5,7}.
+	if len(hit) != 3 {
+		t.Fatalf("Walk hit %v", hit)
+	}
+	for _, idx := range hit {
+		if !tx.ContainsAll(cands[idx]) {
+			t.Errorf("hit %v not subset of %v", cands[idx], tx)
+		}
+	}
+}
+
+func TestTrieWalkShortTransaction(t *testing.T) {
+	cands := []itemset.Itemset{itemset.Of(1, 2, 3)}
+	trie := NewTrie(3, cands)
+	var n int
+	trie.Walk(itemset.Of(1, 2), func(int) { n++ })
+	if n != 0 {
+		t.Errorf("short transaction matched %d candidates", n)
+	}
+	trie.Walk(itemset.Of(), func(int) { n++ })
+	if n != 0 {
+		t.Errorf("empty transaction matched %d candidates", n)
+	}
+}
+
+// TestTrieAgainstNaiveCounting cross-checks trie counting against
+// direct subset tests on random data.
+func TestTrieAgainstNaiveCounting(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 50; iter++ {
+		k := 2 + r.Intn(3)
+		// random candidate pool
+		seen := map[string]bool{}
+		var cands []itemset.Itemset
+		for len(cands) < 10 {
+			items := make([]int, k)
+			for i := range items {
+				items[i] = r.Intn(12)
+			}
+			c := itemset.Of(items...)
+			if c.Len() == k && !seen[c.Key()] {
+				seen[c.Key()] = true
+				cands = append(cands, c)
+			}
+		}
+		SortLex(cands)
+		trie := NewTrie(k, cands)
+
+		counts := make([]int, len(cands))
+		naiveCounts := make([]int, len(cands))
+		for tx := 0; tx < 30; tx++ {
+			var items []int
+			for i := 0; i < 12; i++ {
+				if r.Intn(2) == 0 {
+					items = append(items, i)
+				}
+			}
+			T := itemset.Of(items...)
+			trie.Walk(T, func(idx int) { counts[idx]++ })
+			for i, c := range cands {
+				if T.ContainsAll(c) {
+					naiveCounts[i]++
+				}
+			}
+		}
+		for i := range cands {
+			if counts[i] != naiveCounts[i] {
+				t.Fatalf("iter %d: candidate %v trie=%d naive=%d",
+					iter, cands[i], counts[i], naiveCounts[i])
+			}
+		}
+	}
+}
+
+// TestJoinProducesAllAndOnlyValidCandidates checks the apriori-gen
+// contract: the join of the full set of frequent k-itemsets yields
+// every (k+1)-set whose two "last-item-dropped" subsets are present.
+func TestJoinProducesAllAndOnlyValidCandidates(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for iter := 0; iter < 40; iter++ {
+		// Random family of 3-itemsets over 8 items.
+		seen := map[string]bool{}
+		var level []itemset.Itemset
+		for n := 0; n < 12; n++ {
+			items := []int{r.Intn(8), r.Intn(8), r.Intn(8)}
+			c := itemset.Of(items...)
+			if c.Len() == 3 && !seen[c.Key()] {
+				seen[c.Key()] = true
+				level = append(level, c)
+			}
+		}
+		SortLex(level)
+		got := Join(level)
+		gotKeys := map[string]bool{}
+		for _, g := range got {
+			if g.Len() != 4 {
+				t.Fatalf("join output size %d", g.Len())
+			}
+			if gotKeys[g.Key()] {
+				t.Fatalf("duplicate candidate %v", g)
+			}
+			gotKeys[g.Key()] = true
+			// Its two generating subsets must be in the level.
+			a := g.Without(g[3])
+			b := g.Without(g[2])
+			if !seen[a.Key()] || !seen[b.Key()] {
+				t.Fatalf("candidate %v lacks generating subsets", g)
+			}
+		}
+		// Completeness: any 4-set whose two tail-dropped 3-subsets are
+		// present must appear.
+		for _, x := range level {
+			for _, y := range level {
+				if x.CompareLex(y) >= 0 {
+					continue
+				}
+				u := x.Union(y)
+				if u.Len() == 4 && x[:2].Equal(y[:2]) && !gotKeys[u.Key()] {
+					t.Fatalf("missing candidate %v from %v + %v", u, x, y)
+				}
+			}
+		}
+	}
+}

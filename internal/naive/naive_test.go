@@ -1,0 +1,260 @@
+package naive
+
+import (
+	"testing"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/galois"
+	"closedrules/internal/itemset"
+)
+
+// classic is the Close-paper running example:
+// 1:ACD 2:BCE 3:ABCE 4:BE 5:ABCE with A=0,…,E=4.
+func classic(t *testing.T) *dataset.Context {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Context()
+}
+
+func TestFrequentItemsetsClassic(t *testing.T) {
+	c := classic(t)
+	fam := FrequentItemsets(c, 2)
+	// Hand-enumerated: 15 frequent itemsets at minsup 2 (D is infrequent).
+	if fam.Len() != 15 {
+		t.Fatalf("|FI| = %d, want 15: %v", fam.Len(), fam.All())
+	}
+	checks := []struct {
+		items itemset.Itemset
+		sup   int
+	}{
+		{itemset.Of(0), 3}, {itemset.Of(1), 4}, {itemset.Of(2), 4}, {itemset.Of(4), 4},
+		{itemset.Of(0, 1), 2}, {itemset.Of(0, 2), 3}, {itemset.Of(0, 4), 2},
+		{itemset.Of(1, 2), 3}, {itemset.Of(1, 4), 4}, {itemset.Of(2, 4), 3},
+		{itemset.Of(0, 1, 2), 2}, {itemset.Of(0, 1, 4), 2}, {itemset.Of(0, 2, 4), 2},
+		{itemset.Of(1, 2, 4), 3}, {itemset.Of(0, 1, 2, 4), 2},
+	}
+	for _, ch := range checks {
+		if got, ok := fam.Support(ch.items); !ok || got != ch.sup {
+			t.Errorf("supp(%v) = %d,%v want %d", ch.items, got, ok, ch.sup)
+		}
+	}
+	if fam.Contains(itemset.Of(3)) {
+		t.Error("D should be infrequent")
+	}
+}
+
+func TestFrequentItemsetsMinSupOne(t *testing.T) {
+	c := classic(t)
+	fam := FrequentItemsets(c, 1)
+	// All 15 above plus: D, AD, CD, ACD — 19 total.
+	if fam.Len() != 19 {
+		t.Fatalf("|FI| at minsup 1 = %d, want 19", fam.Len())
+	}
+	if s, ok := fam.Support(itemset.Of(0, 2, 3)); !ok || s != 1 {
+		t.Errorf("supp(ACD) = %d,%v", s, ok)
+	}
+}
+
+func TestClosedItemsetsClassic(t *testing.T) {
+	c := classic(t)
+	fc := ClosedItemsets(c, 2)
+	// FC = {∅, C, AC, BE, BCE, ABCE}.
+	if fc.Len() != 6 {
+		t.Fatalf("|FC| = %d, want 6: %v", fc.Len(), fc.All())
+	}
+	wantSup := map[string]int{
+		itemset.Of().Key():           5,
+		itemset.Of(2).Key():          4,
+		itemset.Of(0, 2).Key():       3,
+		itemset.Of(1, 4).Key():       4,
+		itemset.Of(1, 2, 4).Key():    3,
+		itemset.Of(0, 1, 2, 4).Key(): 2,
+	}
+	for _, cl := range fc.All() {
+		want, ok := wantSup[cl.Items.Key()]
+		if !ok {
+			t.Errorf("unexpected closed set %v", cl.Items)
+			continue
+		}
+		if cl.Support != want {
+			t.Errorf("supp(%v) = %d, want %d", cl.Items, cl.Support, want)
+		}
+	}
+}
+
+func TestGeneratorsClassic(t *testing.T) {
+	c := classic(t)
+	fc := ClosedItemsets(c, 2)
+	// generator → closure, hand-checked.
+	want := map[string]string{
+		itemset.Of().Key():     itemset.Of().Key(),
+		itemset.Of(2).Key():    itemset.Of(2).Key(),
+		itemset.Of(0).Key():    itemset.Of(0, 2).Key(),
+		itemset.Of(1).Key():    itemset.Of(1, 4).Key(),
+		itemset.Of(4).Key():    itemset.Of(1, 4).Key(),
+		itemset.Of(1, 2).Key(): itemset.Of(1, 2, 4).Key(),
+		itemset.Of(2, 4).Key(): itemset.Of(1, 2, 4).Key(),
+		itemset.Of(0, 1).Key(): itemset.Of(0, 1, 2, 4).Key(),
+		itemset.Of(0, 4).Key(): itemset.Of(0, 1, 2, 4).Key(),
+	}
+	gens := fc.AllGenerators()
+	if len(gens) != len(want) {
+		t.Fatalf("%d generators, want %d: %v", len(gens), len(want), gens)
+	}
+	for _, g := range gens {
+		cl, ok := want[g.Generator.Key()]
+		if !ok {
+			t.Errorf("unexpected generator %v", g.Generator)
+			continue
+		}
+		if g.Closure.Key() != cl {
+			t.Errorf("closure(%v) = %v", g.Generator, g.Closure)
+		}
+	}
+}
+
+func TestClosureOfViaSet(t *testing.T) {
+	c := classic(t)
+	fc := ClosedItemsets(c, 2)
+	cases := []struct{ in, want itemset.Itemset }{
+		{itemset.Of(0), itemset.Of(0, 2)},
+		{itemset.Of(1), itemset.Of(1, 4)},
+		{itemset.Of(0, 1), itemset.Of(0, 1, 2, 4)},
+		{itemset.Of(), itemset.Of()},
+		{itemset.Of(2, 4), itemset.Of(1, 2, 4)},
+	}
+	for _, cs := range cases {
+		got, ok := fc.ClosureOf(cs.in)
+		if !ok || !got.Items.Equal(cs.want) {
+			t.Errorf("ClosureOf(%v) = %v,%v want %v", cs.in, got.Items, ok, cs.want)
+		}
+		// Must agree with the context closure operator.
+		if direct := galois.Closure(c, cs.in); !direct.Equal(got.Items) {
+			t.Errorf("set closure %v != context closure %v", got.Items, direct)
+		}
+	}
+	if _, ok := fc.ClosureOf(itemset.Of(3)); ok {
+		t.Error("ClosureOf(infrequent) should fail")
+	}
+}
+
+func TestPseudoClosedClassic(t *testing.T) {
+	c := classic(t)
+	got := PseudoClosed(c, 2)
+	// FP = {A, B, E}: the DG basis of the running example is
+	// A→C, B→E, E→B.
+	if len(got) != 3 {
+		t.Fatalf("|FP| = %d, want 3: %v", len(got), got)
+	}
+	want := map[string]bool{
+		itemset.Of(0).Key(): true,
+		itemset.Of(1).Key(): true,
+		itemset.Of(4).Key(): true,
+	}
+	for _, p := range got {
+		if !want[p.Key()] {
+			t.Errorf("unexpected pseudo-closed %v", p)
+		}
+	}
+}
+
+func TestPseudoClosedEmptySetCase(t *testing.T) {
+	// Context where item 0 is universal: h(∅) = {0} ≠ ∅, so ∅ is
+	// pseudo-closed and the DG basis contains ∅ → {0}.
+	d, err := dataset.FromTransactions([][]int{{0, 1}, {0, 2}, {0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := d.Context()
+	got := PseudoClosed(c, 1)
+	foundEmpty := false
+	for _, p := range got {
+		if p.Len() == 0 {
+			foundEmpty = true
+		}
+	}
+	if !foundEmpty {
+		t.Errorf("∅ should be pseudo-closed, got %v", got)
+	}
+}
+
+func TestMaximalClassic(t *testing.T) {
+	c := classic(t)
+	fc := ClosedItemsets(c, 2)
+	max := fc.Maximal()
+	if len(max) != 1 || !max[0].Items.Equal(itemset.Of(0, 1, 2, 4)) {
+		t.Errorf("Maximal = %v", max)
+	}
+}
+
+func TestBottomClassic(t *testing.T) {
+	c := classic(t)
+	fc := ClosedItemsets(c, 2)
+	bot, ok := fc.Bottom()
+	if !ok || bot.Items.Len() != 0 || bot.Support != 5 {
+		t.Errorf("Bottom = %v,%v", bot, ok)
+	}
+}
+
+func TestCoverPairsClassic(t *testing.T) {
+	c := classic(t)
+	fc := ClosedItemsets(c, 2)
+	list := fc.All()
+	pairs := CoverPairs(list)
+	// Hand-computed Hasse diagram has 7 edges:
+	// ∅→C, ∅→BE, C→AC, C→BCE, BE→BCE, AC→ABCE, BCE→ABCE.
+	if len(pairs) != 7 {
+		t.Fatalf("%d cover pairs, want 7", len(pairs))
+	}
+	type edge struct{ from, to string }
+	want := map[edge]bool{
+		{itemset.Of().Key(), itemset.Of(2).Key()}:                 true,
+		{itemset.Of().Key(), itemset.Of(1, 4).Key()}:              true,
+		{itemset.Of(2).Key(), itemset.Of(0, 2).Key()}:             true,
+		{itemset.Of(2).Key(), itemset.Of(1, 2, 4).Key()}:          true,
+		{itemset.Of(1, 4).Key(), itemset.Of(1, 2, 4).Key()}:       true,
+		{itemset.Of(0, 2).Key(), itemset.Of(0, 1, 2, 4).Key()}:    true,
+		{itemset.Of(1, 2, 4).Key(), itemset.Of(0, 1, 2, 4).Key()}: true,
+	}
+	for _, p := range pairs {
+		e := edge{list[p[0]].Items.Key(), list[p[1]].Items.Key()}
+		if !want[e] {
+			t.Errorf("unexpected cover %v → %v", list[p[0]].Items, list[p[1]].Items)
+		}
+	}
+}
+
+func TestSupportInvariantFIvsFC(t *testing.T) {
+	// §2 of the paper: supp(I) = supp(h(I)); so every frequent
+	// itemset's support must be recoverable from FC alone.
+	c := classic(t)
+	fam := FrequentItemsets(c, 2)
+	fc := ClosedItemsets(c, 2)
+	for _, f := range fam.All() {
+		got, ok := fc.SupportOf(f.Items)
+		if !ok || got != f.Support {
+			t.Errorf("SupportOf(%v) = %d,%v want %d", f.Items, got, ok, f.Support)
+		}
+	}
+}
+
+func TestIsFreeEmptyAndSingletons(t *testing.T) {
+	c := classic(t)
+	fam := FrequentItemsets(c, 1)
+	if !IsFree(c, fam, itemset.Empty(), 5) {
+		t.Error("∅ must be free")
+	}
+	// D has support 1 ≠ 5 → free.
+	if !IsFree(c, fam, itemset.Of(3), 1) {
+		t.Error("D should be free")
+	}
+	// AC has supp 3 = supp(A) → not free.
+	if IsFree(c, fam, itemset.Of(0, 2), 3) {
+		t.Error("AC should not be free")
+	}
+}

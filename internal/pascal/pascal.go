@@ -1,0 +1,155 @@
+// Package pascal implements the PASCAL frequent-itemset miner
+// (Bastide, Taouil, Pasquier, Stumme, Lakhal — "Mining frequent
+// patterns with counting inference", SIGKDD Explorations 2(2), 2000),
+// the same group's key-pattern refinement of Apriori: once an itemset
+// is known not to be a key (some subset has equal support), its
+// support is *inferred* as the minimum of its immediate subsets'
+// supports instead of being counted against the database. On
+// correlated data most candidates are non-keys and the database work
+// collapses; on weakly correlated data PASCAL degrades gracefully to
+// Apriori.
+package pascal
+
+import (
+	"fmt"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/levelwise"
+)
+
+// Stats reports the counting-inference effectiveness of a run.
+type Stats struct {
+	Passes             int
+	CandidatesPerLevel []int
+	CountedPerLevel    []int // candidates actually counted in the DB
+	InferredPerLevel   []int // candidates whose support was inferred
+}
+
+// TotalCounted sums the counted candidates over all levels.
+func (s Stats) TotalCounted() int {
+	n := 0
+	for _, c := range s.CountedPerLevel {
+		n += c
+	}
+	return n
+}
+
+// TotalInferred sums the inferred candidates over all levels.
+func (s Stats) TotalInferred() int {
+	n := 0
+	for _, c := range s.InferredPerLevel {
+		n += c
+	}
+	return n
+}
+
+type entry struct {
+	items   itemset.Itemset
+	support int
+	isKey   bool
+}
+
+// Mine returns all non-empty frequent itemsets with absolute support ≥
+// minSup, plus inference statistics.
+func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, Stats, error) {
+	var stats Stats
+	if minSup < 1 {
+		return nil, stats, fmt.Errorf("pascal: minSup %d < 1", minSup)
+	}
+	fam := itemset.NewFamily()
+	nTx := d.NumTransactions()
+
+	// Level 1.
+	sup := d.ItemSupports()
+	stats.Passes = 1
+	stats.CandidatesPerLevel = append(stats.CandidatesPerLevel, d.NumItems())
+	stats.CountedPerLevel = append(stats.CountedPerLevel, d.NumItems())
+	stats.InferredPerLevel = append(stats.InferredPerLevel, 0)
+	var level []entry
+	for it, s := range sup {
+		if s < minSup {
+			continue
+		}
+		one := itemset.Of(it)
+		fam.Add(one, s)
+		// A single item is a key unless it is as frequent as ∅.
+		level = append(level, entry{items: one, support: s, isKey: s < nTx})
+	}
+
+	for k := 2; len(level) >= 2; k++ {
+		prev := make(map[string]*entry, len(level))
+		items := make([]itemset.Itemset, len(level))
+		for i := range level {
+			prev[level[i].items.Key()] = &level[i]
+			items[i] = level[i].items
+		}
+		levelwise.SortLex(items)
+		cands := levelwise.Join(items)
+		cands = levelwise.PruneBySubsets(cands, levelwise.Keys(items))
+		if len(cands) == 0 {
+			break
+		}
+		stats.CandidatesPerLevel = append(stats.CandidatesPerLevel, len(cands))
+
+		next := make([]entry, 0, len(cands))
+		var toCount []int // indices into next needing a database count
+		for _, cand := range cands {
+			pred := -1
+			anyNonKey := false
+			for drop := 0; drop < len(cand); drop++ {
+				sub := make(itemset.Itemset, 0, len(cand)-1)
+				sub = append(sub, cand[:drop]...)
+				sub = append(sub, cand[drop+1:]...)
+				e := prev[sub.Key()]
+				if pred < 0 || e.support < pred {
+					pred = e.support
+				}
+				if !e.isKey {
+					anyNonKey = true
+				}
+			}
+			if anyNonKey {
+				// Counting inference: supp(cand) = pred, no DB work.
+				next = append(next, entry{items: cand, support: pred, isKey: false})
+				continue
+			}
+			next = append(next, entry{items: cand, support: pred, isKey: false})
+			toCount = append(toCount, len(next)-1)
+		}
+		stats.InferredPerLevel = append(stats.InferredPerLevel, len(next)-len(toCount))
+		stats.CountedPerLevel = append(stats.CountedPerLevel, len(toCount))
+
+		if len(toCount) > 0 {
+			countSets := make([]itemset.Itemset, len(toCount))
+			for i, idx := range toCount {
+				countSets[i] = next[idx].items
+			}
+			counts := make([]int, len(countSets))
+			trie := levelwise.NewTrie(k, countSets)
+			for _, tx := range d.Transactions() {
+				if tx.Len() < k {
+					continue
+				}
+				trie.Walk(tx, func(ci int) { counts[ci]++ })
+			}
+			stats.Passes++
+			for i, idx := range toCount {
+				pred := next[idx].support // pred was stored as the bound
+				next[idx].support = counts[i]
+				next[idx].isKey = counts[i] < pred
+			}
+		}
+
+		// Keep the frequent ones.
+		kept := next[:0]
+		for _, e := range next {
+			if e.support >= minSup {
+				fam.Add(e.items, e.support)
+				kept = append(kept, e)
+			}
+		}
+		level = kept
+	}
+	return fam, stats, nil
+}

@@ -1,0 +1,82 @@
+package rules
+
+import (
+	"sort"
+
+	"closedrules/internal/itemset"
+)
+
+// Filter returns the rules satisfying pred, preserving order.
+func Filter(list []Rule, pred func(Rule) bool) []Rule {
+	var out []Rule
+	for _, r := range list {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WithItem keeps rules mentioning the item on either side.
+func WithItem(list []Rule, item int) []Rule {
+	return Filter(list, func(r Rule) bool {
+		return r.Antecedent.Contains(item) || r.Consequent.Contains(item)
+	})
+}
+
+// WithConsequentItem keeps rules whose consequent contains the item —
+// "what predicts item x?".
+func WithConsequentItem(list []Rule, item int) []Rule {
+	return Filter(list, func(r Rule) bool { return r.Consequent.Contains(item) })
+}
+
+// WithAntecedentSubsetOf keeps rules whose antecedent is contained in
+// the given itemset — the rules applicable to a partially observed
+// object.
+func WithAntecedentSubsetOf(list []Rule, observed itemset.Itemset) []Rule {
+	return Filter(list, func(r Rule) bool { return observed.ContainsAll(r.Antecedent) })
+}
+
+// MinSupport keeps rules with absolute support ≥ n.
+func MinSupport(list []Rule, n int) []Rule {
+	return Filter(list, func(r Rule) bool { return r.Support >= n })
+}
+
+// MinConfidence keeps rules with confidence ≥ c.
+func MinConfidence(list []Rule, c float64) []Rule {
+	return Filter(list, func(r Rule) bool { return r.Confidence() >= c })
+}
+
+// TopBy returns the k rules maximizing score (stable on ties by the
+// canonical rule order); k ≤ 0 or k ≥ len returns a sorted copy of
+// everything.
+func TopBy(list []Rule, k int, score func(Rule) float64) []Rule {
+	out := make([]Rule, len(list))
+	copy(out, list)
+	sort.SliceStable(out, func(i, j int) bool {
+		si, sj := score(out[i]), score(out[j])
+		if si != sj {
+			return si > sj
+		}
+		return out[i].Compare(out[j]) < 0
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+// ByLift is a score function for TopBy ranking by lift; rules lacking
+// a consequent support rank last.
+func ByLift(numTx int) func(Rule) float64 {
+	return func(r Rule) float64 {
+		if r.ConsequentSupport <= 0 || numTx <= 0 {
+			return -1
+		}
+		m, err := ComputeMetrics(r, numTx)
+		if err != nil {
+			return -1
+		}
+		return m.Lift
+	}
+}

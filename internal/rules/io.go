@@ -1,0 +1,171 @@
+package rules
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"closedrules/internal/itemset"
+)
+
+// jsonRule is the wire form of a rule.
+type jsonRule struct {
+	Antecedent        []int   `json:"antecedent"`
+	Consequent        []int   `json:"consequent"`
+	Support           int     `json:"support"`
+	AntecedentSupport int     `json:"antecedentSupport"`
+	ConsequentSupport int     `json:"consequentSupport,omitempty"`
+	Confidence        float64 `json:"confidence"`
+}
+
+// WriteJSON writes the rules as a JSON array (one object per rule,
+// item ids as integers, confidence included for readability).
+func WriteJSON(w io.Writer, list []Rule) error {
+	out := make([]jsonRule, len(list))
+	for i, r := range list {
+		out[i] = jsonRule{
+			Antecedent:        append([]int{}, r.Antecedent...),
+			Consequent:        append([]int{}, r.Consequent...),
+			Support:           r.Support,
+			AntecedentSupport: r.AntecedentSupport,
+			ConsequentSupport: r.ConsequentSupport,
+			Confidence:        r.Confidence(),
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses rules written by WriteJSON. The redundant confidence
+// field is ignored (it is recomputed from the supports).
+func ReadJSON(r io.Reader) ([]Rule, error) {
+	var raw []jsonRule
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("rules: json: %v", err)
+	}
+	out := make([]Rule, len(raw))
+	for i, jr := range raw {
+		out[i] = Rule{
+			Antecedent:        itemset.Of(jr.Antecedent...),
+			Consequent:        itemset.Of(jr.Consequent...),
+			Support:           jr.Support,
+			AntecedentSupport: jr.AntecedentSupport,
+			ConsequentSupport: jr.ConsequentSupport,
+		}
+	}
+	return out, nil
+}
+
+// WriteCSV writes rules as CSV with the header
+// antecedent,consequent,support,antecedentSupport,consequentSupport,confidence.
+// Itemsets are space-separated ids within their field.
+func WriteCSV(w io.Writer, list []Rule) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"antecedent", "consequent", "support", "antecedentSupport",
+		"consequentSupport", "confidence",
+	}); err != nil {
+		return err
+	}
+	for _, r := range list {
+		rec := []string{
+			intsField(r.Antecedent),
+			intsField(r.Consequent),
+			strconv.Itoa(r.Support),
+			strconv.Itoa(r.AntecedentSupport),
+			strconv.Itoa(r.ConsequentSupport),
+			strconv.FormatFloat(r.Confidence(), 'f', 6, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses rules written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Rule, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("rules: csv: %v", err)
+	}
+	if len(recs) == 0 {
+		return nil, nil
+	}
+	var out []Rule
+	for i, rec := range recs {
+		if i == 0 && len(rec) > 0 && rec[0] == "antecedent" {
+			continue // header
+		}
+		if len(rec) < 5 {
+			return nil, fmt.Errorf("rules: csv row %d has %d fields", i+1, len(rec))
+		}
+		ante, err := intsParse(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("rules: csv row %d: %v", i+1, err)
+		}
+		cons, err := intsParse(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("rules: csv row %d: %v", i+1, err)
+		}
+		sup, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("rules: csv row %d: support: %v", i+1, err)
+		}
+		anteSup, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("rules: csv row %d: antecedentSupport: %v", i+1, err)
+		}
+		consSup, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("rules: csv row %d: consequentSupport: %v", i+1, err)
+		}
+		out = append(out, Rule{
+			Antecedent:        itemset.Of(ante...),
+			Consequent:        itemset.Of(cons...),
+			Support:           sup,
+			AntecedentSupport: anteSup,
+			ConsequentSupport: consSup,
+		})
+	}
+	return out, nil
+}
+
+func intsField(s itemset.Itemset) string {
+	out := ""
+	for i, x := range s {
+		if i > 0 {
+			out += " "
+		}
+		out += strconv.Itoa(x)
+	}
+	return out
+}
+
+func intsParse(s string) ([]int, error) {
+	var out []int
+	cur := -1
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ' ' {
+			if cur >= 0 {
+				x, err := strconv.Atoi(s[cur:i])
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, x)
+				cur = -1
+			}
+			continue
+		}
+		if cur < 0 {
+			cur = i
+		}
+	}
+	return out, nil
+}

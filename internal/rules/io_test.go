@@ -1,0 +1,172 @@
+package rules
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"closedrules/internal/itemset"
+)
+
+func sampleRules() []Rule {
+	return []Rule{
+		{
+			Antecedent: itemset.Of(1), Consequent: itemset.Of(4),
+			Support: 4, AntecedentSupport: 4, ConsequentSupport: 4,
+		},
+		{
+			Antecedent: itemset.Of(2), Consequent: itemset.Of(0, 1),
+			Support: 2, AntecedentSupport: 4, ConsequentSupport: 2,
+		},
+		{
+			Antecedent: itemset.Of(), Consequent: itemset.Of(3),
+			Support: 5, AntecedentSupport: 5, ConsequentSupport: 5,
+		},
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSON(&sb, sampleRules()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRules()
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d rules, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key() != want[i].Key() || got[i].Support != want[i].Support ||
+			got[i].AntecedentSupport != want[i].AntecedentSupport ||
+			got[i].ConsequentSupport != want[i].ConsequentSupport {
+			t.Errorf("rule %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestJSONReadErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("bad json accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteCSV(&sb, sampleRules()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleRules()
+	if len(got) != len(want) {
+		t.Fatalf("round trip: %d rules, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key() != want[i].Key() || got[i].Support != want[i].Support {
+			t.Errorf("rule %d mismatch", i)
+		}
+	}
+}
+
+func TestCSVReadErrors(t *testing.T) {
+	cases := []string{
+		"antecedent,consequent,support,antecedentSupport,consequentSupport,confidence\n1,2,x,1,1,1\n",
+		"antecedent,consequent,support,antecedentSupport,consequentSupport,confidence\n1,2\n",
+		"antecedent,consequent,support,antecedentSupport,consequentSupport,confidence\na b,2,1,1,1,1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: bad csv accepted", i)
+		}
+	}
+	if got, err := ReadCSV(strings.NewReader("")); err != nil || len(got) != 0 {
+		t.Errorf("empty csv: %v, %v", got, err)
+	}
+}
+
+func TestCSVRandomRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 30; iter++ {
+		var list []Rule
+		for n := 0; n < r.Intn(20); n++ {
+			a := itemset.Of(r.Intn(50), r.Intn(50))
+			c := itemset.Of(50 + r.Intn(50))
+			list = append(list, Rule{
+				Antecedent: a, Consequent: c,
+				Support:           1 + r.Intn(100),
+				AntecedentSupport: 100 + r.Intn(100),
+				ConsequentSupport: 1 + r.Intn(200),
+			})
+		}
+		var sb strings.Builder
+		if err := WriteCSV(&sb, list); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadCSV(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(list) {
+			t.Fatalf("iter %d: %d != %d", iter, len(got), len(list))
+		}
+		for i := range list {
+			if got[i].Key() != list[i].Key() {
+				t.Fatalf("iter %d: rule %d key mismatch", iter, i)
+			}
+		}
+	}
+}
+
+func TestFilters(t *testing.T) {
+	list := sampleRules()
+	if got := WithItem(list, 4); len(got) != 1 || !got[0].Consequent.Equal(itemset.Of(4)) {
+		t.Errorf("WithItem(4) = %v", got)
+	}
+	if got := WithConsequentItem(list, 1); len(got) != 1 {
+		t.Errorf("WithConsequentItem(1) = %v", got)
+	}
+	if got := WithAntecedentSubsetOf(list, itemset.Of(1, 2)); len(got) != 3 {
+		// all three: {1} ⊆, {2} ⊆, ∅ ⊆.
+		t.Errorf("WithAntecedentSubsetOf = %v", got)
+	}
+	if got := MinSupport(list, 4); len(got) != 2 {
+		t.Errorf("MinSupport(4) = %v", got)
+	}
+	if got := MinConfidence(list, 0.9); len(got) != 2 {
+		t.Errorf("MinConfidence(0.9) = %v", got)
+	}
+}
+
+func TestTopBy(t *testing.T) {
+	list := sampleRules()
+	got := TopBy(list, 2, func(r Rule) float64 { return float64(r.Support) })
+	if len(got) != 2 || got[0].Support != 5 || got[1].Support != 4 {
+		t.Errorf("TopBy = %v", got)
+	}
+	all := TopBy(list, 0, func(r Rule) float64 { return -float64(r.Support) })
+	if len(all) != 3 || all[0].Support != 2 {
+		t.Errorf("TopBy(0) = %v", all)
+	}
+	// input untouched
+	if list[0].Support != 4 {
+		t.Error("TopBy mutated input")
+	}
+}
+
+func TestByLift(t *testing.T) {
+	score := ByLift(5)
+	r := sampleRules()[1] // conf .5, P(C)=.4 → lift 1.25
+	if got := score(r); math.Abs(got-1.25) > 1e-12 {
+		t.Errorf("lift = %v", got)
+	}
+	bad := Rule{Antecedent: itemset.Of(0), Consequent: itemset.Of(1), Support: 1, AntecedentSupport: 1}
+	if score(bad) != -1 {
+		t.Error("missing consequent support should rank last")
+	}
+}

@@ -1,0 +1,46 @@
+package rules
+
+import (
+	"fmt"
+	"math"
+)
+
+// Metrics carries the standard interestingness measures of a rule
+// relative to a database of numTx transactions.
+type Metrics struct {
+	Support    float64 // relative support of A ∪ C
+	Confidence float64
+	Lift       float64 // conf / P(C); 1 means independence
+	Leverage   float64 // P(A∪C) − P(A)·P(C)
+	Conviction float64 // (1−P(C)) / (1−conf); +Inf for exact rules
+	Jaccard    float64 // P(A∪C) / (P(A)+P(C)−P(A∪C))
+}
+
+// ComputeMetrics derives the measures; it requires ConsequentSupport
+// to be populated and numTx ≥ 1.
+func ComputeMetrics(r Rule, numTx int) (Metrics, error) {
+	if numTx < 1 {
+		return Metrics{}, fmt.Errorf("rules: numTx %d < 1", numTx)
+	}
+	if r.ConsequentSupport <= 0 {
+		return Metrics{}, fmt.Errorf("rules: rule %v lacks consequent support", r)
+	}
+	n := float64(numTx)
+	pa := float64(r.AntecedentSupport) / n
+	pc := float64(r.ConsequentSupport) / n
+	pu := float64(r.Support) / n
+	conf := r.Confidence()
+	m := Metrics{
+		Support:    pu,
+		Confidence: conf,
+		Lift:       conf / pc,
+		Leverage:   pu - pa*pc,
+		Jaccard:    pu / (pa + pc - pu),
+	}
+	if conf >= 1 {
+		m.Conviction = math.Inf(1)
+	} else {
+		m.Conviction = (1 - pc) / (1 - conf)
+	}
+	return m, nil
+}

@@ -1,0 +1,244 @@
+// Package rules defines association rules and implements the
+// generation of the complete set of valid rules from the frequent
+// itemsets (Agrawal & Srikant's ap-genrules). This complete, highly
+// redundant set is exactly what the paper's bases compress; its size
+// is the denominator of every reduction-factor experiment.
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"closedrules/internal/itemset"
+)
+
+// Rule is an association rule Antecedent → Consequent (disjoint
+// itemsets) with its measured absolute supports. Confidence is derived
+// from the two support counts so exactness is an integer comparison,
+// never a float one.
+type Rule struct {
+	Antecedent itemset.Itemset
+	Consequent itemset.Itemset
+	// Support is supp(Antecedent ∪ Consequent): the paper's rule
+	// support.
+	Support int
+	// AntecedentSupport is supp(Antecedent).
+	AntecedentSupport int
+	// ConsequentSupport is supp(Consequent); 0 when unknown (some
+	// basis constructions do not need it). Metrics that require it
+	// report that explicitly.
+	ConsequentSupport int
+}
+
+// Confidence returns supp(A∪C)/supp(A).
+func (r Rule) Confidence() float64 {
+	if r.AntecedentSupport == 0 {
+		return 0
+	}
+	return float64(r.Support) / float64(r.AntecedentSupport)
+}
+
+// IsExact reports whether the rule holds with 100% confidence.
+func (r Rule) IsExact() bool { return r.Support == r.AntecedentSupport && r.Support > 0 }
+
+// Union returns Antecedent ∪ Consequent.
+func (r Rule) Union() itemset.Itemset { return r.Antecedent.Union(r.Consequent) }
+
+// String renders "A → C (sup=s, conf=c)".
+func (r Rule) String() string { return r.Format(nil) }
+
+// Format renders the rule with item names.
+func (r Rule) Format(names []string) string {
+	return fmt.Sprintf("%s → %s (sup=%d, conf=%.3f)",
+		r.Antecedent.Format(names), r.Consequent.Format(names), r.Support, r.Confidence())
+}
+
+// Compare orders rules canonically: by antecedent, then consequent.
+func (r Rule) Compare(o Rule) int {
+	if c := r.Antecedent.Compare(o.Antecedent); c != 0 {
+		return c
+	}
+	return r.Consequent.Compare(o.Consequent)
+}
+
+// Key returns an injective map key for the rule's (A, C) pair.
+func (r Rule) Key() string {
+	return r.Antecedent.Key() + "→" + r.Consequent.Key()
+}
+
+// Sort orders a rule list canonically in place.
+func Sort(list []Rule) {
+	sort.Slice(list, func(i, j int) bool { return list[i].Compare(list[j]) < 0 })
+}
+
+// Split partitions rules into exact (confidence 1) and approximate
+// (confidence < 1) rules, preserving order.
+func Split(list []Rule) (exact, approximate []Rule) {
+	for _, r := range list {
+		if r.IsExact() {
+			exact = append(exact, r)
+		} else {
+			approximate = append(approximate, r)
+		}
+	}
+	return exact, approximate
+}
+
+// Generate produces every valid association rule A → C with A, C
+// non-empty and disjoint, A∪C frequent, and confidence ≥ minConf,
+// using the ap-genrules consequent-growing strategy: a consequent
+// that fails minConf never reappears inside a larger consequent
+// (confidence is anti-monotone in the consequent).
+func Generate(fam *itemset.Family, minConf float64) ([]Rule, error) {
+	var out []Rule
+	err := ForEach(fam, minConf, func(r Rule) { out = append(out, r) })
+	if err != nil {
+		return nil, err
+	}
+	Sort(out)
+	return out, nil
+}
+
+// Count tallies the valid exact and approximate rules at minConf
+// without materializing them — the counting experiments run at scales
+// where the full rule list would be wastefully large.
+func Count(fam *itemset.Family, minConf float64) (exact, approximate int, err error) {
+	err = ForEach(fam, minConf, func(r Rule) {
+		if r.IsExact() {
+			exact++
+		} else {
+			approximate++
+		}
+	})
+	return exact, approximate, err
+}
+
+// ForEach streams every valid rule to visit, in per-itemset generation
+// order (use Generate for the canonical sorted order).
+func ForEach(fam *itemset.Family, minConf float64, visit func(Rule)) error {
+	if minConf < 0 || minConf > 1 {
+		return fmt.Errorf("rules: minConf %v outside [0,1]", minConf)
+	}
+	for _, f := range fam.All() {
+		if f.Items.Len() < 2 {
+			continue
+		}
+		eachRuleFor(fam, f, minConf, visit)
+	}
+	return nil
+}
+
+func eachRuleFor(fam *itemset.Family, f itemset.Counted, minConf float64, visit func(Rule)) {
+	// Level 1 consequents: single items.
+	var level []itemset.Itemset
+	for _, c := range f.Items {
+		cons := itemset.Of(c)
+		if r, ok := makeRule(fam, f, cons); ok && r.Confidence() >= minConf {
+			visit(r)
+			level = append(level, cons)
+		}
+	}
+	// Grow consequents apriori-style.
+	for m := 2; m < f.Items.Len() && len(level) >= 2; m++ {
+		cands := joinConsequents(level)
+		var next []itemset.Itemset
+		for _, cons := range cands {
+			if r, ok := makeRule(fam, f, cons); ok && r.Confidence() >= minConf {
+				visit(r)
+				next = append(next, cons)
+			}
+		}
+		level = next
+	}
+}
+
+func makeRule(fam *itemset.Family, f itemset.Counted, cons itemset.Itemset) (Rule, bool) {
+	ante := f.Items.Diff(cons)
+	anteSup, ok := fam.Support(ante)
+	if !ok {
+		return Rule{}, false // cannot happen for a frequent f; guards misuse
+	}
+	consSup, _ := fam.Support(cons)
+	return Rule{
+		Antecedent:        ante,
+		Consequent:        cons,
+		Support:           f.Support,
+		AntecedentSupport: anteSup,
+		ConsequentSupport: consSup,
+	}, true
+}
+
+// joinConsequents joins same-size consequents sharing all but the last
+// item, mirroring levelwise.Join (duplicated here to keep consequent
+// growth self-contained and allocation-light).
+func joinConsequents(level []itemset.Itemset) []itemset.Itemset {
+	sort.Slice(level, func(i, j int) bool { return level[i].CompareLex(level[j]) < 0 })
+	var out []itemset.Itemset
+	for i := 0; i < len(level); i++ {
+		for j := i + 1; j < len(level); j++ {
+			a, b := level[i], level[j]
+			k := len(a)
+			if !a[:k-1].Equal(b[:k-1]) {
+				break
+			}
+			cand := make(itemset.Itemset, k+1)
+			copy(cand, a)
+			cand[k] = b[k-1]
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+// GenerateNaive enumerates valid rules by direct subset enumeration —
+// a reference implementation used to cross-check Generate and as the
+// naive baseline in benchmarks.
+func GenerateNaive(fam *itemset.Family, minConf float64) ([]Rule, error) {
+	if minConf < 0 || minConf > 1 {
+		return nil, fmt.Errorf("rules: minConf %v outside [0,1]", minConf)
+	}
+	var out []Rule
+	for _, f := range fam.All() {
+		if f.Items.Len() < 2 {
+			continue
+		}
+		f := f
+		f.Items.Subsets(func(ante itemset.Itemset) bool {
+			anteSup, ok := fam.Support(ante)
+			if !ok {
+				return true
+			}
+			cons := f.Items.Diff(ante)
+			consSup, _ := fam.Support(cons)
+			r := Rule{
+				Antecedent:        ante,
+				Consequent:        cons,
+				Support:           f.Support,
+				AntecedentSupport: anteSup,
+				ConsequentSupport: consSup,
+			}
+			if r.Confidence() >= minConf {
+				out = append(out, r)
+			}
+			return true
+		})
+	}
+	Sort(out)
+	return out, nil
+}
+
+// Dedup removes duplicate (antecedent, consequent) pairs, keeping the
+// first occurrence. Input order is preserved.
+func Dedup(list []Rule) []Rule {
+	seen := make(map[string]bool, len(list))
+	out := list[:0:0]
+	for _, r := range list {
+		k := r.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return out
+}

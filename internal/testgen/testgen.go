@@ -1,0 +1,74 @@
+// Package testgen builds small randomized datasets for the
+// cross-checking tests that compare the real miners against the
+// brute-force oracles in internal/naive. Kept out of _test files so
+// every package's tests can share the same generators.
+package testgen
+
+import (
+	"math/rand"
+
+	"closedrules/internal/dataset"
+)
+
+// Random returns a dataset with up to maxObjects transactions over up
+// to maxItems items; each (object, item) pair is related with the
+// given density. The item universe is padded so NumItems is exact.
+func Random(r *rand.Rand, maxObjects, maxItems int, density float64) *dataset.Dataset {
+	nObj := 1 + r.Intn(maxObjects)
+	nIt := 1 + r.Intn(maxItems)
+	raw := make([][]int, nObj, nObj+1)
+	sawLast := false
+	for o := 0; o < nObj; o++ {
+		for i := 0; i < nIt; i++ {
+			if r.Float64() < density {
+				raw[o] = append(raw[o], i)
+				if i == nIt-1 {
+					sawLast = true
+				}
+			}
+		}
+	}
+	if !sawLast {
+		// Pin the universe size by mentioning the last item once.
+		raw = append(raw, []int{nIt - 1})
+	}
+	d, err := dataset.FromTransactions(raw)
+	if err != nil {
+		panic(err) // unreachable: generated items are non-negative
+	}
+	return d
+}
+
+// Correlated returns a dataset in the strongly correlated regime
+// (mushroom/census-like): nObjects rows, each choosing one value per
+// attribute, with values drawn from a cluster-preferred distribution.
+// This produces many equal-support itemsets, exercising closure logic
+// harder than uniform noise.
+func Correlated(r *rand.Rand, nObjects, nAttrs, valuesPerAttr int, noise float64) *dataset.Dataset {
+	nClusters := 2 + r.Intn(3)
+	pref := make([][]int, nClusters)
+	for c := range pref {
+		pref[c] = make([]int, nAttrs)
+		for a := range pref[c] {
+			pref[c][a] = r.Intn(valuesPerAttr)
+		}
+	}
+	raw := make([][]int, nObjects)
+	for o := range raw {
+		c := r.Intn(nClusters)
+		row := make([]int, nAttrs)
+		for a := 0; a < nAttrs; a++ {
+			v := pref[c][a]
+			if r.Float64() < noise {
+				v = r.Intn(valuesPerAttr)
+			}
+			row[a] = a*valuesPerAttr + v
+		}
+		raw[o] = row
+	}
+	d, err := dataset.FromTransactions(raw)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

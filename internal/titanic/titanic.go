@@ -1,0 +1,211 @@
+// Package titanic implements the TITANIC closed-itemset miner
+// (Stumme, Taouil, Bastide, Pasquier, Lakhal — "Computing iceberg
+// concept lattices with TITANIC", DKE 42(2), 2002), the third
+// algorithm of the same research group. Like A-Close it mines key
+// sets (minimal generators) level-wise by support counting, but it
+// computes every closure *from the counted supports alone*, with no
+// extra database pass:
+//
+//	h(X) = X ∪ { a ∉ X : s(X∪{a}) = s(X) }
+//
+// where s(Y) is the counted support when Y was a candidate, and
+// otherwise min{ s(C) : C counted, C ⊆ Y } — exact for frequent Y
+// because the minimal equal-support subset (a key) of a frequent set
+// is always a counted candidate, and a safe under-threshold bound for
+// infrequent Y because the minimal infrequent subset of Y was counted
+// too (candidates are counted before the minsup filter).
+package titanic
+
+import (
+	"fmt"
+	"sort"
+
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/levelwise"
+)
+
+// Stats reports the level-wise work of a run.
+type Stats struct {
+	Passes             int
+	CandidatesPerLevel []int
+	KeysPerLevel       []int
+}
+
+type key struct {
+	items   itemset.Itemset
+	support int
+}
+
+// Mine returns the frequent closed itemsets (including the bottom
+// h(∅) with generator ∅) at absolute support ≥ minSup. No database
+// pass is made after support counting: closures come from the counted
+// candidate supports.
+func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
+	var stats Stats
+	if minSup < 1 {
+		return nil, stats, fmt.Errorf("titanic: minSup %d < 1", minSup)
+	}
+	nTx := d.NumTransactions()
+
+	// counted holds the exact support of every candidate ever counted,
+	// including infrequent ones; buckets[a] lists counted candidates
+	// containing item a (used by the closure fallback).
+	counted := map[string]int{}
+	buckets := make([][]itemset.Itemset, d.NumItems())
+	remember := func(c itemset.Itemset, sup int) {
+		counted[c.Key()] = sup
+		for _, a := range c {
+			buckets[a] = append(buckets[a], c)
+		}
+	}
+
+	// Level 1: every item is a candidate.
+	sup := d.ItemSupports()
+	stats.Passes = 1
+	stats.CandidatesPerLevel = append(stats.CandidatesPerLevel, d.NumItems())
+	var level []key
+	for it, s := range sup {
+		one := itemset.Of(it)
+		remember(one, s)
+		// Items as frequent as ∅ are not keys (supp = supp(∅)).
+		if s >= minSup && s < nTx {
+			level = append(level, key{items: one, support: s})
+		}
+	}
+	stats.KeysPerLevel = append(stats.KeysPerLevel, len(level))
+	allKeys := [][]key{level}
+
+	for k := 2; len(level) >= 2; k++ {
+		supports := make(map[string]int, len(level))
+		items := make([]itemset.Itemset, len(level))
+		for i, g := range level {
+			supports[g.items.Key()] = g.support
+			items[i] = g.items
+		}
+		levelwise.SortLex(items)
+		cands := levelwise.Join(items)
+		cands = levelwise.PruneBySubsets(cands, levelwise.Keys(items))
+		if len(cands) == 0 {
+			break
+		}
+		stats.CandidatesPerLevel = append(stats.CandidatesPerLevel, len(cands))
+
+		counts := make([]int, len(cands))
+		trie := levelwise.NewTrie(k, cands)
+		for _, tx := range d.Transactions() {
+			if tx.Len() < k {
+				continue
+			}
+			trie.Walk(tx, func(idx int) { counts[idx]++ })
+		}
+		stats.Passes++
+
+		var next []key
+		for i, cand := range cands {
+			remember(cand, counts[i])
+			if counts[i] < minSup {
+				continue
+			}
+			isKey := true
+			for drop := 0; drop < len(cand) && isKey; drop++ {
+				sub := make(itemset.Itemset, 0, len(cand)-1)
+				sub = append(sub, cand[:drop]...)
+				sub = append(sub, cand[drop+1:]...)
+				if s, ok := supports[sub.Key()]; ok && s == counts[i] {
+					isKey = false
+				}
+			}
+			if isKey {
+				next = append(next, key{items: cand, support: counts[i]})
+			}
+		}
+		stats.KeysPerLevel = append(stats.KeysPerLevel, len(next))
+		allKeys = append(allKeys, next)
+		level = next
+	}
+
+	// Sort each bucket by ascending support so the closure fallback
+	// hits its early exit (m < xSup) as soon as possible.
+	for a := range buckets {
+		b := buckets[a]
+		sort.Slice(b, func(i, j int) bool {
+			return counted[b[i].Key()] < counted[b[j].Key()]
+		})
+	}
+
+	// Pair supports in an allocation-free index: every pair of level-1
+	// keys was counted at level 2 (before the minsup filter), and
+	// supp(X∪{a}) = supp(X) requires supp({x,a}) ≥ supp(X) for every
+	// x ∈ X — on sparse data this rejects nearly every candidate item
+	// before the bucket scan.
+	pairSup := map[[2]int]int{}
+	for c, s := range counted {
+		it, err := itemset.FromKey(c)
+		if err == nil && it.Len() == 2 {
+			pairSup[[2]int{it[0], it[1]}] = s
+		}
+	}
+	singleSup := d.ItemSupports()
+
+	// extendsClosure reports whether supp(X∪{a}) = supp(X), deciding
+	// a ∈ h(X) from the counted supports (see package comment); the
+	// bound is exact whenever X∪{a} is frequent.
+	extendsClosure := func(x itemset.Itemset, xSup, a int) bool {
+		// supp(X∪{a}) ≤ supp({a}): a cheap O(1) rejection.
+		if singleSup[a] < xSup {
+			return false
+		}
+		for _, xi := range x {
+			p := [2]int{xi, a}
+			if xi > a {
+				p = [2]int{a, xi}
+			}
+			if s, ok := pairSup[p]; ok && s < xSup {
+				return false // supp({x,a}) < supp(X) ⇒ supp(X∪{a}) < supp(X)
+			}
+		}
+		y := x.With(a)
+		if s, ok := counted[y.Key()]; ok {
+			return s == xSup
+		}
+		// min over counted C ∋ a with C∖{a} ⊆ X; we only need to know
+		// whether the min drops below supp(X), so the ascending-support
+		// bucket order lets us stop at the first conclusive entry.
+		for _, c := range buckets[a] {
+			s := counted[c.Key()]
+			if s >= xSup {
+				break // all remaining entries are ≥ xSup: min = xSup
+			}
+			if x.ContainsAll(c.Without(a)) {
+				return false // min < xSup
+			}
+		}
+		return true
+	}
+
+	closureOf := func(x itemset.Itemset, xSup int) itemset.Itemset {
+		h := x.Clone()
+		for a := 0; a < d.NumItems(); a++ {
+			if x.Contains(a) {
+				continue
+			}
+			if extendsClosure(x, xSup, a) {
+				h = h.With(a)
+			}
+		}
+		return h
+	}
+
+	fc := closedset.New()
+	if nTx >= minSup {
+		fc.AddGenerator(closureOf(itemset.Empty(), nTx), nTx, itemset.Empty())
+	}
+	for _, lv := range allKeys {
+		for _, g := range lv {
+			fc.AddGenerator(closureOf(g.items, g.support), g.support, g.items)
+		}
+	}
+	return fc, stats, nil
+}

@@ -1,0 +1,166 @@
+package titanic
+
+import (
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/closealg"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/naive"
+	"closedrules/internal/testgen"
+)
+
+func classic(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	d, err := dataset.FromTransactions([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestMineClassic(t *testing.T) {
+	fc, stats, err := Mine(classic(t), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fc.Len() != 6 {
+		t.Fatalf("|FC| = %d, want 6: %v", fc.Len(), fc.All())
+	}
+	if s, ok := fc.Support(itemset.Of(1, 2, 4)); !ok || s != 3 {
+		t.Errorf("supp(BCE) = %d,%v", s, ok)
+	}
+	// Counting passes only — closures must not add passes.
+	if stats.Passes != len(stats.CandidatesPerLevel) {
+		t.Errorf("Passes = %d with %d candidate levels",
+			stats.Passes, len(stats.CandidatesPerLevel))
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	if _, _, err := Mine(classic(t), 0); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+}
+
+func TestMineUniversalItem(t *testing.T) {
+	d, _ := dataset.FromTransactions([][]int{{0, 1}, {0, 2}, {0, 1, 2}})
+	fc, _, err := Mine(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naive.ClosedItemsets(d.Context(), 1)
+	if !fc.Equal(want) {
+		t.Fatalf("FC mismatch: got %v want %v", fc.All(), want.All())
+	}
+	bot, ok := fc.Bottom()
+	if !ok || !bot.Items.Equal(itemset.Of(0)) {
+		t.Errorf("Bottom = %v,%v", bot, ok)
+	}
+}
+
+// TestInfrequentBoundaryCase is the trap the counted-candidate rule
+// avoids: a and b both frequent, {a,b} infrequent with the same
+// supports — the closure of {a} must not absorb b.
+func TestInfrequentBoundaryCase(t *testing.T) {
+	// a=0 in tx 1-5, b=1 in tx 6-10, both support 5, {0,1} support 0.
+	raw := [][]int{{0}, {0}, {0}, {0}, {0}, {1}, {1}, {1}, {1}, {1}}
+	d, _ := dataset.FromTransactions(raw)
+	fc, _, err := Mine(d, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, ok := fc.ClosureOf(itemset.Of(0))
+	if !ok || !cl.Items.Equal(itemset.Of(0)) {
+		t.Fatalf("h({0}) = %v,%v — absorbed an infrequent extension", cl.Items, ok)
+	}
+	want := naive.ClosedItemsets(d.Context(), 5)
+	if !fc.Equal(want) {
+		t.Fatalf("FC mismatch: got %v want %v", fc.All(), want.All())
+	}
+}
+
+func TestMineAgainstNaiveRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(401))
+	for iter := 0; iter < 100; iter++ {
+		d := testgen.Random(r, 25, 10, 0.4)
+		minSup := 1 + r.Intn(4)
+		fc, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.ClosedItemsets(d.Context(), minSup)
+		if !fc.Equal(want) {
+			t.Fatalf("iter %d (minSup %d): titanic %d closed, naive %d\ntitanic: %v\nnaive: %v",
+				iter, minSup, fc.Len(), want.Len(), fc.All(), want.All())
+		}
+	}
+}
+
+func TestMineHighMinSupRandom(t *testing.T) {
+	// High thresholds stress the infrequent-candidate bookkeeping.
+	r := rand.New(rand.NewSource(409))
+	for iter := 0; iter < 60; iter++ {
+		d := testgen.Random(r, 30, 8, 0.5)
+		minSup := 4 + r.Intn(8)
+		fc, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := naive.ClosedItemsets(d.Context(), minSup)
+		if !fc.Equal(want) {
+			t.Fatalf("iter %d (minSup %d): titanic %d, naive %d",
+				iter, minSup, fc.Len(), want.Len())
+		}
+	}
+}
+
+func TestMineAgreesWithCloseCorrelated(t *testing.T) {
+	r := rand.New(rand.NewSource(419))
+	for iter := 0; iter < 30; iter++ {
+		d := testgen.Correlated(r, 60, 5, 3, 0.2)
+		minSup := 2 + r.Intn(8)
+		a, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := closealg.Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(c) {
+			t.Fatalf("iter %d: titanic and close disagree (%d vs %d)", iter, a.Len(), c.Len())
+		}
+	}
+}
+
+// TestGeneratorsMatchClose: TITANIC's keys are exactly Close's
+// generators.
+func TestGeneratorsMatchClose(t *testing.T) {
+	r := rand.New(rand.NewSource(421))
+	for iter := 0; iter < 30; iter++ {
+		d := testgen.Random(r, 20, 8, 0.45)
+		minSup := 1 + r.Intn(3)
+		a, _, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := closealg.Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g1, g2 := a.AllGenerators(), c.AllGenerators()
+		if len(g1) != len(g2) {
+			t.Fatalf("iter %d: %d keys vs %d generators", iter, len(g1), len(g2))
+		}
+		for i := range g1 {
+			if !g1[i].Generator.Equal(g2[i].Generator) || !g1[i].Closure.Equal(g2[i].Closure) {
+				t.Fatalf("iter %d: key %d mismatch: %v→%v vs %v→%v", iter, i,
+					g1[i].Generator, g1[i].Closure, g2[i].Generator, g2[i].Closure)
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package closedrules
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"closedrules/internal/apriori"
+	"closedrules/internal/closedset"
+	"closedrules/internal/core"
+	"closedrules/internal/itemset"
+	"closedrules/internal/lattice"
+	"closedrules/internal/rules"
+)
+
+// Result holds the outcome of a closed-itemset mining run. Frequent
+// itemsets, the iceberg lattice, rules and bases are derived lazily on
+// first use and cached. Result is safe for concurrent use.
+type Result struct {
+	d      *Dataset
+	minSup int
+	algo   Algorithm
+	fc     *closedset.Set
+
+	famOnce sync.Once
+	fam     *itemset.Family // lazily mined (Apriori)
+	famErr  error
+	latOnce sync.Once
+	lat     *lattice.Lattice // lazily built
+}
+
+// Dataset returns the mined dataset.
+func (r *Result) Dataset() *Dataset { return r.d }
+
+// MinSupport returns the absolute minimum support count used.
+func (r *Result) MinSupport() int { return r.minSup }
+
+// Algorithm returns the closed-itemset miner that produced the result.
+func (r *Result) Algorithm() Algorithm { return r.algo }
+
+// ClosedItemsets returns the frequent closed itemsets (FC), including
+// the bottom h(∅), in canonical order.
+func (r *Result) ClosedItemsets() []ClosedItemset { return r.fc.All() }
+
+// NumClosed returns |FC|.
+func (r *Result) NumClosed() int { return r.fc.Len() }
+
+// MaximalItemsets returns the maximal frequent (closed) itemsets.
+func (r *Result) MaximalItemsets() []ClosedItemset { return r.fc.Maximal() }
+
+// Closure returns h(X), the smallest frequent closed itemset
+// containing X; ok is false when X is not frequent.
+func (r *Result) Closure(x Itemset) (ClosedItemset, bool) { return r.fc.ClosureOf(x) }
+
+// Support returns supp(X) = supp(h(X)); ok is false when X is not
+// frequent.
+func (r *Result) Support(x Itemset) (int, bool) { return r.fc.SupportOf(x) }
+
+func (r *Result) family() (*itemset.Family, error) {
+	r.famOnce.Do(func() {
+		r.fam, _, r.famErr = apriori.Mine(r.d, r.minSup)
+	})
+	return r.fam, r.famErr
+}
+
+func (r *Result) latticeOf() *lattice.Lattice {
+	r.latOnce.Do(func() {
+		r.lat = lattice.Build(r.fc)
+	})
+	return r.lat
+}
+
+// FrequentItemsets returns all frequent itemsets (mined lazily with
+// Apriori at the Result's threshold). The paper's §2 guarantees these
+// are recoverable from FC; this method exists for comparisons and for
+// basis construction.
+func (r *Result) FrequentItemsets() ([]CountedItemset, error) {
+	fam, err := r.family()
+	if err != nil {
+		return nil, err
+	}
+	return fam.All(), nil
+}
+
+// AllRules generates the complete set of valid association rules at
+// the given confidence threshold — the redundant set the bases
+// compress.
+func (r *Result) AllRules(minConf float64) ([]Rule, error) {
+	fam, err := r.family()
+	if err != nil {
+		return nil, err
+	}
+	return rules.Generate(fam, minConf)
+}
+
+// LatticeDOT renders the iceberg lattice in Graphviz format.
+func (r *Result) LatticeDOT() string {
+	return r.latticeOf().DOT(r.d.Names())
+}
+
+// LatticeEdges returns the Hasse edges of the iceberg lattice as
+// (lower, upper) pairs of closed itemsets.
+func (r *Result) LatticeEdges() [][2]ClosedItemset {
+	lat := r.latticeOf()
+	var out [][2]ClosedItemset
+	for _, e := range lat.Edges() {
+		out = append(out, [2]ClosedItemset{lat.Nodes[e[0]], lat.Nodes[e[1]]})
+	}
+	return out
+}
+
+// Bases holds the paper's two bases: Exact is the Duquenne–Guigues
+// basis (Theorem 1) and Approximate the transitive reduction of the
+// Luxenburger basis at the chosen confidence (Theorem 2). Together
+// they are a minimal non-redundant generating set for all valid rules.
+type Bases struct {
+	Exact       []Rule
+	Approximate []Rule
+
+	numTx int
+	// unfiltered copies retained so the derivation engine sees the
+	// complete diagram regardless of display thresholds.
+	dgAll  []Rule
+	luxAll []Rule
+}
+
+// Bases computes both bases. minConf filters the approximate basis;
+// exact rules always have confidence 1. Rules with an empty antecedent
+// (possible only for the exact rule ∅ → h(∅) and approximate rules
+// out of an empty bottom) are excluded from the exported lists but
+// kept internally for derivation.
+func (r *Result) Bases(minConf float64) (*Bases, error) {
+	fam, err := r.family()
+	if err != nil {
+		return nil, err
+	}
+	dg, err := core.DuquenneGuigues(r.d.NumTransactions(), fam, r.fc)
+	if err != nil {
+		return nil, err
+	}
+	lat := r.latticeOf()
+	luxAll, err := core.LuxenburgerReduction(lat, r.fc, core.LuxenburgerOptions{
+		IncludeEmptyAntecedent: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	filtered, err := core.LuxenburgerReduction(lat, r.fc, core.LuxenburgerOptions{
+		MinConfidence: minConf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Bases{
+		Exact:       core.DropEmptyAntecedent(dg),
+		Approximate: filtered,
+		numTx:       r.d.NumTransactions(),
+		dgAll:       dg,
+		luxAll:      luxAll,
+	}, nil
+}
+
+// LuxenburgerFull returns the unreduced Luxenburger basis: one rule
+// per comparable pair of frequent closed itemsets.
+func (r *Result) LuxenburgerFull(minConf float64) ([]Rule, error) {
+	return core.LuxenburgerFull(r.fc, core.LuxenburgerOptions{MinConfidence: minConf})
+}
+
+// GenericBasis returns the generic basis for exact rules (minimal-
+// generator antecedents), the follow-on refinement of the same
+// authors. Requires a generator-tracking algorithm (Close, AClose).
+func (r *Result) GenericBasis() ([]Rule, error) {
+	if r.algo == Charm {
+		return nil, fmt.Errorf("closedrules: %v does not track generators; mine with Close or AClose", r.algo)
+	}
+	return core.GenericBasis(r.fc)
+}
+
+// InformativeBasis returns the informative basis for approximate rules
+// (minimal-generator antecedents, closed-itemset consequents); reduced
+// restricts consequents to lattice covers.
+func (r *Result) InformativeBasis(minConf float64, reduced bool) ([]Rule, error) {
+	if r.algo == Charm {
+		return nil, fmt.Errorf("closedrules: %v does not track generators; mine with Close or AClose", r.algo)
+	}
+	return core.InformativeBasis(r.latticeOf(), r.fc, reduced, core.LuxenburgerOptions{
+		MinConfidence: minConf,
+	})
+}
+
+// PseudoClosedItemsets returns the frequent pseudo-closed itemsets —
+// the antecedents of the Duquenne–Guigues basis.
+func (r *Result) PseudoClosedItemsets() ([]CountedItemset, error) {
+	fam, err := r.family()
+	if err != nil {
+		return nil, err
+	}
+	ps, err := core.PseudoClosedSets(r.d.NumTransactions(), fam, r.fc)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CountedItemset, len(ps))
+	for i, p := range ps {
+		out[i] = CountedItemset{Items: p.Items, Support: p.Support}
+	}
+	return out, nil
+}
+
+// Engine is the derivation engine of the paper's theorems: it answers
+// support, confidence and validity queries for arbitrary rules using
+// only the two bases.
+type Engine = core.Engine
+
+// Engine builds a derivation engine from the bases.
+func (b *Bases) Engine() (*Engine, error) {
+	return core.NewEngine(b.numTx, b.dgAll, b.luxAll)
+}
+
+// Size returns |Exact| + |Approximate|.
+func (b *Bases) Size() int { return len(b.Exact) + len(b.Approximate) }
+
+// DeriveAllRules regenerates the complete set of valid rules at the
+// given confidence from the condensed representation alone (closed
+// itemsets + bases) — the database is not consulted. It must return
+// exactly what AllRules measures; the test suite asserts this.
+func (r *Result) DeriveAllRules(minConf float64) ([]Rule, error) {
+	bases, err := r.Bases(0)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := bases.Engine()
+	if err != nil {
+		return nil, err
+	}
+	return core.DeriveAllRules(eng, r.fc, minConf, 25)
+}
+
+// SaveClosedItemsets writes the frequent closed itemsets (with their
+// generators) in the library's stable text format, so a mined FC can
+// be stored and re-analyzed without re-mining.
+func (r *Result) SaveClosedItemsets(w io.Writer) error {
+	return closedset.Write(w, r.fc)
+}
+
+// LoadClosedItemsets reads a collection written by SaveClosedItemsets.
+func LoadClosedItemsets(rd io.Reader) ([]ClosedItemset, error) {
+	s, err := closedset.Read(rd)
+	if err != nil {
+		return nil, err
+	}
+	return s.All(), nil
+}

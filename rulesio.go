@@ -1,0 +1,40 @@
+package closedrules
+
+import (
+	"io"
+
+	"closedrules/internal/itemset"
+	"closedrules/internal/rules"
+)
+
+// WriteRulesJSON writes rules as a JSON array.
+func WriteRulesJSON(w io.Writer, list []Rule) error { return rules.WriteJSON(w, list) }
+
+// ReadRulesJSON parses rules written by WriteRulesJSON.
+func ReadRulesJSON(r io.Reader) ([]Rule, error) { return rules.ReadJSON(r) }
+
+// WriteRulesCSV writes rules as CSV (itemsets as space-separated ids).
+func WriteRulesCSV(w io.Writer, list []Rule) error { return rules.WriteCSV(w, list) }
+
+// ReadRulesCSV parses rules written by WriteRulesCSV.
+func ReadRulesCSV(r io.Reader) ([]Rule, error) { return rules.ReadCSV(r) }
+
+// FilterRules returns the rules satisfying pred, preserving order.
+func FilterRules(list []Rule, pred func(Rule) bool) []Rule { return rules.Filter(list, pred) }
+
+// RulesWithItem keeps rules mentioning the item on either side.
+func RulesWithItem(list []Rule, item int) []Rule { return rules.WithItem(list, item) }
+
+// RulesPredicting keeps rules whose consequent contains the item.
+func RulesPredicting(list []Rule, item int) []Rule { return rules.WithConsequentItem(list, item) }
+
+// RulesApplicableTo keeps rules whose antecedent is contained in the
+// observed itemset.
+func RulesApplicableTo(list []Rule, observed Itemset) []Rule {
+	return rules.WithAntecedentSubsetOf(list, itemset.Itemset(observed))
+}
+
+// TopRulesByLift returns the k rules with the highest lift.
+func TopRulesByLift(list []Rule, k, numTx int) []Rule {
+	return rules.TopBy(list, k, rules.ByLift(numTx))
+}
