@@ -13,33 +13,44 @@
 //
 // Every valid rule, with its exact support and confidence, can be
 // rederived from the two bases alone; Engine implements that
-// derivation.
+// derivation, and QueryService serves it concurrently.
 //
 // Quick start:
 //
 //	ds, _ := closedrules.NewDataset([][]int{{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4}})
-//	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+//	res, _ := closedrules.MineContext(ctx, ds,
+//		closedrules.WithMinSupport(0.4),
+//		closedrules.WithAlgorithm("titanic"))
 //	bases, _ := res.Bases(0.5)
 //	for _, r := range bases.Exact { fmt.Println(r) }
 //	for _, r := range bases.Approximate { fmt.Println(r) }
+//
+// The algorithm is selected by registry name — ClosedMiners and
+// FrequentMiners list what is available, and RegisterClosedMiner /
+// RegisterFrequentMiner plug in new implementations without touching
+// this package. The context is honored mid-mine: a deadline or cancel
+// aborts the run within one level (level-wise miners) or one branch
+// extension (depth-first miners).
+//
+// To serve rule queries at scale, wrap a Result in a QueryService:
+//
+//	qs, _ := closedrules.NewQueryService(res, 0.5)
+//	recs, _ := qs.Recommend(ctx, closedrules.Items(1), 3)
+//
+// QueryService is safe for concurrent use and supports hot reload via
+// Swap when fresh data has been re-mined.
 package closedrules
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strings"
 
-	"closedrules/internal/aclose"
-	"closedrules/internal/apriori"
-	"closedrules/internal/charm"
-	"closedrules/internal/closealg"
 	"closedrules/internal/closedset"
 	"closedrules/internal/dataset"
-	"closedrules/internal/eclat"
-	"closedrules/internal/fpgrowth"
 	"closedrules/internal/itemset"
-	"closedrules/internal/pascal"
 	"closedrules/internal/rules"
-	"closedrules/internal/titanic"
 )
 
 // Dataset is a transaction database over dense integer items.
@@ -101,6 +112,9 @@ func ReadTableFile(path string, sep rune, hasHeader bool) (*Dataset, error) {
 }
 
 // Algorithm selects the mining algorithm.
+//
+// Deprecated: algorithms are now selected by registry name via
+// WithAlgorithm; the enum survives only for Options compatibility.
 type Algorithm int
 
 const (
@@ -119,7 +133,7 @@ const (
 	Titanic
 )
 
-// String names the algorithm.
+// String names the algorithm as registered in the miner registry.
 func (a Algorithm) String() string {
 	switch a {
 	case Close:
@@ -135,6 +149,9 @@ func (a Algorithm) String() string {
 }
 
 // Options configures Mine.
+//
+// Deprecated: use MineContext with functional options
+// (WithMinSupport, WithAbsoluteMinSupport, WithAlgorithm).
 type Options struct {
 	// MinSupport is the relative minimum support in (0, 1]; ignored
 	// when AbsoluteMinSupport is set.
@@ -145,100 +162,89 @@ type Options struct {
 	Algorithm Algorithm
 }
 
-func (o Options) minSup(d *Dataset) (int, error) {
+// supportOption translates the legacy Options threshold fields into a
+// functional option, preserving their validation errors.
+func (o Options) supportOption() (MineOption, error) {
 	if o.AbsoluteMinSupport >= 1 {
-		if o.AbsoluteMinSupport > d.NumTransactions() && d.NumTransactions() > 0 {
-			return o.AbsoluteMinSupport, nil // legal: empty result
-		}
-		return o.AbsoluteMinSupport, nil
+		return WithAbsoluteMinSupport(o.AbsoluteMinSupport), nil
 	}
 	if o.MinSupport <= 0 || o.MinSupport > 1 {
-		return 0, fmt.Errorf("closedrules: MinSupport %v outside (0,1] and no absolute threshold", o.MinSupport)
+		return nil, fmt.Errorf("closedrules: MinSupport %v outside (0,1] and no absolute threshold", o.MinSupport)
 	}
-	return d.AbsoluteSupport(o.MinSupport), nil
+	return WithMinSupport(o.MinSupport), nil
+}
+
+// mineOptions translates the legacy Options struct into functional
+// options, preserving its validation errors.
+func (o Options) mineOptions() ([]MineOption, error) {
+	supOpt, err := o.supportOption()
+	if err != nil {
+		return nil, err
+	}
+	switch o.Algorithm {
+	case Close, AClose, Charm, Titanic:
+		return []MineOption{supOpt, WithAlgorithm(o.Algorithm.String())}, nil
+	default:
+		return nil, fmt.Errorf("closedrules: unknown algorithm %v", o.Algorithm)
+	}
 }
 
 // Mine extracts the frequent closed itemsets of the dataset and
 // returns a Result from which itemsets, rules and bases are derived.
+//
+// Deprecated: use MineContext, which adds cancellation and selects
+// algorithms by registry name.
 func Mine(d *Dataset, opt Options) (*Result, error) {
-	minSup, err := opt.minSup(d)
+	opts, err := opt.mineOptions()
 	if err != nil {
 		return nil, err
 	}
-	var fc *closedset.Set
-	switch opt.Algorithm {
-	case Close:
-		fc, _, err = closealg.Mine(d, minSup)
-	case AClose:
-		fc, _, err = aclose.Mine(d, minSup)
-	case Charm:
-		fc, err = charm.Mine(d, minSup)
-	case Titanic:
-		fc, _, err = titanic.Mine(d, minSup)
-	default:
-		return nil, fmt.Errorf("closedrules: unknown algorithm %v", opt.Algorithm)
-	}
+	return MineContext(context.Background(), d, opts...)
+}
+
+// mineFrequentNamed backs the deprecated MineFrequent* wrappers. The
+// legacy Options.Algorithm field is ignored here, as it always was:
+// it only ever named closed miners, and the frequent miner is fixed
+// by the wrapper.
+func mineFrequentNamed(d *Dataset, opt Options, algo string) ([]CountedItemset, error) {
+	supOpt, err := opt.supportOption()
 	if err != nil {
 		return nil, err
 	}
-	return &Result{d: d, minSup: minSup, algo: opt.Algorithm, fc: fc}, nil
+	return MineFrequentContext(context.Background(), d, supOpt, WithAlgorithm(algo))
 }
 
 // MineFrequent extracts all frequent itemsets (the Apriori baseline —
 // exactly what the bases make unnecessary, provided for comparisons).
+//
+// Deprecated: use MineFrequentContext with WithAlgorithm("apriori").
 func MineFrequent(d *Dataset, opt Options) ([]CountedItemset, error) {
-	minSup, err := opt.minSup(d)
-	if err != nil {
-		return nil, err
-	}
-	fam, _, err := apriori.Mine(d, minSup)
-	if err != nil {
-		return nil, err
-	}
-	return fam.All(), nil
+	return mineFrequentNamed(d, opt, "apriori")
 }
 
 // MineFrequentEclat extracts all frequent itemsets with the vertical
 // Eclat miner.
+//
+// Deprecated: use MineFrequentContext with WithAlgorithm("eclat").
 func MineFrequentEclat(d *Dataset, opt Options) ([]CountedItemset, error) {
-	minSup, err := opt.minSup(d)
-	if err != nil {
-		return nil, err
-	}
-	fam, err := eclat.Mine(d, minSup)
-	if err != nil {
-		return nil, err
-	}
-	return fam.All(), nil
+	return mineFrequentNamed(d, opt, "eclat")
 }
 
 // MineFrequentFPGrowth extracts all frequent itemsets with the
 // FP-Growth miner (prefix-tree compression, no candidate generation).
+//
+// Deprecated: use MineFrequentContext with WithAlgorithm("fpgrowth").
 func MineFrequentFPGrowth(d *Dataset, opt Options) ([]CountedItemset, error) {
-	minSup, err := opt.minSup(d)
-	if err != nil {
-		return nil, err
-	}
-	fam, err := fpgrowth.Mine(d, minSup)
-	if err != nil {
-		return nil, err
-	}
-	return fam.All(), nil
+	return mineFrequentNamed(d, opt, "fpgrowth")
 }
 
 // MineFrequentPascal extracts all frequent itemsets with the PASCAL
 // miner (key-pattern counting inference — the same group's Apriori
 // refinement; fastest on correlated data).
+//
+// Deprecated: use MineFrequentContext with WithAlgorithm("pascal").
 func MineFrequentPascal(d *Dataset, opt Options) ([]CountedItemset, error) {
-	minSup, err := opt.minSup(d)
-	if err != nil {
-		return nil, err
-	}
-	fam, _, err := pascal.Mine(d, minSup)
-	if err != nil {
-		return nil, err
-	}
-	return fam.All(), nil
+	return mineFrequentNamed(d, opt, "pascal")
 }
 
 // FormatRules renders rules one per line using the dataset's item
@@ -248,11 +254,12 @@ func FormatRules(list []Rule, d *Dataset) string {
 	if d != nil {
 		names = d.Names()
 	}
-	out := ""
+	var b strings.Builder
 	for _, r := range list {
-		out += r.Format(names) + "\n"
+		b.WriteString(r.Format(names))
+		b.WriteByte('\n')
 	}
-	return out
+	return b.String()
 }
 
 // RuleMetrics computes the interestingness measures of a rule against

@@ -3,26 +3,34 @@
 //
 // Usage:
 //
-//	armine -in data.dat -minsup 0.3 -mode bases [-minconf 0.5] [-algo close]
+//	armine -in data.dat -minsup 0.3 -mode bases [-minconf 0.5] [-algo close] [-timeout 30s]
 //	armine -in table.csv -table -sep , -header -minsup 0.5 -mode closed
+//	armine -algo list
 //
 // Modes:
 //
 //	stats     dataset summary
-//	frequent  all frequent itemsets (Apriori baseline)
+//	frequent  all frequent itemsets (-algo apriori | eclat | declat | fpgrowth | pascal)
 //	closed    frequent closed itemsets with minimal generators
 //	pseudo    frequent pseudo-closed itemsets
 //	rules     all valid association rules at -minconf
 //	bases     Duquenne–Guigues + reduced Luxenburger bases (the paper)
 //	generic   generic + informative bases (minimal generators)
 //	lattice   iceberg lattice in Graphviz DOT
+//
+// Algorithms are resolved through the miner registry: `-algo list`
+// prints every registered name. Closed modes default to "close",
+// frequent mode to "apriori". A -timeout aborts a runaway mine
+// mid-run via context cancellation.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"closedrules"
 )
@@ -44,15 +52,28 @@ func run(args []string, w io.Writer) error {
 		minsup  = fs.Float64("minsup", 0.5, "relative minimum support (0,1]")
 		abssup  = fs.Int("abssup", 0, "absolute minimum support (overrides -minsup when ≥1)")
 		minconf = fs.Float64("minconf", 0.5, "minimum confidence [0,1]")
-		algo    = fs.String("algo", "close", "closed miner: close | aclose | charm | titanic")
+		algo    = fs.String("algo", "", "miner registry name (\"list\" to print all; default close, or apriori in frequent mode)")
 		mode    = fs.String("mode", "bases", "stats | frequent | closed | pseudo | rules | bases | generic | lattice")
 		format  = fs.String("format", "text", "rule output format: text | json | csv")
+		timeout = fs.Duration("timeout", 0, "abort mining after this duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *algo == "list" {
+		fmt.Fprintf(w, "closed miners:   %s\n", strings.Join(closedrules.ClosedMiners(), " "))
+		fmt.Fprintf(w, "frequent miners: %s\n", strings.Join(closedrules.FrequentMiners(), " "))
+		return nil
+	}
 	if *in == "" {
 		return fmt.Errorf("missing -in")
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var (
@@ -72,18 +93,13 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	opt := closedrules.Options{MinSupport: *minsup, AbsoluteMinSupport: *abssup}
-	switch *algo {
-	case "close":
-		opt.Algorithm = closedrules.Close
-	case "aclose":
-		opt.Algorithm = closedrules.AClose
-	case "charm":
-		opt.Algorithm = closedrules.Charm
-	case "titanic":
-		opt.Algorithm = closedrules.Titanic
-	default:
-		return fmt.Errorf("unknown -algo %q", *algo)
+	opts := []closedrules.MineOption{closedrules.WithMinSupport(*minsup)}
+	if *abssup >= 1 {
+		opts = []closedrules.MineOption{closedrules.WithAbsoluteMinSupport(*abssup)}
+	}
+	// Algorithm defaulting (close / apriori) is the library's job.
+	if *algo != "" {
+		opts = append(opts, closedrules.WithAlgorithm(*algo))
 	}
 
 	if *mode == "stats" {
@@ -93,7 +109,7 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 	if *mode == "frequent" {
-		fi, err := closedrules.MineFrequent(d, opt)
+		fi, err := closedrules.MineFrequentContext(ctx, d, opts...)
 		if err != nil {
 			return err
 		}
@@ -104,7 +120,7 @@ func run(args []string, w io.Writer) error {
 		return nil
 	}
 
-	res, err := closedrules.Mine(d, opt)
+	res, err := closedrules.MineContext(ctx, d, opts...)
 	if err != nil {
 		return err
 	}

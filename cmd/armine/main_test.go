@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -47,6 +49,38 @@ func TestClosedModeAllAlgorithms(t *testing.T) {
 		if !strings.Contains(out, "# 6 frequent closed itemsets") {
 			t.Errorf("algo %s output:\n%s", algo, out)
 		}
+	}
+}
+
+func TestAlgoList(t *testing.T) {
+	out := runCLI(t, "-algo", "list")
+	for _, name := range []string{"close", "aclose", "charm", "titanic", "apriori", "eclat", "declat", "fpgrowth", "pascal"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-algo list missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestFrequentModeAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"apriori", "eclat", "declat", "fpgrowth", "pascal"} {
+		out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-mode", "frequent", "-algo", algo)
+		if !strings.Contains(out, "# 15 frequent itemsets") {
+			t.Errorf("algo %s output:\n%s", algo, out)
+		}
+	}
+}
+
+func TestTimeoutFlag(t *testing.T) {
+	// A generous timeout must not disturb a normal run.
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-mode", "closed", "-timeout", "1m")
+	if !strings.Contains(out, "# 6 frequent closed itemsets") {
+		t.Errorf("timeout run output:\n%s", out)
+	}
+	// An already-expired timeout aborts with the context's error.
+	var sb strings.Builder
+	err := run([]string{"-in", writeClassic(t), "-minsup", "0.4", "-mode", "closed", "-timeout", "1ns"}, &sb)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("expired timeout: err = %v, want context.DeadlineExceeded", err)
 	}
 }
 

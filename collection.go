@@ -35,13 +35,7 @@ func NewClosedCollection(items []ClosedItemset) (*ClosedCollection, error) {
 	if len(items) == 0 {
 		return nil, fmt.Errorf("closedrules: empty collection")
 	}
-	s := closedset.New()
-	for _, c := range items {
-		s.Add(c.Items, c.Support)
-		for _, g := range c.Generators {
-			s.AddGenerator(c.Items, c.Support, g)
-		}
-	}
+	s := closedset.FromSlice(items)
 	bot, ok := s.Bottom()
 	if !ok {
 		return nil, fmt.Errorf("closedrules: collection has no bottom element (incomplete FC)")

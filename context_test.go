@@ -1,0 +1,93 @@
+package closedrules
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestMineContextPreCancelled asserts that every registered miner
+// checks the context before doing any work.
+func TestMineContextPreCancelled(t *testing.T) {
+	d := classic(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range ClosedMiners() {
+		_, err := MineContext(ctx, d, WithMinSupport(0.4), WithAlgorithm(name))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+	for _, name := range FrequentMiners() {
+		_, err := MineFrequentContext(ctx, d, WithMinSupport(0.4), WithAlgorithm(name))
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// explosive returns a dense random dataset whose pattern space is far
+// too large to mine to completion at support 2: without cancellation
+// every miner would run for minutes; with it, each must return within
+// one level or extension step of the deadline.
+func explosive(t *testing.T) *Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(77))
+	const (
+		numTx    = 2000
+		numItems = 30
+	)
+	raw := make([][]int, numTx)
+	for o := range raw {
+		for i := 0; i < numItems; i++ {
+			if r.Float64() < 0.5 {
+				raw[o] = append(raw[o], i)
+			}
+		}
+	}
+	d, err := NewDatasetWithUniverse(raw, numItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func assertCancelsPromptly(t *testing.T, name string, mine func(context.Context) error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := mine(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("%s: err = %v, want context.DeadlineExceeded", name, err)
+	}
+	// Generous bound: one level pass on the explosive dataset is well
+	// under a second; minutes would mean the deadline was ignored.
+	if elapsed > 15*time.Second {
+		t.Errorf("%s: returned after %v, deadline ignored", name, elapsed)
+	}
+}
+
+// TestMineContextCancelsMidMine drives every miner into a pattern
+// space it cannot finish and asserts the deadline aborts it mid-run.
+func TestMineContextCancelsMidMine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("explosive dataset in -short mode")
+	}
+	d := explosive(t)
+	for _, name := range ClosedMiners() {
+		assertCancelsPromptly(t, name, func(ctx context.Context) error {
+			_, err := MineContext(ctx, d, WithAbsoluteMinSupport(2), WithAlgorithm(name))
+			return err
+		})
+	}
+	for _, name := range FrequentMiners() {
+		assertCancelsPromptly(t, name, func(ctx context.Context) error {
+			_, err := MineFrequentContext(ctx, d, WithAbsoluteMinSupport(2), WithAlgorithm(name))
+			return err
+		})
+	}
+}

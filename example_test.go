@@ -1,6 +1,7 @@
 package closedrules_test
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,7 +22,7 @@ func classicDataset() *closedrules.Dataset {
 
 func Example() {
 	ds := classicDataset()
-	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	res, _ := closedrules.MineContext(context.Background(), ds, closedrules.WithMinSupport(0.4))
 	bases, _ := res.Bases(0.5)
 	for _, r := range bases.Exact {
 		fmt.Println(r)
@@ -32,9 +33,11 @@ func Example() {
 	// {4} → {1} (sup=4, conf=1.000)
 }
 
-func ExampleMine() {
+func ExampleMineContext() {
 	ds := classicDataset()
-	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	res, _ := closedrules.MineContext(context.Background(), ds,
+		closedrules.WithMinSupport(0.4),
+		closedrules.WithAlgorithm("titanic"))
 	for _, c := range res.ClosedItemsets() {
 		fmt.Printf("%v support=%d\n", c.Items, c.Support)
 	}
@@ -47,9 +50,36 @@ func ExampleMine() {
 	// {0, 1, 2, 4} support=2
 }
 
+func ExampleMineFrequentContext() {
+	ds := classicDataset()
+	fi, _ := closedrules.MineFrequentContext(context.Background(), ds,
+		closedrules.WithMinSupport(0.4),
+		closedrules.WithAlgorithm("eclat"))
+	fmt.Println(len(fi), "frequent itemsets")
+	// Output:
+	// 15 frequent itemsets
+}
+
+func ExampleQueryService() {
+	ctx := context.Background()
+	ds := classicDataset()
+	res, _ := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
+	qs, _ := closedrules.NewQueryService(res, 0.5)
+
+	conf, _ := qs.Confidence(ctx, closedrules.Items(2), closedrules.Items(0)) // C → A
+	fmt.Printf("conf(C → A) = %.3f\n", conf)
+	recs, _ := qs.Recommend(ctx, closedrules.Items(1), 1) // observed {B}
+	for _, r := range recs {
+		fmt.Println("recommend:", r)
+	}
+	// Output:
+	// conf(C → A) = 0.750
+	// recommend: {1} → {4} (sup=4, conf=1.000)
+}
+
 func ExampleResult_Closure() {
 	ds := classicDataset()
-	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	res, _ := closedrules.MineContext(context.Background(), ds, closedrules.WithMinSupport(0.4))
 	cl, _ := res.Closure(closedrules.Items(0)) // h({A})
 	fmt.Println(cl.Items, cl.Support)
 	// Output:
@@ -58,7 +88,7 @@ func ExampleResult_Closure() {
 
 func ExampleBases_Engine() {
 	ds := classicDataset()
-	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	res, _ := closedrules.MineContext(context.Background(), ds, closedrules.WithMinSupport(0.4))
 	bases, _ := res.Bases(0)
 	eng, _ := bases.Engine()
 	// Reconstruct the rule C → B,E from the bases alone.
@@ -70,7 +100,7 @@ func ExampleBases_Engine() {
 
 func ExampleResult_DeriveAllRules() {
 	ds := classicDataset()
-	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	res, _ := closedrules.MineContext(context.Background(), ds, closedrules.WithMinSupport(0.4))
 	derived, _ := res.DeriveAllRules(0.5)
 	measured, _ := res.AllRules(0.5)
 	fmt.Println(len(derived) == len(measured), len(derived))
@@ -87,7 +117,7 @@ func ExampleReadDat() {
 
 func ExampleResult_PseudoClosedItemsets() {
 	ds := classicDataset()
-	res, _ := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	res, _ := closedrules.MineContext(context.Background(), ds, closedrules.WithMinSupport(0.4))
 	ps, _ := res.PseudoClosedItemsets()
 	for _, p := range ps {
 		fmt.Println(p.Items)

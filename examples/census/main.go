@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,6 +15,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ds, err := closedrules.GenerateCensus(closedrules.CensusC20(5000, 7))
 	if err != nil {
 		log.Fatal(err)
@@ -22,7 +24,11 @@ func main() {
 	fmt.Printf("census-like data: %d objects × 20 attributes (%d items)\n",
 		s.NumTransactions, s.NumItems)
 
-	res, err := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	// Titanic computes every closure from support counts alone — on
+	// correlated data like this it avoids all closure database passes.
+	res, err := closedrules.MineContext(ctx, ds,
+		closedrules.WithMinSupport(0.4),
+		closedrules.WithAlgorithm("titanic"))
 	if err != nil {
 		log.Fatal(err)
 	}

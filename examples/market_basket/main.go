@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	cfg := closedrules.QuestT10I4(10000, 500, 2026)
 	ds, err := closedrules.GenerateQuest(cfg)
 	if err != nil {
@@ -24,8 +26,11 @@ func main() {
 	fmt.Printf("synthetic baskets: %d transactions, %d items, avg length %.1f\n",
 		s.NumTransactions, s.NumItems, s.AvgLen)
 
+	// Charm's depth-first tidset intersections suit this sparse regime.
 	start := time.Now()
-	res, err := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.01})
+	res, err := closedrules.MineContext(ctx, ds,
+		closedrules.WithMinSupport(0.01),
+		closedrules.WithAlgorithm("charm"))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,13 +7,19 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"closedrules"
 )
 
 func main() {
+	// A deadline bounds the mine: if the thresholds turn out to be
+	// explosive, the run aborts with ctx.Err() instead of hanging.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 	ds, err := closedrules.GenerateMushroom(closedrules.MushroomConfig{NumObjects: 8124, Seed: 42})
 	if err != nil {
 		log.Fatal(err)
@@ -22,7 +28,7 @@ func main() {
 	fmt.Printf("mushroom-like data: %d objects × 23 attributes (%d items)\n",
 		s.NumTransactions, s.NumItems)
 
-	res, err := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.3})
+	res, err := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.3))
 	if err != nil {
 		log.Fatal(err)
 	}

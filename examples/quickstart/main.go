@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,6 +13,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	// The classic context: 1:ACD 2:BCE 3:ABCE 4:BE 5:ABCE.
 	ds, err := closedrules.NewDataset([][]int{
 		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
@@ -24,7 +26,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	res, err := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,4 +69,25 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nderived from the bases alone: %s\n", r.Format(ds.Names()))
+
+	// Serve the bases concurrently: a QueryService answers support,
+	// confidence and recommendation queries from the condensed
+	// representation.
+	qs, err := closedrules.NewQueryService(res, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	conf, err := qs.Confidence(ctx, closedrules.Items(2), closedrules.Items(0)) // C → A
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("served confidence of C → A: %.3f\n", conf)
+	recs, err := qs.Recommend(ctx, closedrules.Items(1), 2) // observed {B}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("recommendations for a basket containing B:")
+	for _, r := range recs {
+		fmt.Println("  " + r.Format(ds.Names()))
+	}
 }

@@ -1,11 +1,12 @@
 // Rule-store example: the full downstream workflow — mine once, persist
 // the condensed representation (closed itemsets + bases), then answer
 // rule queries from the stored artifacts without touching the original
-// data again.
+// data again, including serving them concurrently from a QueryService.
 package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"log"
 
@@ -13,11 +14,12 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	ds, err := closedrules.GenerateCensus(closedrules.CensusC20(3000, 13))
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := closedrules.Mine(ds, closedrules.Options{MinSupport: 0.4})
+	res, err := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,6 +70,27 @@ func main() {
 			fmt.Printf("  … and %d more\n", len(predicting)-3)
 			break
 		}
+		fmt.Println("  " + r.Format(ds.Names()))
+	}
+
+	// Stand up a serving layer over the reloaded collection: the
+	// QueryService answers concurrent support/confidence/recommendation
+	// queries straight from the condensed representation.
+	col, err := closedrules.NewClosedCollection(closed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs, err := closedrules.NewQueryServiceFromCollection(col, 0.6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	observed := closedrules.Items(rules[0].Antecedent...)
+	recs, err := qs.Recommend(ctx, observed, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserved recommendations for %s:\n", observed.Format(ds.Names()))
+	for _, r := range recs {
 		fmt.Println("  " + r.Format(ds.Names()))
 	}
 }

@@ -1,0 +1,3 @@
+module closedrules
+
+go 1.24

@@ -12,6 +12,7 @@
 package aclose
 
 import (
+	"context"
 	"fmt"
 
 	"closedrules/internal/closedset"
@@ -38,11 +39,21 @@ type generator struct {
 // Mine returns the frequent closed itemsets (including the bottom
 // h(∅) with generator ∅) at absolute support ≥ minSup.
 func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
+	return MineContext(context.Background(), d, minSup)
+}
+
+// MineContext is Mine with cancellation: ctx is checked before every
+// level-wise counting pass and before each level of the final closure
+// pass, so a cancelled context aborts the run within one level.
+func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 	var stats Stats
 	if minSup < 1 {
 		return nil, stats, fmt.Errorf("aclose: minSup %d < 1", minSup)
 	}
-	ctx := d.Context()
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	dc := d.Context()
 	nTx := d.NumTransactions()
 
 	// Level 1 pass: item supports. Items as frequent as ∅ are not free.
@@ -66,6 +77,9 @@ func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 	allGens := [][]generator{level}
 
 	for k := 2; len(level) >= 2; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		supports := make(map[string]int, len(level))
 		items := make([]itemset.Itemset, len(level))
 		for i, g := range level {
@@ -122,7 +136,7 @@ func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 	// exist below it); all others need an explicit h(·) computation.
 	fc := closedset.New()
 	if nTx >= minSup {
-		bottom := galois.Closure(ctx, itemset.Empty())
+		bottom := galois.Closure(dc, itemset.Empty())
 		fc.AddGenerator(bottom, nTx, itemset.Empty())
 	}
 	closureNeeded := func(size int) bool {
@@ -133,9 +147,12 @@ func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 	}
 	ranClosurePass := false
 	for _, lv := range allGens {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		for _, g := range lv {
 			if closureNeeded(len(g.items)) {
-				cl := galois.Closure(ctx, g.items)
+				cl := galois.Closure(dc, g.items)
 				fc.AddGenerator(cl, g.support, g.items)
 				stats.ClosuresComputed++
 				ranClosurePass = true

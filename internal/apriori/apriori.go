@@ -6,6 +6,7 @@
 package apriori
 
 import (
+	"context"
 	"fmt"
 
 	"closedrules/internal/dataset"
@@ -33,9 +34,19 @@ func (s Stats) TotalCandidates() int {
 // Mine returns all non-empty frequent itemsets with absolute support ≥
 // minSup, together with run statistics.
 func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, Stats, error) {
+	return MineContext(context.Background(), d, minSup)
+}
+
+// MineContext is Mine with cancellation: ctx is checked before every
+// level-wise database pass, so a cancelled context aborts the run
+// within one level.
+func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*itemset.Family, Stats, error) {
 	var stats Stats
 	if minSup < 1 {
 		return nil, stats, fmt.Errorf("apriori: minSup %d < 1", minSup)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 	fam := itemset.NewFamily()
 
@@ -54,6 +65,9 @@ func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, Stats, error) {
 	stats.FrequentPerLevel = append(stats.FrequentPerLevel, len(level))
 
 	for k := 2; len(level) >= 2; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		cands := levelwise.Join(level)
 		cands = levelwise.PruneBySubsets(cands, levelwise.Keys(level))
 		if len(cands) == 0 {

@@ -8,6 +8,7 @@
 package charm
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,6 +25,7 @@ type node struct {
 }
 
 type miner struct {
+	ctx    context.Context
 	minSup int
 	fc     *closedset.Set
 	// byHash buckets found closed itemsets by tidset hash for the
@@ -39,14 +41,24 @@ type subEntry struct {
 // Mine returns the frequent closed itemsets (including the bottom
 // h(∅)) at absolute support ≥ minSup.
 func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, error) {
+	return MineContext(context.Background(), d, minSup)
+}
+
+// MineContext is Mine with cancellation: ctx is checked at every
+// branch extension of the IT-tree, so a cancelled context aborts the
+// run within one extension step.
+func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*closedset.Set, error) {
 	if minSup < 1 {
 		return nil, fmt.Errorf("charm: minSup %d < 1", minSup)
 	}
-	ctx := d.Context()
-	m := &miner{minSup: minSup, fc: closedset.New(), byHash: map[uint64][]subEntry{}}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	dc := d.Context()
+	m := &miner{ctx: ctx, minSup: minSup, fc: closedset.New(), byHash: map[uint64][]subEntry{}}
 
 	if d.NumTransactions() >= minSup {
-		bottom := galois.Closure(ctx, itemset.Empty())
+		bottom := galois.Closure(dc, itemset.Empty())
 		m.fc.Add(bottom, d.NumTransactions())
 		m.byHash[bitset.Full(d.NumTransactions()).Hash()] = append(
 			m.byHash[bitset.Full(d.NumTransactions()).Hash()],
@@ -57,13 +69,13 @@ func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, error) {
 	// absorbed into each root's prefix instead of spawning branches.
 	var roots []node
 	var universal itemset.Itemset
-	for it := 0; it < ctx.NumItems; it++ {
-		sup := ctx.Cols[it].Count()
+	for it := 0; it < dc.NumItems; it++ {
+		sup := dc.Cols[it].Count()
 		switch {
 		case d.NumTransactions() > 0 && sup == d.NumTransactions():
 			universal = universal.With(it)
 		case sup >= minSup:
-			roots = append(roots, node{items: itemset.Of(it), tids: ctx.Cols[it]})
+			roots = append(roots, node{items: itemset.Of(it), tids: dc.Cols[it]})
 		}
 	}
 	if universal.Len() > 0 {
@@ -73,7 +85,9 @@ func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, error) {
 	}
 
 	sortBySupport(roots)
-	m.extend(roots)
+	if err := m.extend(roots); err != nil {
+		return nil, err
+	}
 	return m.fc, nil
 }
 
@@ -88,11 +102,14 @@ func sortBySupport(ns []node) {
 }
 
 // extend processes one level of the IT-tree (Zaki's CHARM-EXTEND).
-func (m *miner) extend(nodes []node) {
+func (m *miner) extend(nodes []node) error {
 	skip := make([]bool, len(nodes))
 	for i := range nodes {
 		if skip[i] {
 			continue
+		}
+		if err := m.ctx.Err(); err != nil {
+			return err
 		}
 		x := nodes[i].items
 		ti := nodes[i].tids
@@ -130,10 +147,13 @@ func (m *miner) extend(nodes []node) {
 		}
 		sortBySupport(children)
 		if len(children) > 0 {
-			m.extend(children)
+			if err := m.extend(children); err != nil {
+				return err
+			}
 		}
 		m.insertIfClosed(x, ti)
 	}
+	return nil
 }
 
 // insertIfClosed adds x unless a previously found closed itemset with

@@ -19,6 +19,7 @@
 package closealg
 
 import (
+	"context"
 	"fmt"
 
 	"closedrules/internal/bitset"
@@ -57,16 +58,26 @@ type generator struct {
 // minSup, with every closed itemset carrying the minimal generators
 // that produced it.
 func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
+	return MineContext(context.Background(), d, minSup)
+}
+
+// MineContext is Mine with cancellation: ctx is checked before every
+// level-wise database pass, so a cancelled context aborts the run
+// within one level.
+func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 	var stats Stats
 	if minSup < 1 {
 		return nil, stats, fmt.Errorf("closealg: minSup %d < 1", minSup)
 	}
-	ctx := d.Context()
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
+	}
+	dc := d.Context()
 	fc := closedset.New()
 
 	// Bottom: h(∅) = intersection of all transactions, support |O|.
 	if d.NumTransactions() >= minSup {
-		bottom := galois.Closure(ctx, itemset.Empty())
+		bottom := galois.Closure(dc, itemset.Empty())
 		fc.AddGenerator(bottom, d.NumTransactions(), itemset.Empty())
 	}
 
@@ -81,13 +92,16 @@ func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 			continue
 		}
 		g := itemset.Of(it)
-		cl := galois.Closure(ctx, g)
+		cl := galois.Closure(dc, g)
 		level = append(level, generator{items: g, closure: cl, support: s})
 		fc.AddGenerator(cl, s, g)
 	}
 	stats.GeneratorsPerLevel = append(stats.GeneratorsPerLevel, len(level))
 
 	for k := 2; len(level) >= 2; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		cands := nextCandidates(level)
 		if len(cands) == 0 {
 			break
@@ -104,7 +118,7 @@ func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 			if tx.Len() < k {
 				continue
 			}
-			row := ctx.Rows[o]
+			row := dc.Rows[o]
 			trie.Walk(tx, func(idx int) {
 				if counts[idx] == 0 {
 					closures[idx] = row.Clone()

@@ -38,6 +38,20 @@ func New() *Set {
 	return &Set{byKey: map[string]int{}}
 }
 
+// FromSlice rebuilds a Set from a flat list of closed itemsets (the
+// exchange form used by the miner registry and the persistence layer),
+// preserving supports and generators.
+func FromSlice(items []Closed) *Set {
+	s := New()
+	for _, c := range items {
+		s.Add(c.Items, c.Support)
+		for _, g := range c.Generators {
+			s.AddGenerator(c.Items, c.Support, g)
+		}
+	}
+	return s
+}
+
 // Add inserts a closed itemset or updates its support if present.
 func (s *Set) Add(items itemset.Itemset, support int) {
 	k := items.Key()

@@ -1,6 +1,7 @@
 package eclat
 
 import (
+	"context"
 	"fmt"
 
 	"closedrules/internal/bitset"
@@ -15,8 +16,17 @@ import (
 // identical to Mine; the benchmark suite uses the pair as a
 // representation ablation (DESIGN.md E8 family).
 func MineDiffset(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
+	return MineDiffsetContext(context.Background(), d, minSup)
+}
+
+// MineDiffsetContext is MineDiffset with cancellation, checked at
+// every prefix extension like MineContext.
+func MineDiffsetContext(ctx context.Context, d *dataset.Dataset, minSup int) (*itemset.Family, error) {
 	if minSup < 1 {
 		return nil, fmt.Errorf("eclat: minSup %d < 1", minSup)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c := d.Context()
 	fam := itemset.NewFamily()
@@ -40,9 +50,12 @@ func MineDiffset(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
 		support int
 	}
 
-	var recurse func(prefix itemset.Itemset, ext []node)
-	recurse = func(prefix itemset.Itemset, ext []node) {
+	var recurse func(prefix itemset.Itemset, ext []node) error
+	recurse = func(prefix itemset.Itemset, ext []node) error {
 		for i, e := range ext {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			p := prefix.With(e.item)
 			fam.Add(p, e.support)
 			var next []node
@@ -56,12 +69,18 @@ func MineDiffset(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
 				}
 			}
 			if len(next) > 0 {
-				recurse(p, next)
+				if err := recurse(p, next); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
 
 	for i, e := range roots {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := itemset.Of(e.item)
 		fam.Add(p, e.tids.Count())
 		var children []node
@@ -74,7 +93,9 @@ func MineDiffset(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
 			}
 		}
 		if len(children) > 0 {
-			recurse(p, children)
+			if err := recurse(p, children); err != nil {
+				return nil, err
+			}
 		}
 	}
 	return fam, nil

@@ -5,6 +5,7 @@
 package eclat
 
 import (
+	"context"
 	"fmt"
 
 	"closedrules/internal/bitset"
@@ -15,8 +16,18 @@ import (
 // Mine returns all non-empty frequent itemsets with absolute support ≥
 // minSup.
 func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
+	return MineContext(context.Background(), d, minSup)
+}
+
+// MineContext is Mine with cancellation: ctx is checked at every
+// prefix extension of the depth-first search, so a cancelled context
+// aborts the run within one extension step.
+func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*itemset.Family, error) {
 	if minSup < 1 {
 		return nil, fmt.Errorf("eclat: minSup %d < 1", minSup)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	c := d.Context()
 	fam := itemset.NewFamily()
@@ -32,9 +43,12 @@ func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
 		}
 	}
 
-	var recurse func(prefix itemset.Itemset, ext []entry)
-	recurse = func(prefix itemset.Itemset, ext []entry) {
+	var recurse func(prefix itemset.Itemset, ext []entry) error
+	recurse = func(prefix itemset.Itemset, ext []entry) error {
 		for i, e := range ext {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			p := prefix.With(e.item)
 			fam.Add(p, e.tids.Count())
 			var next []entry
@@ -45,10 +59,15 @@ func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
 				}
 			}
 			if len(next) > 0 {
-				recurse(p, next)
+				if err := recurse(p, next); err != nil {
+					return err
+				}
 			}
 		}
+		return nil
 	}
-	recurse(itemset.Empty(), frontier)
+	if err := recurse(itemset.Empty(), frontier); err != nil {
+		return nil, err
+	}
 	return fam, nil
 }

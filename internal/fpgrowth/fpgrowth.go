@@ -8,6 +8,7 @@
 package fpgrowth
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -64,8 +65,18 @@ func (t *fpTree) insert(path []int, count int) {
 // Mine returns all non-empty frequent itemsets with absolute support ≥
 // minSup.
 func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
+	return MineContext(context.Background(), d, minSup)
+}
+
+// MineContext is Mine with cancellation: ctx is checked before every
+// conditional-tree projection, so a cancelled context aborts the run
+// within one extension step.
+func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*itemset.Family, error) {
 	if minSup < 1 {
 		return nil, fmt.Errorf("fpgrowth: minSup %d < 1", minSup)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	sup := d.ItemSupports()
 
@@ -103,12 +114,14 @@ func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, error) {
 	}
 
 	fam := itemset.NewFamily()
-	mineTree(tree, minSup, itemset.Empty(), fam)
+	if err := mineTree(ctx, tree, minSup, itemset.Empty(), fam); err != nil {
+		return nil, err
+	}
 	return fam, nil
 }
 
 // mineTree recursively mines one (conditional) FP-tree.
-func mineTree(t *fpTree, minSup int, suffix itemset.Itemset, fam *itemset.Family) {
+func mineTree(ctx context.Context, t *fpTree, minSup int, suffix itemset.Itemset, fam *itemset.Family) error {
 	// Items processed in any order; each spawns a conditional tree.
 	items := make([]int, 0, len(t.heads))
 	for it := range t.heads {
@@ -118,6 +131,9 @@ func mineTree(t *fpTree, minSup int, suffix itemset.Itemset, fam *itemset.Family
 	}
 	sort.Ints(items)
 	for _, it := range items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		withItem := suffix.With(it)
 		fam.Add(withItem, t.support[it])
 
@@ -140,7 +156,10 @@ func mineTree(t *fpTree, minSup int, suffix itemset.Itemset, fam *itemset.Family
 		// Prune infrequent items from the conditional tree by support
 		// filtering at the next level of recursion (mineTree checks).
 		if len(cond.heads) > 0 {
-			mineTree(cond, minSup, withItem, fam)
+			if err := mineTree(ctx, cond, minSup, withItem, fam); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }

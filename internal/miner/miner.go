@@ -1,0 +1,152 @@
+// Package miner defines the pluggable mining interfaces and the
+// process-wide registry the public API dispatches through. Each
+// algorithm package registers a thin adapter from its init function;
+// the registry itself never imports an algorithm, so the dependency
+// arrow points one way and new miners plug in without touching this
+// package or the root package.
+package miner
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+)
+
+// ClosedMiner mines the frequent closed itemsets of a dataset at an
+// absolute support threshold. Implementations must return the complete
+// FC including the bottom element h(∅), honor ctx cancellation at
+// level or extension boundaries, and be safe for concurrent use (the
+// registry hands the same instance to every caller).
+type ClosedMiner interface {
+	// MineClosed returns the frequent closed itemsets at absolute
+	// support ≥ minSup. When ctx is cancelled the miner must return
+	// ctx.Err() within one level (level-wise miners) or one branch
+	// extension (depth-first miners).
+	//
+	// The flat-slice exchange form (rather than *closedset.Set) is
+	// deliberate: every element type here is re-exported by the root
+	// package, so miners outside this module can implement the
+	// interface. The O(|FC|) re-indexing the caller pays to rebuild a
+	// Set is noise next to the mining itself.
+	MineClosed(ctx context.Context, d *dataset.Dataset, minSup int) ([]closedset.Closed, error)
+	// TracksGenerators reports whether the returned closed itemsets
+	// carry their minimal generators (required by the generic and
+	// informative bases).
+	TracksGenerators() bool
+}
+
+// FrequentMiner mines all frequent itemsets of a dataset at an
+// absolute support threshold, under the same cancellation and
+// concurrency contract as ClosedMiner.
+type FrequentMiner interface {
+	MineFrequent(ctx context.Context, d *dataset.Dataset, minSup int) ([]itemset.Counted, error)
+}
+
+var (
+	mu      sync.RWMutex
+	closedM = map[string]ClosedMiner{}
+	freqM   = map[string]FrequentMiner{}
+)
+
+// Canonical normalizes a miner name: lower-cased with hyphens and
+// underscores removed, so "A-Close", "a_close" and "aclose" all name
+// the same miner.
+func Canonical(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	name = strings.ReplaceAll(name, "-", "")
+	name = strings.ReplaceAll(name, "_", "")
+	return name
+}
+
+// RegisterClosed makes a closed-itemset miner available under the
+// given name. It panics if the miner is nil or the name is empty or
+// already taken — registration happens in init functions, where a
+// duplicate is a programming error, not a runtime condition.
+func RegisterClosed(name string, m ClosedMiner) {
+	key := Canonical(name)
+	mu.Lock()
+	defer mu.Unlock()
+	if m == nil {
+		panic("closedrules: RegisterClosedMiner with nil miner")
+	}
+	if key == "" {
+		panic("closedrules: RegisterClosedMiner with empty name")
+	}
+	if _, dup := closedM[key]; dup {
+		panic(fmt.Sprintf("closedrules: RegisterClosedMiner called twice for %q", key))
+	}
+	closedM[key] = m
+}
+
+// RegisterFrequent makes a frequent-itemset miner available under the
+// given name, with the same panicking contract as RegisterClosed.
+func RegisterFrequent(name string, m FrequentMiner) {
+	key := Canonical(name)
+	mu.Lock()
+	defer mu.Unlock()
+	if m == nil {
+		panic("closedrules: RegisterFrequentMiner with nil miner")
+	}
+	if key == "" {
+		panic("closedrules: RegisterFrequentMiner with empty name")
+	}
+	if _, dup := freqM[key]; dup {
+		panic(fmt.Sprintf("closedrules: RegisterFrequentMiner called twice for %q", key))
+	}
+	freqM[key] = m
+}
+
+// LookupClosed resolves a closed miner by name; the error of an
+// unknown name lists the registered alternatives.
+func LookupClosed(name string) (ClosedMiner, error) {
+	mu.RLock()
+	m, ok := closedM[Canonical(name)]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("closedrules: unknown closed miner %q (registered: %s)",
+			name, strings.Join(ClosedNames(), ", "))
+	}
+	return m, nil
+}
+
+// LookupFrequent resolves a frequent miner by name.
+func LookupFrequent(name string) (FrequentMiner, error) {
+	mu.RLock()
+	m, ok := freqM[Canonical(name)]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("closedrules: unknown frequent miner %q (registered: %s)",
+			name, strings.Join(FrequentNames(), ", "))
+	}
+	return m, nil
+}
+
+// ClosedNames returns the registered closed-miner names, sorted.
+func ClosedNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(closedM))
+	for n := range closedM {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FrequentNames returns the registered frequent-miner names, sorted.
+func FrequentNames() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(freqM))
+	for n := range freqM {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

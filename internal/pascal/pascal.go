@@ -11,6 +11,7 @@
 package pascal
 
 import (
+	"context"
 	"fmt"
 
 	"closedrules/internal/dataset"
@@ -53,9 +54,18 @@ type entry struct {
 // Mine returns all non-empty frequent itemsets with absolute support ≥
 // minSup, plus inference statistics.
 func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, Stats, error) {
+	return MineContext(context.Background(), d, minSup)
+}
+
+// MineContext is Mine with cancellation: ctx is checked before every
+// level, so a cancelled context aborts the run within one level.
+func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*itemset.Family, Stats, error) {
 	var stats Stats
 	if minSup < 1 {
 		return nil, stats, fmt.Errorf("pascal: minSup %d < 1", minSup)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 	fam := itemset.NewFamily()
 	nTx := d.NumTransactions()
@@ -78,6 +88,9 @@ func Mine(d *dataset.Dataset, minSup int) (*itemset.Family, Stats, error) {
 	}
 
 	for k := 2; len(level) >= 2; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		prev := make(map[string]*entry, len(level))
 		items := make([]itemset.Itemset, len(level))
 		for i := range level {

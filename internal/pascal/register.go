@@ -1,0 +1,21 @@
+package pascal
+
+import (
+	"context"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/miner"
+)
+
+type registered struct{}
+
+func (registered) MineFrequent(ctx context.Context, d *dataset.Dataset, minSup int) ([]itemset.Counted, error) {
+	fam, _, err := MineContext(ctx, d, minSup)
+	if err != nil {
+		return nil, err
+	}
+	return fam.All(), nil
+}
+
+func init() { miner.RegisterFrequent("pascal", registered{}) }

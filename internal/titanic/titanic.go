@@ -17,6 +17,7 @@
 package titanic
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -43,9 +44,19 @@ type key struct {
 // pass is made after support counting: closures come from the counted
 // candidate supports.
 func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
+	return MineContext(context.Background(), d, minSup)
+}
+
+// MineContext is Mine with cancellation: ctx is checked before every
+// level-wise counting pass and before each level of the closure
+// computation, so a cancelled context aborts the run within one level.
+func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 	var stats Stats
 	if minSup < 1 {
 		return nil, stats, fmt.Errorf("titanic: minSup %d < 1", minSup)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, stats, err
 	}
 	nTx := d.NumTransactions()
 
@@ -78,6 +89,9 @@ func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 	allKeys := [][]key{level}
 
 	for k := 2; len(level) >= 2; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		supports := make(map[string]int, len(level))
 		items := make([]itemset.Itemset, len(level))
 		for i, g := range level {
@@ -203,6 +217,9 @@ func Mine(d *dataset.Dataset, minSup int) (*closedset.Set, Stats, error) {
 		fc.AddGenerator(closureOf(itemset.Empty(), nTx), nTx, itemset.Empty())
 	}
 	for _, lv := range allKeys {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
 		for _, g := range lv {
 			fc.AddGenerator(closureOf(g.items, g.support), g.support, g.items)
 		}

@@ -1,0 +1,138 @@
+package closedrules
+
+import (
+	"context"
+	"fmt"
+
+	"closedrules/internal/closedset"
+	"closedrules/internal/miner"
+)
+
+// MineOption configures MineContext and MineFrequentContext.
+type MineOption func(*mineConfig) error
+
+type mineConfig struct {
+	minSupport float64 // relative, in (0,1]; 0 when unset
+	absSupport int     // absolute count ≥ 1; 0 when unset
+	algorithm  string  // registry name; empty means the call's default
+}
+
+// WithMinSupport sets the relative minimum support threshold in
+// (0, 1].
+func WithMinSupport(rel float64) MineOption {
+	return func(c *mineConfig) error {
+		if rel <= 0 || rel > 1 {
+			return fmt.Errorf("closedrules: WithMinSupport(%v) outside (0,1]", rel)
+		}
+		c.minSupport = rel
+		return nil
+	}
+}
+
+// WithAbsoluteMinSupport sets the minimum support as an absolute
+// transaction count ≥ 1. It takes precedence over WithMinSupport.
+func WithAbsoluteMinSupport(count int) MineOption {
+	return func(c *mineConfig) error {
+		if count < 1 {
+			return fmt.Errorf("closedrules: WithAbsoluteMinSupport(%d) < 1", count)
+		}
+		c.absSupport = count
+		return nil
+	}
+}
+
+// WithAlgorithm selects the miner by registry name (see ClosedMiners
+// and FrequentMiners for the available names). Name matching ignores
+// case, hyphens and underscores, so "a-close" and "AClose" are
+// equivalent. An unknown name surfaces as an error from the mining
+// call, which lists the registered alternatives.
+func WithAlgorithm(name string) MineOption {
+	return func(c *mineConfig) error {
+		if name == "" {
+			return fmt.Errorf("closedrules: WithAlgorithm with empty name")
+		}
+		c.algorithm = name
+		return nil
+	}
+}
+
+func buildConfig(opts []MineOption) (mineConfig, error) {
+	var c mineConfig
+	for _, opt := range opts {
+		if opt == nil {
+			return c, fmt.Errorf("closedrules: nil MineOption")
+		}
+		if err := opt(&c); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// minSup resolves the absolute support count for a dataset.
+func (c mineConfig) minSup(d *Dataset) (int, error) {
+	if c.absSupport >= 1 {
+		return c.absSupport, nil
+	}
+	if c.minSupport <= 0 || c.minSupport > 1 {
+		return 0, fmt.Errorf("closedrules: no support threshold: use WithMinSupport or WithAbsoluteMinSupport")
+	}
+	return d.AbsoluteSupport(c.minSupport), nil
+}
+
+// MineContext extracts the frequent closed itemsets of the dataset
+// with the selected closed-itemset miner (default "close") and returns
+// a Result from which itemsets, rules and bases are derived. The
+// context is honored at the miner's level or extension boundaries, so
+// cancellation and deadlines abort a runaway mine mid-run with
+// ctx.Err().
+func MineContext(ctx context.Context, d *Dataset, opts ...MineOption) (*Result, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.algorithm == "" {
+		cfg.algorithm = "close"
+	}
+	minSup, err := cfg.minSup(d)
+	if err != nil {
+		return nil, err
+	}
+	m, err := miner.LookupClosed(cfg.algorithm)
+	if err != nil {
+		return nil, err
+	}
+	items, err := m.MineClosed(ctx, d, minSup)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		d:         d,
+		minSup:    minSup,
+		minerName: miner.Canonical(cfg.algorithm),
+		hasGens:   m.TracksGenerators(),
+		fc:        closedset.FromSlice(items),
+	}, nil
+}
+
+// MineFrequentContext extracts all frequent itemsets with the selected
+// frequent-itemset miner (default "apriori"), under the same
+// cancellation contract as MineContext.
+func MineFrequentContext(ctx context.Context, d *Dataset, opts ...MineOption) ([]CountedItemset, error) {
+	cfg, err := buildConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.algorithm == "" {
+		cfg.algorithm = "apriori"
+	}
+	minSup, err := cfg.minSup(d)
+	if err != nil {
+		return nil, err
+	}
+	m, err := miner.LookupFrequent(cfg.algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return m.MineFrequent(ctx, d, minSup)
+}

@@ -1,0 +1,255 @@
+package closedrules
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"closedrules/internal/closedset"
+	"closedrules/internal/rules"
+)
+
+// recCacheLimit bounds the per-state recommendation cache; when it
+// fills, the cache is reset rather than evicted entry by entry — the
+// working set of observed baskets in a serving deployment is small
+// compared to the limit, so resets are rare.
+const recCacheLimit = 1 << 12
+
+// QueryService serves support, confidence and recommendation queries
+// from a mined condensed representation (frequent closed itemsets +
+// rule bases) to many concurrent callers — the long-lived serving
+// counterpart of a one-shot Mine run. All methods are safe for
+// concurrent use; Swap atomically replaces the underlying data (hot
+// reload after a re-mine) without blocking in-flight queries.
+type QueryService struct {
+	mu sync.RWMutex
+	st *serviceState
+}
+
+// serviceState is an immutable-after-build snapshot of everything the
+// service answers from; Swap replaces it wholesale. Only the recCache
+// map mutates after build, always under QueryService.mu.
+type serviceState struct {
+	numTx    int
+	minConf  float64
+	fc       *closedset.Set
+	recRules []Rule // basis rules (exact + approximate) for Recommend
+	recCache map[string][]Rule
+}
+
+// NewQueryService builds a service from a mining result. minConf
+// filters the approximate basis rules served by Recommend; Support and
+// Confidence are unaffected by it (they derive exact measures from the
+// closed itemsets).
+func NewQueryService(res *Result, minConf float64) (*QueryService, error) {
+	st, err := stateFromResult(res, minConf)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryService{st: st}, nil
+}
+
+// NewQueryServiceFromCollection builds a service from a detached
+// closed-itemset collection (the "mine once, serve later" workflow).
+// Exact rules come from the generic basis when the collection carries
+// generators; otherwise Recommend serves approximate rules only.
+func NewQueryServiceFromCollection(col *ClosedCollection, minConf float64) (*QueryService, error) {
+	st, err := stateFromCollection(col, minConf)
+	if err != nil {
+		return nil, err
+	}
+	return &QueryService{st: st}, nil
+}
+
+func stateFromResult(res *Result, minConf float64) (*serviceState, error) {
+	if res == nil {
+		return nil, fmt.Errorf("closedrules: nil Result")
+	}
+	if minConf < 0 || minConf > 1 {
+		return nil, fmt.Errorf("closedrules: minConf %v outside [0,1]", minConf)
+	}
+	bases, err := res.Bases(minConf)
+	if err != nil {
+		return nil, err
+	}
+	recRules := make([]Rule, 0, bases.Size())
+	recRules = append(recRules, bases.Exact...)
+	recRules = append(recRules, bases.Approximate...)
+	return &serviceState{
+		numTx:    res.Dataset().NumTransactions(),
+		minConf:  minConf,
+		fc:       res.fc,
+		recRules: recRules,
+		recCache: map[string][]Rule{},
+	}, nil
+}
+
+func stateFromCollection(col *ClosedCollection, minConf float64) (*serviceState, error) {
+	if col == nil {
+		return nil, fmt.Errorf("closedrules: nil ClosedCollection")
+	}
+	if minConf < 0 || minConf > 1 {
+		return nil, fmt.Errorf("closedrules: minConf %v outside [0,1]", minConf)
+	}
+	var recRules []Rule
+	if len(col.set.AllGenerators()) > 0 {
+		exact, err := col.GenericBasis()
+		if err != nil {
+			return nil, err
+		}
+		recRules = append(recRules, exact...)
+	}
+	approx, err := col.LuxenburgerReduction(minConf)
+	if err != nil {
+		return nil, err
+	}
+	recRules = append(recRules, approx...)
+	return &serviceState{
+		numTx:    col.NumTransactions(),
+		minConf:  minConf,
+		fc:       col.set,
+		recRules: recRules,
+		recCache: map[string][]Rule{},
+	}, nil
+}
+
+// Swap atomically replaces the served data with a freshly mined
+// result, keeping the service's confidence threshold. In-flight
+// queries finish against the old snapshot; new queries see the new
+// one. The expensive basis construction happens before the lock is
+// taken, so queries are never blocked on a re-mine.
+func (qs *QueryService) Swap(res *Result) error {
+	qs.mu.RLock()
+	minConf := qs.st.minConf
+	qs.mu.RUnlock()
+	st, err := stateFromResult(res, minConf)
+	if err != nil {
+		return err
+	}
+	qs.mu.Lock()
+	qs.st = st
+	qs.mu.Unlock()
+	return nil
+}
+
+// NumTransactions returns |O| of the currently served dataset.
+func (qs *QueryService) NumTransactions() int {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	return qs.st.numTx
+}
+
+// MinConfidence returns the confidence threshold of the served
+// approximate basis.
+func (qs *QueryService) MinConfidence() float64 {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	return qs.st.minConf
+}
+
+// NumRules returns the number of basis rules available to Recommend.
+func (qs *QueryService) NumRules() int {
+	qs.mu.RLock()
+	defer qs.mu.RUnlock()
+	return len(qs.st.recRules)
+}
+
+// Support answers supp(X) = supp(h(X)) from the closed itemsets; ok is
+// false when X is not frequent at the mining threshold.
+func (qs *QueryService) Support(ctx context.Context, x Itemset) (support int, ok bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, false, err
+	}
+	qs.mu.RLock()
+	st := qs.st
+	qs.mu.RUnlock()
+	s, ok := st.fc.SupportOf(x)
+	return s, ok, nil
+}
+
+// Confidence measures the rule A → C as supp(h(A∪C)) / supp(h(A)) —
+// the paper's derivation — and errors when either support is not
+// derivable (the rule involves an infrequent itemset) or the sides
+// overlap.
+func (qs *QueryService) Confidence(ctx context.Context, antecedent, consequent Itemset) (float64, error) {
+	r, err := qs.Rule(ctx, antecedent, consequent)
+	if err != nil {
+		return 0, err
+	}
+	return r.Confidence(), nil
+}
+
+// Rule reconstructs the fully measured rule A → C (support, antecedent
+// support, and consequent support when derivable) from the condensed
+// representation.
+func (qs *QueryService) Rule(ctx context.Context, antecedent, consequent Itemset) (Rule, error) {
+	if err := ctx.Err(); err != nil {
+		return Rule{}, err
+	}
+	if antecedent.Intersect(consequent).Len() > 0 {
+		return Rule{}, fmt.Errorf("closedrules: antecedent and consequent overlap")
+	}
+	qs.mu.RLock()
+	st := qs.st
+	qs.mu.RUnlock()
+	u := antecedent.Union(consequent)
+	supU, ok := st.fc.SupportOf(u)
+	if !ok {
+		return Rule{}, fmt.Errorf("closedrules: support of %v not derivable (not frequent at the mining threshold)", u)
+	}
+	supA, ok := st.fc.SupportOf(antecedent)
+	if !ok {
+		return Rule{}, fmt.Errorf("closedrules: support of %v not derivable (not frequent at the mining threshold)", antecedent)
+	}
+	r := Rule{
+		Antecedent:        antecedent,
+		Consequent:        consequent,
+		Support:           supU,
+		AntecedentSupport: supA,
+	}
+	if supC, ok := st.fc.SupportOf(consequent); ok {
+		r.ConsequentSupport = supC
+	}
+	return r, nil
+}
+
+// Recommend returns up to k basis rules applicable to the observed
+// itemset — antecedent covered by the observation, consequent not
+// already fully observed — ranked by descending lift. Results are
+// cached per (observation, k) until the next Swap.
+func (qs *QueryService) Recommend(ctx context.Context, observed Itemset, k int) ([]Rule, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("closedrules: Recommend k %d < 1", k)
+	}
+	key := observed.Key() + "#" + strconv.Itoa(k)
+	qs.mu.RLock()
+	st := qs.st
+	cached, hit := st.recCache[key]
+	qs.mu.RUnlock()
+	if hit {
+		// Hand out a copy: a caller re-sorting its result must not
+		// corrupt the ranking served to the next cache hit.
+		return append([]Rule(nil), cached...), nil
+	}
+
+	applicable := rules.WithAntecedentSubsetOf(st.recRules, observed)
+	novel := rules.Filter(applicable, func(r Rule) bool {
+		return !observed.ContainsAll(r.Consequent)
+	})
+	top := rules.TopBy(novel, k, rules.ByLift(st.numTx))
+
+	qs.mu.Lock()
+	// The state may have been swapped while we computed; caching into
+	// the old snapshot's map is still correct (it is keyed to that
+	// snapshot) and the map write is serialized by the lock.
+	if len(st.recCache) >= recCacheLimit {
+		st.recCache = map[string][]Rule{}
+	}
+	st.recCache[key] = top
+	qs.mu.Unlock()
+	return append([]Rule(nil), top...), nil
+}

@@ -1,0 +1,192 @@
+package closedrules
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRegistryHasAllBuiltins(t *testing.T) {
+	wantClosed := []string{"aclose", "charm", "close", "titanic"}
+	if got := ClosedMiners(); !reflect.DeepEqual(got, wantClosed) {
+		t.Errorf("ClosedMiners() = %v, want %v", got, wantClosed)
+	}
+	wantFrequent := []string{"apriori", "declat", "eclat", "fpgrowth", "pascal"}
+	if got := FrequentMiners(); !reflect.DeepEqual(got, wantFrequent) {
+		t.Errorf("FrequentMiners() = %v, want %v", got, wantFrequent)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	// Canonical names, hyphenated and cased variants all resolve.
+	for _, name := range []string{"close", "a-close", "aclose", "A-Close", "CHARM", "Titanic"} {
+		if _, err := LookupClosedMiner(name); err != nil {
+			t.Errorf("LookupClosedMiner(%q): %v", name, err)
+		}
+	}
+	for _, name := range []string{"apriori", "eclat", "dEclat", "FPGrowth", "fp-growth", "pascal"} {
+		if _, err := LookupFrequentMiner(name); err != nil {
+			t.Errorf("LookupFrequentMiner(%q): %v", name, err)
+		}
+	}
+}
+
+func TestRegistryUnknownName(t *testing.T) {
+	_, err := LookupClosedMiner("bogus")
+	if err == nil {
+		t.Fatal("unknown closed miner accepted")
+	}
+	if !strings.Contains(err.Error(), "close") || !strings.Contains(err.Error(), "titanic") {
+		t.Errorf("error does not list registered miners: %v", err)
+	}
+	if _, err := LookupFrequentMiner("bogus"); err == nil {
+		t.Fatal("unknown frequent miner accepted")
+	}
+	// The same error surfaces from the mining entry points.
+	d := classic(t)
+	if _, err := MineContext(context.Background(), d, WithMinSupport(0.4), WithAlgorithm("bogus")); err == nil {
+		t.Error("MineContext with unknown algorithm accepted")
+	}
+	if _, err := MineFrequentContext(context.Background(), d, WithMinSupport(0.4), WithAlgorithm("bogus")); err == nil {
+		t.Error("MineFrequentContext with unknown algorithm accepted")
+	}
+	// A closed miner is not a frequent miner and vice versa.
+	if _, err := MineFrequentContext(context.Background(), d, WithMinSupport(0.4), WithAlgorithm("charm")); err == nil {
+		t.Error("closed miner accepted as frequent miner")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	m, err := LookupClosedMiner("close")
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterClosedMiner("close", m)
+}
+
+func TestMineContextAllClosedMinersAgree(t *testing.T) {
+	d := classic(t)
+	var reference []ClosedItemset
+	for i, name := range ClosedMiners() {
+		res, err := MineContext(context.Background(), d, WithMinSupport(0.4), WithAlgorithm(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.MinerName() != name {
+			t.Errorf("MinerName() = %q, want %q", res.MinerName(), name)
+		}
+		all := res.ClosedItemsets()
+		if i == 0 {
+			reference = all
+			continue
+		}
+		if len(all) != len(reference) {
+			t.Fatalf("%s: |FC| = %d, want %d", name, len(all), len(reference))
+		}
+		for j := range all {
+			if !all[j].Items.Equal(reference[j].Items) || all[j].Support != reference[j].Support {
+				t.Errorf("%s: FC[%d] = %v/%d, want %v/%d", name,
+					j, all[j].Items, all[j].Support, reference[j].Items, reference[j].Support)
+			}
+		}
+	}
+}
+
+func TestMineFrequentContextAllMinersAgree(t *testing.T) {
+	d := classic(t)
+	var reference []CountedItemset
+	for i, name := range FrequentMiners() {
+		fi, err := MineFrequentContext(context.Background(), d, WithMinSupport(0.4), WithAlgorithm(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if i == 0 {
+			reference = fi
+			continue
+		}
+		if len(fi) != len(reference) {
+			t.Fatalf("%s: |FI| = %d, want %d", name, len(fi), len(reference))
+		}
+		for j := range fi {
+			if !fi[j].Items.Equal(reference[j].Items) || fi[j].Support != reference[j].Support {
+				t.Errorf("%s: FI[%d] = %v, want %v", name, j, fi[j], reference[j])
+			}
+		}
+	}
+}
+
+func TestTracksGenerators(t *testing.T) {
+	d := classic(t)
+	for name, want := range map[string]bool{"close": true, "a-close": true, "titanic": true, "charm": false} {
+		res, err := MineContext(context.Background(), d, WithMinSupport(0.4), WithAlgorithm(name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.TracksGenerators() != want {
+			t.Errorf("%s: TracksGenerators() = %v, want %v", name, res.TracksGenerators(), want)
+		}
+		_, err = res.GenericBasis()
+		if want && err != nil {
+			t.Errorf("%s: GenericBasis: %v", name, err)
+		}
+		if !want && err == nil {
+			t.Errorf("%s: GenericBasis accepted without generators", name)
+		}
+	}
+}
+
+func TestMineFrequentWrappersIgnoreAlgorithmField(t *testing.T) {
+	// The legacy MineFrequent* functions never looked at
+	// Options.Algorithm; the compatibility wrappers must not start
+	// rejecting values the old code accepted.
+	d := classic(t)
+	fi, err := MineFrequentEclat(d, Options{MinSupport: 0.4, Algorithm: Algorithm(7)})
+	if err != nil {
+		t.Fatalf("MineFrequentEclat with stray Algorithm: %v", err)
+	}
+	if len(fi) != 15 {
+		t.Errorf("|FI| = %d, want 15", len(fi))
+	}
+	// Mine, by contrast, always validated it.
+	if _, err := Mine(d, Options{MinSupport: 0.4, Algorithm: Algorithm(7)}); err == nil {
+		t.Error("Mine with unknown Algorithm accepted")
+	}
+}
+
+func TestMineOptionErrors(t *testing.T) {
+	d := classic(t)
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		opts []MineOption
+	}{
+		{"no threshold", nil},
+		{"zero min support", []MineOption{WithMinSupport(0)}},
+		{"min support above one", []MineOption{WithMinSupport(1.5)}},
+		{"absolute below one", []MineOption{WithAbsoluteMinSupport(0)}},
+		{"empty algorithm", []MineOption{WithMinSupport(0.4), WithAlgorithm("")}},
+		{"nil option", []MineOption{nil}},
+	}
+	for _, tc := range cases {
+		if _, err := MineContext(ctx, d, tc.opts...); err == nil {
+			t.Errorf("MineContext %s: no error", tc.name)
+		}
+		if _, err := MineFrequentContext(ctx, d, tc.opts...); err == nil {
+			t.Errorf("MineFrequentContext %s: no error", tc.name)
+		}
+	}
+	// Absolute threshold takes precedence over relative.
+	res, err := MineContext(ctx, d, WithMinSupport(0.99), WithAbsoluteMinSupport(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinSupport() != 2 {
+		t.Errorf("MinSupport() = %d, want 2", res.MinSupport())
+	}
+}

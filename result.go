@@ -17,10 +17,11 @@ import (
 // itemsets, the iceberg lattice, rules and bases are derived lazily on
 // first use and cached. Result is safe for concurrent use.
 type Result struct {
-	d      *Dataset
-	minSup int
-	algo   Algorithm
-	fc     *closedset.Set
+	d         *Dataset
+	minSup    int
+	minerName string
+	hasGens   bool
+	fc        *closedset.Set
 
 	famOnce sync.Once
 	fam     *itemset.Family // lazily mined (Apriori)
@@ -35,8 +36,14 @@ func (r *Result) Dataset() *Dataset { return r.d }
 // MinSupport returns the absolute minimum support count used.
 func (r *Result) MinSupport() int { return r.minSup }
 
-// Algorithm returns the closed-itemset miner that produced the result.
-func (r *Result) Algorithm() Algorithm { return r.algo }
+// MinerName returns the registry name of the closed-itemset miner that
+// produced the result.
+func (r *Result) MinerName() string { return r.minerName }
+
+// TracksGenerators reports whether the producing miner recorded the
+// minimal generators of each closed itemset (required by GenericBasis
+// and InformativeBasis).
+func (r *Result) TracksGenerators() bool { return r.hasGens }
 
 // ClosedItemsets returns the frequent closed itemsets (FC), including
 // the bottom h(∅), in canonical order.
@@ -168,10 +175,11 @@ func (r *Result) LuxenburgerFull(minConf float64) ([]Rule, error) {
 
 // GenericBasis returns the generic basis for exact rules (minimal-
 // generator antecedents), the follow-on refinement of the same
-// authors. Requires a generator-tracking algorithm (Close, AClose).
+// authors. Requires a generator-tracking miner (close, a-close,
+// titanic).
 func (r *Result) GenericBasis() ([]Rule, error) {
-	if r.algo == Charm {
-		return nil, fmt.Errorf("closedrules: %v does not track generators; mine with Close or AClose", r.algo)
+	if !r.hasGens {
+		return nil, fmt.Errorf("closedrules: miner %q does not track generators; mine with close, a-close or titanic", r.minerName)
 	}
 	return core.GenericBasis(r.fc)
 }
@@ -180,8 +188,8 @@ func (r *Result) GenericBasis() ([]Rule, error) {
 // (minimal-generator antecedents, closed-itemset consequents); reduced
 // restricts consequents to lattice covers.
 func (r *Result) InformativeBasis(minConf float64, reduced bool) ([]Rule, error) {
-	if r.algo == Charm {
-		return nil, fmt.Errorf("closedrules: %v does not track generators; mine with Close or AClose", r.algo)
+	if !r.hasGens {
+		return nil, fmt.Errorf("closedrules: miner %q does not track generators; mine with close, a-close or titanic", r.minerName)
 	}
 	return core.InformativeBasis(r.latticeOf(), r.fc, reduced, core.LuxenburgerOptions{
 		MinConfidence: minConf,
