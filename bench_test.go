@@ -8,6 +8,7 @@ package closedrules
 // lattice construction, basis extraction, inference).
 
 import (
+	"context"
 	"testing"
 
 	"closedrules/internal/aclose"
@@ -288,9 +289,10 @@ func BenchmarkE6_InformativeBasis_Mushroom(b *testing.B) {
 // --- E7: full pipeline ----------------------------------------------------
 
 func benchE7(b *testing.B, d *dataset.Dataset, minSup, minConf float64) {
+	ctx := context.Background()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Mine(d, Options{MinSupport: minSup})
+		res, err := MineContext(ctx, d, WithMinSupport(minSup))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -307,7 +309,7 @@ func BenchmarkE7_Pipeline_Mushroom(b *testing.B) { benchE7(b, mushroomBench(b), 
 // bases (the query path a downstream user exercises).
 func BenchmarkE7_EngineDerivation(b *testing.B) {
 	d := mushroomBench(b)
-	res, err := Mine(d, Options{MinSupport: 0.3})
+	res, err := MineContext(context.Background(), d, WithMinSupport(0.3))
 	if err != nil {
 		b.Fatal(err)
 	}

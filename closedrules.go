@@ -2,18 +2,29 @@
 // closed itemsets, implementing Taouil, Pasquier, Bastide & Lakhal,
 // "Mining Bases for Association Rules Using Closed Sets" (ICDE 2000).
 //
-// Instead of the full — hugely redundant — set of association rules,
-// the library extracts two minimal non-redundant generating sets:
+// An itemset is closed when it equals its Galois closure h(X) — the
+// largest itemset shared by exactly the transactions containing X —
+// and every itemset has the support of its closure. The frequent
+// closed itemsets (FC) therefore condense all frequent itemsets
+// without losing a single support value. Instead of the full — hugely
+// redundant — set of association rules, the library extracts two
+// minimal non-redundant generating sets built on FC:
 //
-//   - the Duquenne–Guigues basis for exact rules (confidence 1), built
-//     on the frequent pseudo-closed itemsets (Theorem 1);
-//   - the Luxenburger basis for approximate rules, built on the Hasse
-//     diagram of the frequent-closed-itemset (iceberg) lattice
-//     (Theorem 2).
+//   - the Duquenne–Guigues basis for exact rules (confidence 1): one
+//     rule P → h(P)∖P per frequent pseudo-closed itemset P (Theorem 1).
+//     It is minimal — no smaller set generates all exact rules.
+//   - the Luxenburger basis for approximate rules (confidence < 1):
+//     one rule h₁ → h₂∖h₁ per pair of comparable frequent closed
+//     itemsets h₁ ⊂ h₂, with confidence supp(h₂)/supp(h₁); the served
+//     reduction keeps only the Hasse-diagram (cover) edges of the
+//     iceberg lattice (Theorem 2).
 //
 // Every valid rule, with its exact support and confidence, can be
-// rederived from the two bases alone; Engine implements that
-// derivation, and QueryService serves it concurrently.
+// rederived from the two bases alone: exact rules by composing
+// Duquenne–Guigues antecedents, approximate ones by multiplying
+// confidences along lattice paths. Engine implements that derivation,
+// QueryService serves it concurrently, and the server package exposes
+// it over HTTP/JSON.
 //
 // Quick start:
 //

@@ -1,6 +1,7 @@
 package closedrules
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -24,7 +25,7 @@ func classic(t *testing.T) *Dataset {
 
 func TestMineClassicPipeline(t *testing.T) {
 	d := classic(t)
-	res, err := Mine(d, Options{MinSupport: 0.4})
+	res, err := MineContext(context.Background(), d, WithMinSupport(0.4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,8 +53,9 @@ func TestMineAlgorithmsAgree(t *testing.T) {
 	for iter := 0; iter < 15; iter++ {
 		d := testgen.Random(r, 30, 10, 0.4)
 		var counts [4]int
-		for i, algo := range []Algorithm{Close, AClose, Charm, Titanic} {
-			res, err := Mine(d, Options{AbsoluteMinSupport: 2, Algorithm: algo})
+		for i, algo := range []string{"close", "a-close", "charm", "titanic"} {
+			res, err := MineContext(context.Background(), d,
+				WithAbsoluteMinSupport(2), WithAlgorithm(algo))
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -67,23 +69,30 @@ func TestMineAlgorithmsAgree(t *testing.T) {
 
 func TestMineOptionValidation(t *testing.T) {
 	d := classic(t)
-	if _, err := Mine(d, Options{}); err == nil {
-		t.Error("zero options accepted")
+	ctx := context.Background()
+	if _, err := MineContext(ctx, d); err == nil {
+		t.Error("missing support threshold accepted")
 	}
-	if _, err := Mine(d, Options{MinSupport: 1.5}); err == nil {
-		t.Error("MinSupport > 1 accepted")
+	if _, err := MineContext(ctx, d, WithMinSupport(1.5)); err == nil {
+		t.Error("WithMinSupport > 1 accepted")
 	}
-	if _, err := Mine(d, Options{MinSupport: 0.4, Algorithm: Algorithm(99)}); err == nil {
+	if _, err := MineContext(ctx, d, WithAbsoluteMinSupport(0)); err == nil {
+		t.Error("WithAbsoluteMinSupport < 1 accepted")
+	}
+	if _, err := MineContext(ctx, d, WithMinSupport(0.4), WithAlgorithm("bogus")); err == nil {
 		t.Error("unknown algorithm accepted")
 	}
-	if _, err := Mine(d, Options{AbsoluteMinSupport: 3}); err != nil {
+	if _, err := MineContext(ctx, d, WithMinSupport(0.4), nil); err == nil {
+		t.Error("nil option accepted")
+	}
+	if _, err := MineContext(ctx, d, WithAbsoluteMinSupport(3)); err != nil {
 		t.Errorf("absolute threshold rejected: %v", err)
 	}
 }
 
 func TestBasesClassic(t *testing.T) {
 	d := classic(t)
-	res, err := Mine(d, Options{MinSupport: 0.4})
+	res, err := MineContext(context.Background(), d, WithMinSupport(0.4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +126,7 @@ func TestEngineRoundTripViaFacade(t *testing.T) {
 	r := rand.New(rand.NewSource(17))
 	for iter := 0; iter < 20; iter++ {
 		d := testgen.Random(r, 20, 8, 0.45)
-		res, err := Mine(d, Options{AbsoluteMinSupport: 1 + r.Intn(3)})
+		res, err := MineContext(context.Background(), d, WithAbsoluteMinSupport(1+r.Intn(3)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -149,7 +158,7 @@ func TestEngineRoundTripViaFacade(t *testing.T) {
 
 func TestLuxenburgerFullViaFacade(t *testing.T) {
 	d := classic(t)
-	res, _ := Mine(d, Options{MinSupport: 0.4})
+	res, _ := MineContext(context.Background(), d, WithMinSupport(0.4))
 	full, err := res.LuxenburgerFull(0)
 	if err != nil {
 		t.Fatal(err)
@@ -170,7 +179,7 @@ func TestLuxenburgerFullViaFacade(t *testing.T) {
 
 func TestGenericAndInformativeViaFacade(t *testing.T) {
 	d := classic(t)
-	res, _ := Mine(d, Options{MinSupport: 0.4})
+	res, _ := MineContext(context.Background(), d, WithMinSupport(0.4))
 	gb, err := res.GenericBasis()
 	if err != nil {
 		t.Fatal(err)
@@ -191,7 +200,7 @@ func TestGenericAndInformativeViaFacade(t *testing.T) {
 	}
 
 	// Charm-mined results cannot produce generator bases.
-	resCharm, _ := Mine(d, Options{MinSupport: 0.4, Algorithm: Charm})
+	resCharm, _ := MineContext(context.Background(), d, WithMinSupport(0.4), WithAlgorithm("charm"))
 	if _, err := resCharm.GenericBasis(); err == nil {
 		t.Error("GenericBasis on Charm result should fail")
 	}
@@ -202,7 +211,7 @@ func TestGenericAndInformativeViaFacade(t *testing.T) {
 
 func TestPseudoClosedViaFacade(t *testing.T) {
 	d := classic(t)
-	res, _ := Mine(d, Options{MinSupport: 0.4})
+	res, _ := MineContext(context.Background(), d, WithMinSupport(0.4))
 	ps, err := res.PseudoClosedItemsets()
 	if err != nil {
 		t.Fatal(err)
@@ -214,7 +223,7 @@ func TestPseudoClosedViaFacade(t *testing.T) {
 
 func TestClosureAndSupportViaFacade(t *testing.T) {
 	d := classic(t)
-	res, _ := Mine(d, Options{MinSupport: 0.4})
+	res, _ := MineContext(context.Background(), d, WithMinSupport(0.4))
 	cl, ok := res.Closure(Items(0))
 	if !ok || !cl.Items.Equal(Items(0, 2)) {
 		t.Errorf("Closure(A) = %v,%v", cl.Items, ok)
@@ -230,7 +239,7 @@ func TestClosureAndSupportViaFacade(t *testing.T) {
 
 func TestLatticeExports(t *testing.T) {
 	d := classic(t)
-	res, _ := Mine(d, Options{MinSupport: 0.4})
+	res, _ := MineContext(context.Background(), d, WithMinSupport(0.4))
 	dot := res.LatticeDOT()
 	if !strings.Contains(dot, "digraph lattice") {
 		t.Error("DOT missing header")
@@ -243,11 +252,12 @@ func TestLatticeExports(t *testing.T) {
 
 func TestMineFrequentBaselines(t *testing.T) {
 	d := classic(t)
-	ap, err := MineFrequent(d, Options{MinSupport: 0.4})
+	ctx := context.Background()
+	ap, err := MineFrequentContext(ctx, d, WithMinSupport(0.4), WithAlgorithm("apriori"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	ec, err := MineFrequentEclat(d, Options{MinSupport: 0.4})
+	ec, err := MineFrequentContext(ctx, d, WithMinSupport(0.4), WithAlgorithm("eclat"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +277,7 @@ func TestFormatRulesUsesNames(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, _ := Mine(named, Options{MinSupport: 0.4})
+	res, _ := MineContext(context.Background(), named, WithMinSupport(0.4))
 	bases, _ := res.Bases(0)
 	out := FormatRules(bases.Exact, named)
 	if !strings.Contains(out, "{A} → {C}") {
@@ -277,7 +287,7 @@ func TestFormatRulesUsesNames(t *testing.T) {
 
 func TestRuleMetricsViaFacade(t *testing.T) {
 	d := classic(t)
-	res, _ := Mine(d, Options{MinSupport: 0.4})
+	res, _ := MineContext(context.Background(), d, WithMinSupport(0.4))
 	all, _ := res.AllRules(0.5)
 	if len(all) == 0 {
 		t.Fatal("no rules")
@@ -295,7 +305,7 @@ func TestRuleMetricsViaFacade(t *testing.T) {
 // goroutines; run with -race.
 func TestResultConcurrentAccess(t *testing.T) {
 	d := classic(t)
-	res, err := Mine(d, Options{MinSupport: 0.4})
+	res, err := MineContext(context.Background(), d, WithMinSupport(0.4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,7 +338,7 @@ func TestEndToEndMushroomRegime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Mine(d, Options{MinSupport: 0.3})
+	res, err := MineContext(context.Background(), d, WithMinSupport(0.3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +372,7 @@ func TestEndToEndQuestRegime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Mine(d, Options{MinSupport: 0.01})
+	res, err := MineContext(context.Background(), d, WithMinSupport(0.01))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,160 @@
+// Command arserve mines a transaction dataset once and serves the
+// condensed representation (closed itemsets + rule bases) over
+// HTTP/JSON — the network front end of the library's QueryService.
+//
+// Usage:
+//
+//	arserve -in data.dat -minsup 0.3 [-minconf 0.5] [-addr :8080]
+//	        [-algo close] [-table -sep , -header]
+//	        [-request-timeout 5s] [-mine-timeout 0] [-max-k 100]
+//
+// Endpoints (see the server package for wire formats):
+//
+//	GET  /support?items=1,2
+//	GET  /confidence?antecedent=2&consequent=0
+//	GET  /rules?antecedent=2&consequent=0
+//	POST /recommend        {"observed":[1],"k":3}
+//	GET  /healthz
+//	GET  /metrics          Prometheus text format
+//	POST /admin/reload     re-read -in, re-mine, hot-swap
+//
+// The input file is re-read on every /admin/reload, so replacing the
+// file on disk and POSTing to the endpoint refreshes the served rules
+// with zero downtime. SIGINT/SIGTERM trigger a graceful shutdown.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"closedrules"
+	"closedrules/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "arserve:", err)
+		os.Exit(1)
+	}
+}
+
+// config is the parsed flag set.
+type config struct {
+	in          string
+	table       bool
+	sep         rune
+	header      bool
+	minsup      float64
+	abssup      int
+	minconf     float64
+	algo        string
+	addr        string
+	reqTimeout  time.Duration
+	mineTimeout time.Duration
+	maxK        int
+}
+
+func parseFlags(args []string) (*config, error) {
+	fs := flag.NewFlagSet("arserve", flag.ContinueOnError)
+	var (
+		in          = fs.String("in", "", "input file (.dat basket format unless -table); re-read on /admin/reload")
+		table       = fs.Bool("table", false, "input is a nominal table (one attribute per column)")
+		sep         = fs.String("sep", ",", "table column separator")
+		header      = fs.Bool("header", false, "table has a header row")
+		minsup      = fs.Float64("minsup", 0.5, "relative minimum support (0,1]")
+		abssup      = fs.Int("abssup", 0, "absolute minimum support (overrides -minsup when ≥1)")
+		minconf     = fs.Float64("minconf", 0.5, "minimum confidence [0,1] for the served approximate basis")
+		algo        = fs.String("algo", "", "closed-miner registry name (default close)")
+		addr        = fs.String("addr", ":8080", "listen address")
+		reqTimeout  = fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-query deadline (negative = none)")
+		mineTimeout = fs.Duration("mine-timeout", 0, "deadline for the initial mine and each reload (0 = none)")
+		maxK        = fs.Int("max-k", server.DefaultMaxRecommend, "cap on the k of a recommend request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *in == "" {
+		return nil, fmt.Errorf("missing -in")
+	}
+	r := []rune(*sep)
+	if len(r) != 1 {
+		return nil, fmt.Errorf("-sep must be a single character")
+	}
+	return &config{
+		in: *in, table: *table, sep: r[0], header: *header,
+		minsup: *minsup, abssup: *abssup, minconf: *minconf, algo: *algo,
+		addr: *addr, reqTimeout: *reqTimeout, mineTimeout: *mineTimeout, maxK: *maxK,
+	}, nil
+}
+
+// load reads the input file from disk.
+func (c *config) load() (*closedrules.Dataset, error) {
+	if c.table {
+		return closedrules.ReadTableFile(c.in, c.sep, c.header)
+	}
+	return closedrules.ReadDatFile(c.in)
+}
+
+// mine re-reads the input file and mines it, under the configured
+// mine deadline. This is both the startup path and the ReloadFunc.
+func (c *config) mine(ctx context.Context) (*closedrules.Result, error) {
+	if c.mineTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.mineTimeout)
+		defer cancel()
+	}
+	d, err := c.load()
+	if err != nil {
+		return nil, err
+	}
+	opts := []closedrules.MineOption{closedrules.WithMinSupport(c.minsup)}
+	if c.abssup >= 1 {
+		opts = []closedrules.MineOption{closedrules.WithAbsoluteMinSupport(c.abssup)}
+	}
+	if c.algo != "" {
+		opts = append(opts, closedrules.WithAlgorithm(c.algo))
+	}
+	return closedrules.MineContext(ctx, d, opts...)
+}
+
+// setup mines the initial representation and builds the HTTP server.
+func setup(ctx context.Context, args []string) (*server.Server, *config, error) {
+	cfg, err := parseFlags(args)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := cfg.mine(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	qs, err := closedrules.NewQueryService(res, cfg.minconf)
+	if err != nil {
+		return nil, nil, err
+	}
+	// No ReloadTimeout: cfg.mine already applies -mine-timeout itself.
+	srv := server.New(qs, server.Config{
+		RequestTimeout: cfg.reqTimeout,
+		MaxRecommend:   cfg.maxK,
+		Reload:         cfg.mine,
+	})
+	return srv, cfg, nil
+}
+
+func run(ctx context.Context, args []string, w io.Writer) error {
+	srv, cfg, err := setup(ctx, args)
+	if err != nil {
+		return err
+	}
+	qs := srv.Service()
+	fmt.Fprintf(w, "arserve: mined %s (%d transactions, %d basis rules); serving on %s\n",
+		cfg.in, qs.NumTransactions(), qs.NumRules(), cfg.addr)
+	return srv.ListenAndServe(ctx, cfg.addr)
+}

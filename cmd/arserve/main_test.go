@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const classicDat = "0 2 3\n1 2 4\n0 1 2 4\n1 4\n0 1 2 4\n"
+
+// writeClassic writes the classic 5-object context to a temp .dat file.
+func writeClassic(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "classic.dat")
+	if err := os.WriteFile(path, []byte(classicDat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// testServer builds the arserve HTTP stack from CLI args and mounts it
+// on an httptest server.
+func testServer(t *testing.T, args ...string) (*httptest.Server, string) {
+	t.Helper()
+	path := writeClassic(t)
+	srv, _, err := setup(context.Background(), append([]string{"-in", path, "-minsup", "0.4"}, args...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts, path
+}
+
+func TestServeEndpoints(t *testing.T) {
+	ts, _ := testServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status       string `json:"status"`
+		Transactions int    `json:"transactions"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Transactions != 5 {
+		t.Errorf("healthz = %+v", h)
+	}
+
+	resp2, err := http.Get(ts.URL + "/support?items=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var s struct {
+		Support int `json:"support"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Support != 4 {
+		t.Errorf("support(C) = %+v", s)
+	}
+}
+
+func TestReloadFromFile(t *testing.T) {
+	ts, path := testServer(t)
+	// Replace the file on disk with a doubled dataset, then hot-reload.
+	if err := os.WriteFile(path, []byte(classicDat+classicDat), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/admin/reload", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload = %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Status       string `json:"status"`
+		Transactions int    `json:"transactions"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Status != "reloaded" || out.Transactions != 10 {
+		t.Errorf("reload = %+v, want 10 transactions", out)
+	}
+}
+
+func TestTableInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.csv")
+	data := "color,size\nred,big\nred,big\nblue,small\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	srv, _, err := setup(context.Background(), []string{"-in", path, "-table", "-header", "-minsup", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Service().NumTransactions(); got != 3 {
+		t.Errorf("NumTransactions = %d, want 3", got)
+	}
+}
+
+func TestSetupErrors(t *testing.T) {
+	ctx := context.Background()
+	cases := [][]string{
+		{},                               // missing -in
+		{"-in", "/nonexistent/file.dat"}, // missing file
+		{"-in", writeClassic(t), "-sep", "ab", "-table"},
+		{"-in", writeClassic(t), "-minsup", "7"},
+		{"-in", writeClassic(t), "-algo", "bogus"},
+		{"-in", writeClassic(t), "-minconf", "2"},
+	}
+	for i, args := range cases {
+		if _, _, err := setup(ctx, args); err == nil {
+			t.Errorf("case %d (%v): no error", i, args)
+		}
+	}
+}
+
+func TestMineTimeout(t *testing.T) {
+	_, _, err := setup(context.Background(),
+		[]string{"-in", writeClassic(t), "-minsup", "0.4", "-mine-timeout", "1ns"})
+	if err == nil {
+		t.Error("expired mine deadline accepted")
+	}
+}
+
+func TestRunGracefulShutdown(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var sb strings.Builder
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-in", writeClassic(t), "-minsup", "0.4", "-addr", "127.0.0.1:0"}, &sb)
+	}()
+	// Give the server a moment to come up, then trigger shutdown.
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Errorf("run returned %v after cancel, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after cancel")
+	}
+	if !strings.Contains(sb.String(), "serving on") {
+		t.Errorf("startup log missing: %q", sb.String())
+	}
+}
+
+func TestRunSetupError(t *testing.T) {
+	err := run(context.Background(), []string{}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "missing -in") {
+		t.Errorf("run with no args = %v", err)
+	}
+}

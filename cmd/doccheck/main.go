@@ -1,0 +1,156 @@
+// Command doccheck enforces the exported-documentation rule of golint
+// and revive on the given directories: every exported package-level
+// symbol — functions, methods on exported types, types, and the specs
+// of var/const declarations — must carry a doc comment, and every
+// package must have a package comment. It is self-contained (go/ast
+// only, no third-party linter) so CI can gate on it without network
+// access.
+//
+// Usage:
+//
+//	doccheck DIR...
+//
+// Test files are skipped. Exits non-zero and prints one line per
+// violation when any exported symbol is undocumented.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck DIR...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		problems, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		bad += len(problems)
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbol(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+// checkDir parses one directory (non-test files) and returns one
+// formatted problem line per undocumented exported symbol.
+func checkDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for name, pkg := range pkgs {
+		if strings.HasSuffix(name, "_test") {
+			continue
+		}
+		out = append(out, checkPackage(fset, dir, pkg)...)
+	}
+	return out, nil
+}
+
+func checkPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {
+	var out []string
+	hasPkgDoc := false
+	for _, f := range pkg.Files {
+		if f.Doc != nil {
+			hasPkgDoc = true
+		}
+	}
+	if !hasPkgDoc {
+		out = append(out, fmt.Sprintf("%s: package %s has no package comment", dir, pkg.Name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			out = append(out, checkDecl(fset, decl)...)
+		}
+	}
+	return out
+}
+
+func checkDecl(fset *token.FileSet, decl ast.Decl) []string {
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		out = append(out, fmt.Sprintf("%s: exported %s %s is missing a doc comment",
+			fset.Position(pos), kind, name))
+	}
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || d.Doc != nil {
+			return nil
+		}
+		kind := "function"
+		if d.Recv != nil {
+			// Methods count only when the receiver type is exported:
+			// an unexported type's method set is not reachable API.
+			if base := receiverBase(d.Recv); base == "" || !ast.IsExported(base) {
+				return nil
+			}
+			kind = "method"
+		}
+		report(d.Pos(), kind, d.Name.Name)
+	case *ast.GenDecl:
+		kind := map[token.Token]string{token.TYPE: "type", token.VAR: "var", token.CONST: "const"}[d.Tok]
+		if kind == "" {
+			return nil
+		}
+		for _, spec := range d.Specs {
+			switch sp := spec.(type) {
+			case *ast.TypeSpec:
+				if sp.Name.IsExported() && d.Doc == nil && sp.Doc == nil {
+					report(sp.Pos(), kind, sp.Name.Name)
+				}
+			case *ast.ValueSpec:
+				for _, n := range sp.Names {
+					// Inside a documented block, per-spec docs are
+					// optional (matching golint's behaviour for
+					// grouped const/var declarations).
+					if n.IsExported() && d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+						report(n.Pos(), kind, n.Name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// receiverBase returns the receiver's type name, unwrapping pointers
+// and generic instantiations.
+func receiverBase(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

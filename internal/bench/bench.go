@@ -19,6 +19,7 @@ import (
 // Full approaches the papers' original scales.
 type Scale int
 
+// The three benchmark scales, smallest first.
 const (
 	Small Scale = iota
 	Medium

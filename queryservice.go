@@ -4,17 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strconv"
-	"sync"
+	"sync/atomic"
 
 	"closedrules/internal/closedset"
 	"closedrules/internal/rules"
 )
-
-// recCacheLimit bounds the per-state recommendation cache; when it
-// fills, the cache is reset rather than evicted entry by entry — the
-// working set of observed baskets in a serving deployment is small
-// compared to the limit, so resets are rare.
-const recCacheLimit = 1 << 12
 
 // QueryService serves support, confidence and recommendation queries
 // from a mined condensed representation (frequent closed itemsets +
@@ -22,20 +16,42 @@ const recCacheLimit = 1 << 12
 // counterpart of a one-shot Mine run. All methods are safe for
 // concurrent use; Swap atomically replaces the underlying data (hot
 // reload after a re-mine) without blocking in-flight queries.
+//
+// Recommendation rankings are memoized in a cache sharded across
+// independently locked stripes, so concurrent Recommend calls for
+// different baskets do not contend. The hit/miss/swap counters are
+// exposed by Stats for serving-layer metrics (see the server package).
 type QueryService struct {
-	mu sync.RWMutex
-	st *serviceState
+	st atomic.Pointer[serviceState]
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	swaps       atomic.Uint64
 }
 
 // serviceState is an immutable-after-build snapshot of everything the
 // service answers from; Swap replaces it wholesale. Only the recCache
-// map mutates after build, always under QueryService.mu.
+// stripes mutate after build, each under its own lock.
 type serviceState struct {
 	numTx    int
 	minConf  float64
 	fc       *closedset.Set
 	recRules []Rule // basis rules (exact + approximate) for Recommend
-	recCache map[string][]Rule
+	recCache *recCache
+}
+
+// ServiceStats is a point-in-time snapshot of a QueryService's
+// operational counters. The cache counters accumulate across Swaps
+// (the cache itself is per-snapshot and starts empty after each Swap).
+type ServiceStats struct {
+	// CacheHits counts Recommend calls answered from the cache.
+	CacheHits uint64
+	// CacheMisses counts Recommend calls that computed a fresh ranking.
+	CacheMisses uint64
+	// Swaps counts successful hot reloads.
+	Swaps uint64
+	// CacheEntries is the number of rankings currently cached.
+	CacheEntries int
 }
 
 // NewQueryService builds a service from a mining result. minConf
@@ -47,7 +63,9 @@ func NewQueryService(res *Result, minConf float64) (*QueryService, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &QueryService{st: st}, nil
+	qs := &QueryService{}
+	qs.st.Store(st)
+	return qs, nil
 }
 
 // NewQueryServiceFromCollection builds a service from a detached
@@ -59,7 +77,9 @@ func NewQueryServiceFromCollection(col *ClosedCollection, minConf float64) (*Que
 	if err != nil {
 		return nil, err
 	}
-	return &QueryService{st: st}, nil
+	qs := &QueryService{}
+	qs.st.Store(st)
+	return qs, nil
 }
 
 func stateFromResult(res *Result, minConf float64) (*serviceState, error) {
@@ -81,7 +101,7 @@ func stateFromResult(res *Result, minConf float64) (*serviceState, error) {
 		minConf:  minConf,
 		fc:       res.fc,
 		recRules: recRules,
-		recCache: map[string][]Rule{},
+		recCache: newRecCache(),
 	}, nil
 }
 
@@ -110,49 +130,55 @@ func stateFromCollection(col *ClosedCollection, minConf float64) (*serviceState,
 		minConf:  minConf,
 		fc:       col.set,
 		recRules: recRules,
-		recCache: map[string][]Rule{},
+		recCache: newRecCache(),
 	}, nil
 }
 
 // Swap atomically replaces the served data with a freshly mined
 // result, keeping the service's confidence threshold. In-flight
 // queries finish against the old snapshot; new queries see the new
-// one. The expensive basis construction happens before the lock is
-// taken, so queries are never blocked on a re-mine.
+// one. The expensive basis construction happens before the pointer is
+// published, so queries are never blocked on a re-mine. The
+// recommendation cache starts empty in the new snapshot.
 func (qs *QueryService) Swap(res *Result) error {
-	qs.mu.RLock()
-	minConf := qs.st.minConf
-	qs.mu.RUnlock()
-	st, err := stateFromResult(res, minConf)
+	st, err := stateFromResult(res, qs.st.Load().minConf)
 	if err != nil {
 		return err
 	}
-	qs.mu.Lock()
-	qs.st = st
-	qs.mu.Unlock()
+	qs.st.Store(st)
+	qs.swaps.Add(1)
 	return nil
 }
 
+// Stats returns a snapshot of the service's operational counters.
+func (qs *QueryService) Stats() ServiceStats {
+	return ServiceStats{
+		CacheHits:    qs.cacheHits.Load(),
+		CacheMisses:  qs.cacheMisses.Load(),
+		Swaps:        qs.swaps.Load(),
+		CacheEntries: qs.st.Load().recCache.entries(),
+	}
+}
+
+// Swaps returns the number of successful hot reloads — a single
+// atomic load, cheaper than Stats, which also counts cache entries
+// across every stripe. Suited to hot paths like liveness probes.
+func (qs *QueryService) Swaps() uint64 { return qs.swaps.Load() }
+
 // NumTransactions returns |O| of the currently served dataset.
 func (qs *QueryService) NumTransactions() int {
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
-	return qs.st.numTx
+	return qs.st.Load().numTx
 }
 
 // MinConfidence returns the confidence threshold of the served
 // approximate basis.
 func (qs *QueryService) MinConfidence() float64 {
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
-	return qs.st.minConf
+	return qs.st.Load().minConf
 }
 
 // NumRules returns the number of basis rules available to Recommend.
 func (qs *QueryService) NumRules() int {
-	qs.mu.RLock()
-	defer qs.mu.RUnlock()
-	return len(qs.st.recRules)
+	return len(qs.st.Load().recRules)
 }
 
 // Support answers supp(X) = supp(h(X)) from the closed itemsets; ok is
@@ -161,10 +187,7 @@ func (qs *QueryService) Support(ctx context.Context, x Itemset) (support int, ok
 	if err := ctx.Err(); err != nil {
 		return 0, false, err
 	}
-	qs.mu.RLock()
-	st := qs.st
-	qs.mu.RUnlock()
-	s, ok := st.fc.SupportOf(x)
+	s, ok := qs.st.Load().fc.SupportOf(x)
 	return s, ok, nil
 }
 
@@ -184,15 +207,28 @@ func (qs *QueryService) Confidence(ctx context.Context, antecedent, consequent I
 // support, and consequent support when derivable) from the condensed
 // representation.
 func (qs *QueryService) Rule(ctx context.Context, antecedent, consequent Itemset) (Rule, error) {
+	r, _, err := qs.RuleWithN(ctx, antecedent, consequent)
+	return r, err
+}
+
+// RuleWithN is Rule plus the transaction count of the snapshot that
+// answered — the right denominator for measures derived from the rule
+// (lift, relative support) when a Swap may land mid-request; reading
+// NumTransactions separately could observe a different snapshot.
+func (qs *QueryService) RuleWithN(ctx context.Context, antecedent, consequent Itemset) (Rule, int, error) {
 	if err := ctx.Err(); err != nil {
-		return Rule{}, err
+		return Rule{}, 0, err
 	}
+	st := qs.st.Load()
+	r, err := ruleFrom(st, antecedent, consequent)
+	return r, st.numTx, err
+}
+
+// ruleFrom reconstructs the measured rule from one snapshot.
+func ruleFrom(st *serviceState, antecedent, consequent Itemset) (Rule, error) {
 	if antecedent.Intersect(consequent).Len() > 0 {
 		return Rule{}, fmt.Errorf("closedrules: antecedent and consequent overlap")
 	}
-	qs.mu.RLock()
-	st := qs.st
-	qs.mu.RUnlock()
 	u := antecedent.Union(consequent)
 	supU, ok := st.fc.SupportOf(u)
 	if !ok {
@@ -219,22 +255,28 @@ func (qs *QueryService) Rule(ctx context.Context, antecedent, consequent Itemset
 // already fully observed — ranked by descending lift. Results are
 // cached per (observation, k) until the next Swap.
 func (qs *QueryService) Recommend(ctx context.Context, observed Itemset, k int) ([]Rule, error) {
+	recs, _, err := qs.RecommendWithN(ctx, observed, k)
+	return recs, err
+}
+
+// RecommendWithN is Recommend plus the transaction count of the
+// snapshot that answered (see RuleWithN).
+func (qs *QueryService) RecommendWithN(ctx context.Context, observed Itemset, k int) ([]Rule, int, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("closedrules: Recommend k %d < 1", k)
+		return nil, 0, fmt.Errorf("closedrules: Recommend k %d < 1", k)
 	}
 	key := observed.Key() + "#" + strconv.Itoa(k)
-	qs.mu.RLock()
-	st := qs.st
-	cached, hit := st.recCache[key]
-	qs.mu.RUnlock()
-	if hit {
+	st := qs.st.Load()
+	if cached, hit := st.recCache.get(key); hit {
+		qs.cacheHits.Add(1)
 		// Hand out a copy: a caller re-sorting its result must not
 		// corrupt the ranking served to the next cache hit.
-		return append([]Rule(nil), cached...), nil
+		return append([]Rule(nil), cached...), st.numTx, nil
 	}
+	qs.cacheMisses.Add(1)
 
 	applicable := rules.WithAntecedentSubsetOf(st.recRules, observed)
 	novel := rules.Filter(applicable, func(r Rule) bool {
@@ -242,14 +284,9 @@ func (qs *QueryService) Recommend(ctx context.Context, observed Itemset, k int) 
 	})
 	top := rules.TopBy(novel, k, rules.ByLift(st.numTx))
 
-	qs.mu.Lock()
 	// The state may have been swapped while we computed; caching into
-	// the old snapshot's map is still correct (it is keyed to that
-	// snapshot) and the map write is serialized by the lock.
-	if len(st.recCache) >= recCacheLimit {
-		st.recCache = map[string][]Rule{}
-	}
-	st.recCache[key] = top
-	qs.mu.Unlock()
-	return append([]Rule(nil), top...), nil
+	// the old snapshot's stripes is still correct (they are keyed to
+	// that snapshot and become garbage with it).
+	st.recCache.put(key, top)
+	return append([]Rule(nil), top...), st.numTx, nil
 }

@@ -1,0 +1,73 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"closedrules"
+	"closedrules/server"
+)
+
+// serveClassic mines the paper's running example and exposes it over
+// an in-process HTTP server, returning its base URL.
+func serveClassic() (string, func()) {
+	ctx := context.Background()
+	ds, _ := closedrules.NewDataset([][]int{
+		{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4},
+	})
+	res, _ := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
+	qs, _ := closedrules.NewQueryService(res, 0.5)
+	ts := httptest.NewServer(server.New(qs, server.Config{}).Handler())
+	return ts.URL, ts.Close
+}
+
+// Example shows the HTTP client path for support queries: mine, serve,
+// then ask for supp({B, E}) over the wire.
+func Example() {
+	url, stop := serveClassic()
+	defer stop()
+
+	resp, err := http.Get(url + "/support?items=1,4")
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Support  int  `json:"support"`
+		Frequent bool `json:"frequent"`
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	fmt.Println(out.Support, out.Frequent)
+	// Output:
+	// 4 true
+}
+
+// ExampleServer_Handler shows the recommendation client path: POST an
+// observed basket and read back the ranked basis rules.
+func ExampleServer_Handler() {
+	url, stop := serveClassic()
+	defer stop()
+
+	body, _ := json.Marshal(map[string]any{"observed": []int{1}, "k": 1})
+	resp, err := http.Post(url+"/recommend", "application/json", bytes.NewReader(body))
+	if err != nil {
+		panic(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Rules []struct {
+			Consequent []int   `json:"consequent"`
+			Confidence float64 `json:"confidence"`
+		} `json:"rules"`
+	}
+	json.NewDecoder(resp.Body).Decode(&out)
+	for _, r := range out.Rules {
+		fmt.Printf("observed {1}: recommend %v (conf %.3f)\n", r.Consequent, r.Confidence)
+	}
+	// Output:
+	// observed {1}: recommend [4] (conf 1.000)
+}

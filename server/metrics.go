@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"closedrules"
+)
+
+// endpointStats accumulates per-endpoint counters. All fields are
+// atomics so the hot path never takes a lock.
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64 // responses with a 4xx/5xx status
+	nanos    atomic.Uint64 // cumulative handler latency
+}
+
+// metricsRegistry holds the server's operational counters. The
+// endpoint map is fixed at construction and only read afterwards, so
+// concurrent observe calls need no lock around it.
+type metricsRegistry struct {
+	start      time.Time
+	order      []string
+	byEndpoint map[string]*endpointStats
+}
+
+func newMetricsRegistry(endpoints []string) *metricsRegistry {
+	m := &metricsRegistry{
+		start:      time.Now(),
+		order:      append([]string(nil), endpoints...),
+		byEndpoint: make(map[string]*endpointStats, len(endpoints)),
+	}
+	for _, e := range endpoints {
+		m.byEndpoint[e] = &endpointStats{}
+	}
+	return m
+}
+
+// observe records one served request. Unknown endpoints are ignored
+// rather than grown into the map, which would race.
+func (m *metricsRegistry) observe(endpoint string, code int, d time.Duration) {
+	st, ok := m.byEndpoint[endpoint]
+	if !ok {
+		return
+	}
+	st.requests.Add(1)
+	if code >= 400 {
+		st.errors.Add(1)
+	}
+	st.nanos.Add(uint64(d.Nanoseconds()))
+}
+
+// writePrometheus renders every counter in Prometheus text exposition
+// format (version 0.0.4). QPS and mean latency are derivable by the
+// scraper: rate(closedrules_http_requests_total) and
+// closedrules_http_request_seconds_total / ..._requests_total.
+func (m *metricsRegistry) writePrometheus(w io.Writer, svc closedrules.ServiceStats, numTx, numRules int) {
+	fmt.Fprintf(w, "# HELP closedrules_http_requests_total Requests served, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_http_requests_total counter\n")
+	for _, e := range m.order {
+		fmt.Fprintf(w, "closedrules_http_requests_total{endpoint=%q} %d\n", e, m.byEndpoint[e].requests.Load())
+	}
+	fmt.Fprintf(w, "# HELP closedrules_http_request_errors_total Requests answered with a 4xx/5xx status, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_http_request_errors_total counter\n")
+	for _, e := range m.order {
+		fmt.Fprintf(w, "closedrules_http_request_errors_total{endpoint=%q} %d\n", e, m.byEndpoint[e].errors.Load())
+	}
+	fmt.Fprintf(w, "# HELP closedrules_http_request_seconds_total Cumulative request latency, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_http_request_seconds_total counter\n")
+	for _, e := range m.order {
+		fmt.Fprintf(w, "closedrules_http_request_seconds_total{endpoint=%q} %.9f\n", e, float64(m.byEndpoint[e].nanos.Load())/1e9)
+	}
+	fmt.Fprintf(w, "# HELP closedrules_cache_hits_total Recommend calls answered from the sharded cache.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_cache_hits_total counter\n")
+	fmt.Fprintf(w, "closedrules_cache_hits_total %d\n", svc.CacheHits)
+	fmt.Fprintf(w, "# HELP closedrules_cache_misses_total Recommend calls that computed a fresh ranking.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_cache_misses_total counter\n")
+	fmt.Fprintf(w, "closedrules_cache_misses_total %d\n", svc.CacheMisses)
+	fmt.Fprintf(w, "# HELP closedrules_cache_entries Rankings currently cached.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_cache_entries gauge\n")
+	fmt.Fprintf(w, "closedrules_cache_entries %d\n", svc.CacheEntries)
+	fmt.Fprintf(w, "# HELP closedrules_swaps_total Successful hot reloads.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_swaps_total counter\n")
+	fmt.Fprintf(w, "closedrules_swaps_total %d\n", svc.Swaps)
+	fmt.Fprintf(w, "# HELP closedrules_transactions Transactions in the served dataset.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_transactions gauge\n")
+	fmt.Fprintf(w, "closedrules_transactions %d\n", numTx)
+	fmt.Fprintf(w, "# HELP closedrules_basis_rules Basis rules available to Recommend.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_basis_rules gauge\n")
+	fmt.Fprintf(w, "closedrules_basis_rules %d\n", numRules)
+	fmt.Fprintf(w, "# HELP closedrules_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "closedrules_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+}

@@ -1,0 +1,469 @@
+// Package server exposes a closedrules.QueryService over HTTP/JSON —
+// the network serving layer of the library. The condensed
+// representation the paper mines (frequent closed itemsets plus the
+// Duquenne–Guigues and Luxenburger bases) is small enough to hold in
+// memory and answer from at network speed; this package puts an HTTP
+// front end on that idea.
+//
+// Endpoints:
+//
+//	GET  /support?items=1,2            supp(X) from the closed itemsets
+//	GET  /confidence?antecedent=2&consequent=0
+//	GET  /rules?antecedent=2&consequent=0   the fully measured rule
+//	POST /recommend                    {"observed":[1],"k":3} → ranked rules
+//	GET  /healthz                      liveness + serving snapshot summary
+//	GET  /metrics                      Prometheus text format
+//	POST /admin/reload                 re-mine via Config.Reload, then Swap
+//
+// Queries run under a per-request deadline (Config.RequestTimeout)
+// wired into the library's context plumbing; a deadline that expires
+// surfaces as 503, a client disconnect as 499. Unparseable parameters
+// are 400, underivable queries (e.g. a rule over an infrequent
+// itemset) are 422. Shutdown is graceful: cancel the context passed
+// to Serve or ListenAndServe and in-flight requests get
+// Config.ShutdownGrace to finish.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"closedrules"
+)
+
+// Default configuration values applied by New.
+const (
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultShutdownGrace  = 5 * time.Second
+	DefaultMaxRecommend   = 100
+)
+
+// maxBodyBytes bounds request bodies; recommend observations are tiny.
+const maxBodyBytes = 1 << 20
+
+// ReloadFunc produces a freshly mined Result for the hot-reload path
+// (POST /admin/reload). It must honor the context's deadline; the
+// server Swaps the result in on success.
+type ReloadFunc func(ctx context.Context) (*closedrules.Result, error)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// default applied by New, and a nil Reload simply disables the
+// /admin/reload endpoint (it answers 501).
+type Config struct {
+	// RequestTimeout is the per-query deadline. 0 means
+	// DefaultRequestTimeout; negative disables the deadline.
+	RequestTimeout time.Duration
+	// ReloadTimeout is the deadline for a Reload call. 0 means no
+	// deadline (mining time is workload-dependent).
+	ReloadTimeout time.Duration
+	// ShutdownGrace is how long in-flight requests may finish after
+	// the serve context is cancelled. 0 means DefaultShutdownGrace.
+	ShutdownGrace time.Duration
+	// MaxRecommend caps the k of a recommend request; larger values
+	// are clamped. 0 means DefaultMaxRecommend.
+	MaxRecommend int
+	// Reload, when set, enables POST /admin/reload: it is called to
+	// re-mine and the result is hot-swapped into the service.
+	Reload ReloadFunc
+}
+
+// Server serves a QueryService over HTTP. Create one with New; it is
+// safe for concurrent use and a single instance handles all traffic.
+type Server struct {
+	qs       *closedrules.QueryService
+	cfg      Config
+	metrics  *metricsRegistry
+	handler  http.Handler
+	reloadMu sync.Mutex
+}
+
+// endpointNames are the metric label values, in exposition order.
+var endpointNames = []string{
+	"support", "confidence", "rules", "recommend", "healthz", "metrics", "reload",
+}
+
+// New builds a Server around the service, applying Config defaults.
+func New(qs *closedrules.QueryService, cfg Config) *Server {
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = DefaultRequestTimeout
+	}
+	if cfg.ShutdownGrace == 0 {
+		cfg.ShutdownGrace = DefaultShutdownGrace
+	}
+	if cfg.MaxRecommend == 0 {
+		cfg.MaxRecommend = DefaultMaxRecommend
+	}
+	s := &Server{qs: qs, cfg: cfg, metrics: newMetricsRegistry(endpointNames)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /support", s.instrument("support", s.handleSupport))
+	mux.HandleFunc("GET /confidence", s.instrument("confidence", s.handleConfidence))
+	mux.HandleFunc("GET /rules", s.instrument("rules", s.handleRules))
+	mux.HandleFunc("POST /recommend", s.instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("POST /admin/reload", s.instrument("reload", s.handleReload))
+	s.handler = mux
+	return s
+}
+
+// Handler returns the server's routing handler, for mounting under a
+// larger mux or an httptest server.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Service returns the underlying QueryService.
+func (s *Server) Service() *closedrules.QueryService { return s.qs }
+
+// ListenAndServe listens on addr and serves until the context is
+// cancelled, then shuts down gracefully.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve serves on the listener until the context is cancelled, then
+// shuts down gracefully: in-flight requests get ShutdownGrace to
+// finish. A nil error means a clean shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.handler,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		err := srv.Shutdown(shutdownCtx)
+		<-errc // always http.ErrServerClosed once Shutdown has begun
+		return err
+	}
+}
+
+// instrument wraps a handler with per-endpoint request, error and
+// latency accounting.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(rec, r)
+		s.metrics.observe(name, rec.code, time.Since(start))
+	}
+}
+
+// statusRecorder captures the response status for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// queryCtx derives the per-request query deadline.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout < 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorJSON{Error: msg})
+}
+
+// statusClientClosedRequest is the nginx-conventional status for a
+// request whose client went away before the response; it keeps client
+// cancellations out of the 5xx rate an operator alerts on.
+const statusClientClosedRequest = 499
+
+// writeQueryError maps a QueryService error onto a status: an expired
+// deadline is 503 (the server ran out of its per-request budget), a
+// cancelled context is 499 (the client disconnected — nobody reads
+// the response, but metrics attribute it correctly), anything else is
+// 422 (the query is well-formed but not derivable from the served
+// representation).
+func writeQueryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusServiceUnavailable, "query deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, statusClientClosedRequest, "client closed request")
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+// parseItems parses a comma-separated list of non-negative item ids
+// ("1,2,4") into an Itemset.
+func parseItems(s string) (closedrules.Itemset, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("empty itemset")
+	}
+	parts := strings.Split(s, ",")
+	items := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("bad item %q: want a non-negative integer", p)
+		}
+		items = append(items, n)
+	}
+	return closedrules.Items(items...), nil
+}
+
+// itemsParam reads and parses a required itemset query parameter,
+// answering 400 itself when the parameter is missing or malformed.
+func itemsParam(w http.ResponseWriter, r *http.Request, name string) (closedrules.Itemset, bool) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		writeError(w, http.StatusBadRequest, "missing ?"+name+"= parameter")
+		return nil, false
+	}
+	items, err := parseItems(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, name+": "+err.Error())
+		return nil, false
+	}
+	return items, true
+}
+
+// ruleJSON is the wire form of a measured rule, matching the
+// closedrules JSON rule format plus a derived lift.
+type ruleJSON struct {
+	Antecedent        []int   `json:"antecedent"`
+	Consequent        []int   `json:"consequent"`
+	Support           int     `json:"support"`
+	AntecedentSupport int     `json:"antecedentSupport"`
+	ConsequentSupport int     `json:"consequentSupport,omitempty"`
+	Confidence        float64 `json:"confidence"`
+	Lift              float64 `json:"lift,omitempty"`
+}
+
+// ruleToJSON renders a rule with its derived lift. numTx must be the
+// transaction count of the snapshot that measured the rule (the *WithN
+// query variants report it), not a separate NumTransactions read —
+// a hot reload between the two would skew the lift.
+func ruleToJSON(r closedrules.Rule, numTx int) ruleJSON {
+	out := ruleJSON{
+		Antecedent:        append([]int{}, r.Antecedent...),
+		Consequent:        append([]int{}, r.Consequent...),
+		Support:           r.Support,
+		AntecedentSupport: r.AntecedentSupport,
+		ConsequentSupport: r.ConsequentSupport,
+		Confidence:        r.Confidence(),
+	}
+	if m, err := closedrules.RuleMetrics(r, numTx); err == nil {
+		out.Lift = m.Lift
+	}
+	return out
+}
+
+type supportJSON struct {
+	Items    []int `json:"items"`
+	Support  int   `json:"support"`
+	Frequent bool  `json:"frequent"`
+}
+
+func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
+	items, ok := itemsParam(w, r, "items")
+	if !ok {
+		return
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	sup, frequent, err := s.qs.Support(ctx, items)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, supportJSON{Items: append([]int{}, items...), Support: sup, Frequent: frequent})
+}
+
+type confidenceJSON struct {
+	Antecedent []int   `json:"antecedent"`
+	Consequent []int   `json:"consequent"`
+	Confidence float64 `json:"confidence"`
+}
+
+func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
+	ant, ok := itemsParam(w, r, "antecedent")
+	if !ok {
+		return
+	}
+	cons, ok := itemsParam(w, r, "consequent")
+	if !ok {
+		return
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	conf, err := s.qs.Confidence(ctx, ant, cons)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, confidenceJSON{
+		Antecedent: append([]int{}, ant...),
+		Consequent: append([]int{}, cons...),
+		Confidence: conf,
+	})
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	ant, ok := itemsParam(w, r, "antecedent")
+	if !ok {
+		return
+	}
+	cons, ok := itemsParam(w, r, "consequent")
+	if !ok {
+		return
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	rule, numTx, err := s.qs.RuleWithN(ctx, ant, cons)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ruleToJSON(rule, numTx))
+}
+
+type recommendRequest struct {
+	Observed []int `json:"observed"`
+	K        int   `json:"k"`
+}
+
+type recommendJSON struct {
+	Observed []int      `json:"observed"`
+	K        int        `json:"k"`
+	Rules    []ruleJSON `json:"rules"`
+}
+
+func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	var req recommendRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	for _, it := range req.Observed {
+		if it < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("bad item %d: want a non-negative integer", it))
+			return
+		}
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad k %d: want a positive integer", req.K))
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k > s.cfg.MaxRecommend {
+		k = s.cfg.MaxRecommend
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	recs, numTx, err := s.qs.RecommendWithN(ctx, closedrules.Items(req.Observed...), k)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	out := recommendJSON{Observed: req.Observed, K: k, Rules: make([]ruleJSON, len(recs))}
+	for i, rec := range recs {
+		out.Rules[i] = ruleToJSON(rec, numTx)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type healthJSON struct {
+	Status        string  `json:"status"`
+	Transactions  int     `json:"transactions"`
+	BasisRules    int     `json:"basisRules"`
+	MinConfidence float64 `json:"minConfidence"`
+	Swaps         uint64  `json:"swaps"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthJSON{
+		Status:        "ok",
+		Transactions:  s.qs.NumTransactions(),
+		BasisRules:    s.qs.NumRules(),
+		MinConfidence: s.qs.MinConfidence(),
+		Swaps:         s.qs.Swaps(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writePrometheus(w, s.qs.Stats(), s.qs.NumTransactions(), s.qs.NumRules())
+}
+
+type reloadJSON struct {
+	Status       string `json:"status"`
+	Transactions int    `json:"transactions"`
+	BasisRules   int    `json:"basisRules"`
+	ElapsedMs    int64  `json:"elapsedMs"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Reload == nil {
+		writeError(w, http.StatusNotImplemented, "no reload source configured")
+		return
+	}
+	if !s.reloadMu.TryLock() {
+		writeError(w, http.StatusConflict, "reload already in progress")
+		return
+	}
+	defer s.reloadMu.Unlock()
+	ctx := r.Context()
+	if s.cfg.ReloadTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.ReloadTimeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := s.cfg.Reload(ctx)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reload: "+err.Error())
+		return
+	}
+	if err := s.qs.Swap(res); err != nil {
+		writeError(w, http.StatusInternalServerError, "swap: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, reloadJSON{
+		Status:       "reloaded",
+		Transactions: s.qs.NumTransactions(),
+		BasisRules:   s.qs.NumRules(),
+		ElapsedMs:    time.Since(start).Milliseconds(),
+	})
+}

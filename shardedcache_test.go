@@ -1,0 +1,144 @@
+package closedrules
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestRecCachePutGet(t *testing.T) {
+	c := newRecCache()
+	want := []Rule{{Antecedent: Items(1), Consequent: Items(4), Support: 4, AntecedentSupport: 4}}
+	c.put("k1", want)
+	got, ok := c.get("k1")
+	if !ok || len(got) != 1 || got[0].Key() != want[0].Key() {
+		t.Fatalf("get = %v, %v", got, ok)
+	}
+	if _, ok := c.get("absent"); ok {
+		t.Error("hit on absent key")
+	}
+	if c.entries() != 1 {
+		t.Errorf("entries = %d, want 1", c.entries())
+	}
+}
+
+func TestRecCacheShardReset(t *testing.T) {
+	c := newRecCache()
+	// Overfill the whole cache; each stripe must stay bounded because a
+	// full stripe resets instead of growing.
+	total := recCacheShards * recShardLimit * 2
+	for i := 0; i < total; i++ {
+		c.put("key-"+strconv.Itoa(i), nil)
+	}
+	if got, max := c.entries(), recCacheShards*recShardLimit; got > max {
+		t.Errorf("entries = %d, want ≤ %d", got, max)
+	}
+	for i := range c.shards {
+		if n := len(c.shards[i].m); n > recShardLimit {
+			t.Errorf("shard %d holds %d entries, want ≤ %d", i, n, recShardLimit)
+		}
+	}
+}
+
+func TestRecCacheShardSpread(t *testing.T) {
+	// Distinct basket keys must land on more than one stripe, otherwise
+	// the striping buys nothing.
+	used := map[int]bool{}
+	for i := 0; i < 256; i++ {
+		used[shardIndex(Items(i).Key()+"#3")] = true
+	}
+	if len(used) < recCacheShards/2 {
+		t.Errorf("256 keys landed on only %d/%d shards", len(used), recCacheShards)
+	}
+}
+
+func TestRecCacheConcurrent(t *testing.T) {
+	c := newRecCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := "k" + strconv.Itoa((g*7+i)%500)
+				if i%3 == 0 {
+					c.put(key, nil)
+				} else {
+					c.get(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestQueryServiceStats(t *testing.T) {
+	qs := classicService(t)
+	ctx := context.Background()
+	if s := qs.Stats(); s.CacheHits != 0 || s.CacheMisses != 0 || s.Swaps != 0 || s.CacheEntries != 0 {
+		t.Fatalf("fresh stats = %+v", s)
+	}
+	if _, err := qs.Recommend(ctx, Items(1), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qs.Recommend(ctx, Items(1), 3); err != nil {
+		t.Fatal(err)
+	}
+	s := qs.Stats()
+	if s.CacheMisses != 1 || s.CacheHits != 1 || s.CacheEntries != 1 {
+		t.Errorf("stats after hit+miss = %+v", s)
+	}
+
+	// A swap starts a fresh cache but keeps the counters.
+	res, err := MineContext(ctx, classic(t), WithMinSupport(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qs.Swap(res); err != nil {
+		t.Fatal(err)
+	}
+	s = qs.Stats()
+	if s.Swaps != 1 || s.CacheEntries != 0 || s.CacheHits != 1 {
+		t.Errorf("stats after swap = %+v", s)
+	}
+	if _, err := qs.Recommend(ctx, Items(1), 3); err != nil {
+		t.Fatal(err)
+	}
+	if s := qs.Stats(); s.CacheMisses != 2 {
+		t.Errorf("recommend after swap should miss: %+v", s)
+	}
+}
+
+// TestRecommendManyBasketsConcurrent drives distinct (basket, k) keys
+// from 8 goroutines so different stripes fill concurrently — with
+// -race this is the sharded-cache proof at the library level.
+func TestRecommendManyBasketsConcurrent(t *testing.T) {
+	qs := classicService(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				obs := Items(i%5, (i+g)%5)
+				if _, err := qs.Recommend(ctx, obs, 1+i%4); err != nil {
+					errc <- fmt.Errorf("Recommend(%v): %w", obs, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	s := qs.Stats()
+	if s.CacheHits == 0 || s.CacheMisses == 0 {
+		t.Errorf("hammer produced no cache traffic: %+v", s)
+	}
+}
