@@ -1,0 +1,139 @@
+// Command benchjson measures the closed-set mining engine and emits a
+// machine-readable benchmark report, so the perf trajectory of the
+// miners is tracked across PRs instead of remembered.
+//
+// Usage:
+//
+//	benchjson -scale small -label "quick check" -out /tmp/bench.json
+//	benchjson -scale medium -append -out BENCH_closedmining.json
+//
+// Every (workload × miner) cell records ns/op, allocs/op, bytes/op and
+// the number of itemsets mined. With -append the new run is added to
+// the runs already in -out (the tracked-baseline workflow); without it
+// the file is overwritten with a single-run report. The emitted file is
+// re-read and validated before the command exits 0, which is what the
+// CI smoke step relies on: malformed output is a non-zero exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"closedrules/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w *os.File) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		scaleF   = fs.String("scale", "small", "workload scale: small | medium | full")
+		label    = fs.String("label", "", "run label recorded in the report (default: scale + date)")
+		out      = fs.String("out", "BENCH_closedmining.json", "output report path")
+		appendF  = fs.Bool("append", false, "append the run to an existing report instead of overwriting")
+		closedF  = fs.String("closed", "close,charm,pcharm", "comma-separated closed miners to bench")
+		freqF    = fs.String("frequent", "eclat,declat,peclat", "comma-separated frequent miners to bench")
+		minTime  = fs.Duration("mintime", 300*time.Millisecond, "minimum measuring time per cell")
+		maxIters = fs.Int("maxiters", 20, "maximum iterations per cell")
+		timeout  = fs.Duration("timeout", 0, "abort the whole campaign after this duration (0 = no limit)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale, err := bench.ParseScale(*scaleF)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	if *label == "" {
+		*label = fmt.Sprintf("%s %s", *scaleF, time.Now().UTC().Format("2006-01-02"))
+	}
+
+	cfg := bench.RunConfig{
+		Label:          *label,
+		Scale:          scale,
+		ClosedMiners:   splitList(*closedF),
+		FrequentMiners: splitList(*freqF),
+		MinTime:        *minTime,
+		MaxIters:       *maxIters,
+	}
+	newRun, skipped, err := bench.Execute(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	newRun.Date = time.Now().UTC().Format(time.RFC3339)
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "benchjson: miner %q not registered, skipped\n", s)
+	}
+
+	rep := bench.Report{Schema: bench.ReportSchema}
+	if *appendF {
+		if f, err := os.Open(*out); err == nil {
+			prev, rerr := bench.ReadReport(f)
+			f.Close()
+			if rerr != nil {
+				return fmt.Errorf("cannot append to %s: %w", *out, rerr)
+			}
+			rep = prev
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	rep.Runs = append(rep.Runs, newRun)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := bench.WriteReport(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	// Re-read and validate what was written: a malformed report must be
+	// a non-zero exit, never a silently committed artifact.
+	rf, err := os.Open(*out)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	if _, err := bench.ReadReport(rf); err != nil {
+		return fmt.Errorf("emitted report is invalid: %w", err)
+	}
+
+	fmt.Fprintf(w, "wrote %s: %d run(s), %d result(s) in run %q\n",
+		*out, len(rep.Runs), len(newRun.Results), newRun.Label)
+	for base, subject := range map[string]string{"charm": "pcharm", "eclat": "peclat"} {
+		for workload, speedup := range bench.Speedups(newRun, base, subject) {
+			fmt.Fprintf(w, "  %s: %s/%s speedup %.2fx\n", workload, subject, base, speedup)
+		}
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"closedrules/internal/bench"
+)
+
+func TestWriteAppendAndValidate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	args := []string{
+		"-scale", "small", "-label", "first", "-out", out,
+		"-closed", "charm", "-frequent", "", "-mintime", "1ms", "-maxiters", "1",
+	}
+	if err := run(args, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bench.ReadReport(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Label != "first" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+
+	// Appending keeps the first run; overwriting drops it.
+	args[3] = "second"
+	if err := run(append(args, "-append"), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	f, _ = os.Open(out)
+	rep, err = bench.ReadReport(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 2 || rep.Runs[1].Label != "second" {
+		t.Fatalf("append failed: %+v", rep)
+	}
+	args[3] = "third"
+	if err := run(args, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	f, _ = os.Open(out)
+	rep, err = bench.ReadReport(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 || rep.Runs[0].Label != "third" {
+		t.Fatalf("overwrite failed: %+v", rep)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "bogus"}, os.Stdout); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := run([]string{"-out", "/nonexistent-dir/x.json", "-scale", "small",
+		"-closed", "charm", "-frequent", "", "-mintime", "1ms", "-maxiters", "1"}, os.Stdout); err == nil {
+		t.Error("unwritable output accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package closedrules
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func storedCollection(t *testing.T) (*Result, *ClosedCollection) {
 	t.Helper()
 	d := classic(t)
-	res, err := Mine(d, Options{MinSupport: 0.4})
+	res, err := MineContext(context.Background(), d, WithMinSupport(0.4))
 	if err != nil {
 		t.Fatal(err)
 	}

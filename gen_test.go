@@ -1,6 +1,9 @@
 package closedrules
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestGenerateQuestViaFacade(t *testing.T) {
 	ds, err := GenerateQuest(QuestT10I4(300, 80, 5))
@@ -75,7 +78,7 @@ func TestGeneratedPipelinesEndToEnd(t *testing.T) {
 		{"census", census, 0.5},
 		{"mushroom", mush, 0.3},
 	} {
-		res, err := Mine(w.ds, Options{MinSupport: w.minSup})
+		res, err := MineContext(context.Background(), w.ds, WithMinSupport(w.minSup))
 		if err != nil {
 			t.Fatalf("%s: %v", w.name, err)
 		}

@@ -1,0 +1,262 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"closedrules/internal/miner"
+
+	// Vertical miners used by the default benchmark set; the other
+	// algorithm packages are already linked in via experiments.go.
+	_ "closedrules/internal/eclat"
+)
+
+// The machine-readable closed-mining benchmark: every (workload ×
+// miner) cell is measured as ns/op, allocs/op and bytes/op, and the
+// cells accumulate across PRs in a committed BENCH_closedmining.json
+// so the perf trajectory of the mining engine is tracked, not
+// remembered. The cmd/benchjson command is the driver.
+
+// ReportSchema is the current schema version of Report; bump it when
+// the JSON layout changes incompatibly.
+const ReportSchema = 1
+
+// MinerResult is one measured (workload, miner) benchmark cell.
+type MinerResult struct {
+	Workload    string  `json:"workload"`
+	MinSup      float64 `json:"minsup"` // relative support used
+	Miner       string  `json:"miner"`  // registry name
+	Kind        string  `json:"kind"`   // "closed" or "frequent"
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Sets        int     `json:"sets"` // |FC| (closed) or |FI| (frequent) mined
+	Iterations  int     `json:"iterations"`
+}
+
+// Run is one benchmark campaign: every configured miner over every
+// workload of a scale, on one machine state.
+type Run struct {
+	Label      string        `json:"label"`
+	Scale      string        `json:"scale"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Date       string        `json:"date,omitempty"`
+	Results    []MinerResult `json:"results"`
+}
+
+// Report is the on-disk accumulation of runs (BENCH_closedmining.json).
+type Report struct {
+	Schema int   `json:"schema"`
+	Runs   []Run `json:"runs"`
+}
+
+// RunConfig configures one benchmark run.
+type RunConfig struct {
+	Label string
+	Scale Scale
+	// ClosedMiners and FrequentMiners are registry names; unknown
+	// names are reported through Skipped, not errors, so one binary
+	// can bench trees with and without the optional miners.
+	ClosedMiners   []string
+	FrequentMiners []string
+	// MinTime is the minimum measuring time per cell (default 300ms).
+	MinTime time.Duration
+	// MaxIters caps the iterations per cell (default 20).
+	MaxIters int
+}
+
+// scaleName is the inverse of ParseScale.
+func scaleName(s Scale) string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Full:
+		return "full"
+	}
+	return fmt.Sprintf("scale(%d)", int(s))
+}
+
+// Execute runs the configured benchmark campaign. Unknown miner names
+// are returned in skipped. The context bounds the whole campaign; a
+// cancellation aborts between cells and inside miners that honor ctx.
+func Execute(ctx context.Context, cfg RunConfig) (Run, []string, error) {
+	if cfg.MinTime <= 0 {
+		cfg.MinTime = 300 * time.Millisecond
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 20
+	}
+	run := Run{
+		Label:      cfg.Label,
+		Scale:      scaleName(cfg.Scale),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	ws, err := Workloads(cfg.Scale)
+	if err != nil {
+		return run, nil, err
+	}
+	var skipped []string
+	for _, w := range ws {
+		minSup := w.RuleMinSup
+		abs := w.D.AbsoluteSupport(minSup)
+		// Warm the dataset's cached binary context outside the timed
+		// region so every miner pays the same (zero) context cost.
+		w.D.Context()
+		for _, name := range cfg.ClosedMiners {
+			m, err := miner.LookupClosed(name)
+			if err != nil {
+				skipped = append(skipped, name)
+				continue
+			}
+			var sets int
+			res, err := measure(ctx, cfg, func() error {
+				cs, err := m.MineClosed(ctx, w.D, abs)
+				sets = len(cs)
+				return err
+			})
+			if err != nil {
+				return run, skipped, fmt.Errorf("bench: %s on %s: %w", name, w.Name, err)
+			}
+			res.Workload, res.MinSup, res.Miner, res.Kind, res.Sets = w.Name, minSup, miner.Canonical(name), "closed", sets
+			run.Results = append(run.Results, res)
+		}
+		for _, name := range cfg.FrequentMiners {
+			m, err := miner.LookupFrequent(name)
+			if err != nil {
+				skipped = append(skipped, name)
+				continue
+			}
+			var sets int
+			res, err := measure(ctx, cfg, func() error {
+				fs, err := m.MineFrequent(ctx, w.D, abs)
+				sets = len(fs)
+				return err
+			})
+			if err != nil {
+				return run, skipped, fmt.Errorf("bench: %s on %s: %w", name, w.Name, err)
+			}
+			res.Workload, res.MinSup, res.Miner, res.Kind, res.Sets = w.Name, minSup, miner.Canonical(name), "frequent", sets
+			run.Results = append(run.Results, res)
+		}
+	}
+	return run, skipped, nil
+}
+
+// measure times op until MinTime has elapsed or MaxIters ran, after one
+// untimed warm-up; allocation counters come from the runtime's
+// monotonic Mallocs/TotalAlloc, so GC cycles do not skew them.
+func measure(ctx context.Context, cfg RunConfig, op func() error) (MinerResult, error) {
+	if err := op(); err != nil { // warm-up: steady caches, page-in data
+		return MinerResult{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	iters := 0
+	for iters == 0 || (time.Since(start) < cfg.MinTime && iters < cfg.MaxIters) {
+		if err := ctx.Err(); err != nil {
+			return MinerResult{}, err
+		}
+		if err := op(); err != nil {
+			return MinerResult{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return MinerResult{
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		Iterations:  iters,
+	}, nil
+}
+
+// Validate checks a report for structural sanity — the guard the CI
+// smoke step relies on to keep the bench harness from rotting.
+func Validate(r Report) error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("bench: report schema %d, want %d", r.Schema, ReportSchema)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("bench: report has no runs")
+	}
+	for i, run := range r.Runs {
+		if run.Label == "" {
+			return fmt.Errorf("bench: run %d has no label", i)
+		}
+		if run.GOMAXPROCS < 1 {
+			return fmt.Errorf("bench: run %q has GOMAXPROCS %d", run.Label, run.GOMAXPROCS)
+		}
+		if len(run.Results) == 0 {
+			return fmt.Errorf("bench: run %q has no results", run.Label)
+		}
+		for _, res := range run.Results {
+			if res.Workload == "" || res.Miner == "" {
+				return fmt.Errorf("bench: run %q has a result without workload or miner", run.Label)
+			}
+			if res.Kind != "closed" && res.Kind != "frequent" {
+				return fmt.Errorf("bench: run %q: result %s/%s has kind %q", run.Label, res.Workload, res.Miner, res.Kind)
+			}
+			if res.NsPerOp <= 0 || res.Iterations <= 0 {
+				return fmt.Errorf("bench: run %q: result %s/%s not measured", run.Label, res.Workload, res.Miner)
+			}
+			if res.Sets <= 0 {
+				return fmt.Errorf("bench: run %q: result %s/%s mined no itemsets", run.Label, res.Workload, res.Miner)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadReport decodes and validates a report.
+func ReadReport(r io.Reader) (Report, error) {
+	var rep Report
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return rep, fmt.Errorf("bench: decoding report: %w", err)
+	}
+	if err := Validate(rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// WriteReport validates and encodes a report.
+func WriteReport(w io.Writer, rep Report) error {
+	if err := Validate(rep); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Speedups compares two miners within one run: for every workload
+// where both were measured with the same kind, the ratio
+// ns(base)/ns(subject) — >1 means subject is faster.
+func Speedups(run Run, base, subject string) map[string]float64 {
+	baseNs := map[string]int64{}
+	for _, r := range run.Results {
+		if r.Miner == miner.Canonical(base) {
+			baseNs[r.Workload+"/"+r.Kind] = r.NsPerOp
+		}
+	}
+	out := map[string]float64{}
+	for _, r := range run.Results {
+		if r.Miner != miner.Canonical(subject) {
+			continue
+		}
+		if b, ok := baseNs[r.Workload+"/"+r.Kind]; ok && r.NsPerOp > 0 {
+			out[r.Workload] = float64(b) / float64(r.NsPerOp)
+		}
+	}
+	return out
+}

@@ -92,6 +92,13 @@ func (s Set) IsEmpty() bool {
 	return true
 }
 
+// Copy overwrites s with the contents of t (equal widths required)
+// without allocating — the reuse counterpart of Clone.
+func (s Set) Copy(t Set) {
+	s.sameWidth(t)
+	copy(s.words, t.words)
+}
+
 // Clone returns an independent copy of the set.
 func (s Set) Clone() Set {
 	c := Set{words: make([]uint64, len(s.words)), width: s.width}
@@ -151,12 +158,59 @@ func (s Set) AndNot(t Set) {
 	}
 }
 
-// AndCount returns |s ∩ t| without modifying either set or allocating.
-func (s Set) AndCount(t Set) int {
+// IntersectionCount returns |s ∩ t| by popcounting the word-wise AND —
+// no allocation and no mutation. It is the support probe of the
+// vertical miners: most candidate extensions only need the cardinality
+// of an intersection, never the intersection itself.
+func (s Set) IntersectionCount(t Set) int {
 	s.sameWidth(t)
 	n := 0
 	for i, w := range s.words {
 		n += bits.OnesCount64(w & t.words[i])
+	}
+	return n
+}
+
+// AndInto sets dst = a ∩ b without allocating. All three sets must
+// share one width; dst may alias a or b. It returns dst for chaining.
+func (dst Set) AndInto(a, b Set) Set {
+	a.sameWidth(b)
+	dst.sameWidth(a)
+	for i, w := range a.words {
+		dst.words[i] = w & b.words[i]
+	}
+	return dst
+}
+
+// OrInto sets dst = a ∪ b without allocating, under the same aliasing
+// and width contract as AndInto.
+func (dst Set) OrInto(a, b Set) Set {
+	a.sameWidth(b)
+	dst.sameWidth(a)
+	for i, w := range a.words {
+		dst.words[i] = w | b.words[i]
+	}
+	return dst
+}
+
+// AndNotInto sets dst = a ∖ b without allocating, under the same
+// aliasing and width contract as AndInto.
+func (dst Set) AndNotInto(a, b Set) Set {
+	a.sameWidth(b)
+	dst.sameWidth(a)
+	for i, w := range a.words {
+		dst.words[i] = w &^ b.words[i]
+	}
+	return dst
+}
+
+// AndNotCount returns |a ∖ b| (the size of the diffset) without
+// allocating — the diffset analogue of IntersectionCount.
+func (s Set) AndNotCount(t Set) int {
+	s.sameWidth(t)
+	n := 0
+	for i, w := range s.words {
+		n += bits.OnesCount64(w &^ t.words[i])
 	}
 	return n
 }
@@ -204,8 +258,14 @@ func (s Set) Equal(t Set) bool {
 	return true
 }
 
-// IsSubset reports whether every element of s is in t.
-func (s Set) IsSubset(t Set) bool {
+// IsSubset reports whether every element of s is in t. It is a synonym
+// of IsSubsetOf, kept for symmetry with IsProperSubset.
+func (s Set) IsSubset(t Set) bool { return s.IsSubsetOf(t) }
+
+// IsSubsetOf reports whether s ⊆ t with a single word-wise pass and no
+// allocation — the containment probe behind CHARM's four tidset
+// properties.
+func (s Set) IsSubsetOf(t Set) bool {
 	s.sameWidth(t)
 	for i, w := range s.words {
 		if w&^t.words[i] != 0 {

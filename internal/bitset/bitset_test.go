@@ -107,8 +107,8 @@ func TestSetAlgebra(t *testing.T) {
 	if got := a.Difference(b).Slice(); !reflect.DeepEqual(got, []int{1, 70, 99}) {
 		t.Errorf("Difference = %v", got)
 	}
-	if got := a.AndCount(b); got != 2 {
-		t.Errorf("AndCount = %d", got)
+	if got := a.IntersectionCount(b); got != 2 {
+		t.Errorf("IntersectionCount = %d", got)
 	}
 	if !a.Intersects(b) {
 		t.Error("Intersects = false")
@@ -251,8 +251,8 @@ func TestQuickAgainstMapModel(t *testing.T) {
 				t.Fatalf("difference mismatch at %d", x)
 			}
 		}
-		if inter.Count() != a.AndCount(b) {
-			t.Fatal("AndCount != Intersect().Count()")
+		if inter.Count() != a.IntersectionCount(b) {
+			t.Fatal("IntersectionCount != Intersect().Count()")
 		}
 		if got, want := uni.Count(), a.Count()+b.Count()-inter.Count(); got != want {
 			t.Fatalf("inclusion-exclusion: %d != %d", got, want)
@@ -288,4 +288,83 @@ func TestQuickSliceRoundTrip(t *testing.T) {
 	if err := quick.Check(f, nil); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestInPlacePrimitives cross-checks the allocation-free ops against
+// their allocating counterparts on random operands, including aliased
+// destinations.
+func TestInPlacePrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		width := 1 + rng.Intn(200)
+		a, b := New(width), New(width)
+		for i := 0; i < width; i++ {
+			if rng.Intn(2) == 0 {
+				a.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(i)
+			}
+		}
+		dst := New(width)
+		if dst.AndInto(a, b); !dst.Equal(a.Intersect(b)) {
+			t.Fatal("AndInto != Intersect")
+		}
+		if dst.OrInto(a, b); !dst.Equal(a.Union(b)) {
+			t.Fatal("OrInto != Union")
+		}
+		if dst.AndNotInto(a, b); !dst.Equal(a.Difference(b)) {
+			t.Fatal("AndNotInto != Difference")
+		}
+		if got, want := a.IntersectionCount(b), a.Intersect(b).Count(); got != want {
+			t.Fatalf("IntersectionCount = %d, want %d", got, want)
+		}
+		if got, want := a.AndNotCount(b), a.Difference(b).Count(); got != want {
+			t.Fatalf("AndNotCount = %d, want %d", got, want)
+		}
+		if got, want := a.IsSubsetOf(b), a.Difference(b).IsEmpty(); got != want {
+			t.Fatalf("IsSubsetOf = %v, want %v", got, want)
+		}
+		// Aliased destination: dst == a.
+		aCopy := a.Clone()
+		aCopy.AndInto(aCopy, b)
+		if !aCopy.Equal(a.Intersect(b)) {
+			t.Fatal("aliased AndInto differs")
+		}
+		// Copy reuses storage.
+		scratch := New(width)
+		scratch.Copy(a)
+		if !scratch.Equal(a) {
+			t.Fatal("Copy differs")
+		}
+	}
+}
+
+// TestInPlacePrimitivesAllocFree asserts the hot-path probes allocate
+// nothing per operation.
+func TestInPlacePrimitivesAllocFree(t *testing.T) {
+	a, b, dst := Full(1000), New(1000), New(1000)
+	for i := 0; i < 1000; i += 3 {
+		b.Add(i)
+	}
+	n := testing.AllocsPerRun(100, func() {
+		dst.AndInto(a, b)
+		_ = a.IntersectionCount(b)
+		_ = a.AndNotCount(b)
+		_ = b.IsSubsetOf(a)
+		dst.Copy(b)
+	})
+	if n != 0 {
+		t.Fatalf("allocs per run = %v, want 0", n)
+	}
+}
+
+// TestInPlaceWidthMismatchPanics verifies the width contract.
+func TestInPlaceWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on width mismatch")
+		}
+	}()
+	New(10).AndInto(New(10), New(20))
 }

@@ -4,7 +4,9 @@
 // tidset-containment properties to collapse branches, and a
 // subsumption hash to confirm closedness. CHARM does not track
 // minimal generators; it serves as an independent producer of FC for
-// cross-checking and as an ablation point in the benchmarks.
+// cross-checking and as an ablation point in the benchmarks. A
+// parallel variant that fans the first-level equivalence classes out
+// to a worker pool is in pcharm.go.
 package charm
 
 import (
@@ -19,23 +21,51 @@ import (
 	"closedrules/internal/itemset"
 )
 
+// node is one IT-pair of the search tree, with its support cached so
+// the pairwise pruning never re-popcounts a tidset.
 type node struct {
 	items itemset.Itemset
 	tids  bitset.Set
+	sup   int
 }
 
+// miner walks the IT-tree and hands every candidate closed itemset to
+// emit; the closedness filtering itself lives behind emit, so the
+// sequential and parallel front ends share the exact same search.
 type miner struct {
 	ctx    context.Context
 	minSup int
+	emit   func(x itemset.Itemset, tids bitset.Set, sup int)
+}
+
+// collector is the subsumption index of the sequential miner: a
+// candidate is closed unless an earlier-found closed itemset with the
+// same tidset contains it (Zaki's hash-based closedness check).
+type collector struct {
 	fc     *closedset.Set
-	// byHash buckets found closed itemsets by tidset hash for the
-	// subsumption check.
 	byHash map[uint64][]subEntry
 }
 
 type subEntry struct {
 	items   itemset.Itemset
 	support int
+}
+
+func newCollector() *collector {
+	return &collector{fc: closedset.New(), byHash: map[uint64][]subEntry{}}
+}
+
+// insert adds x unless a previously found closed itemset with the same
+// tidset subsumes it. Equal support plus containment implies equal
+// tidsets, so the hash only buckets — it never decides.
+func (c *collector) insert(x itemset.Itemset, h uint64, sup int) {
+	for _, e := range c.byHash[h] {
+		if e.support == sup && e.items.ContainsAll(x) {
+			return // subsumed: x is not closed
+		}
+	}
+	c.byHash[h] = append(c.byHash[h], subEntry{items: x, support: sup})
+	c.fc.Add(x, sup)
 }
 
 // Mine returns the frequent closed itemsets (including the bottom
@@ -55,27 +85,41 @@ func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*closedse
 		return nil, err
 	}
 	dc := d.Context()
-	m := &miner{ctx: ctx, minSup: minSup, fc: closedset.New(), byHash: map[uint64][]subEntry{}}
+	col := newCollector()
+	addBottom(dc, d, minSup, col)
 
+	roots := buildRoots(dc, d.NumTransactions(), minSup)
+	m := &miner{ctx: ctx, minSup: minSup, emit: func(x itemset.Itemset, tids bitset.Set, sup int) {
+		col.insert(x, tids.Hash(), sup)
+	}}
+	if err := m.extend(roots); err != nil {
+		return nil, err
+	}
+	return col.fc, nil
+}
+
+// addBottom inserts h(∅) (support |O|) when it is frequent.
+func addBottom(dc *dataset.Context, d *dataset.Dataset, minSup int, col *collector) {
 	if d.NumTransactions() >= minSup {
 		bottom := galois.Closure(dc, itemset.Empty())
-		m.fc.Add(bottom, d.NumTransactions())
-		m.byHash[bitset.Full(d.NumTransactions()).Hash()] = append(
-			m.byHash[bitset.Full(d.NumTransactions()).Hash()],
-			subEntry{items: bottom, support: d.NumTransactions()})
+		full := bitset.Full(d.NumTransactions())
+		col.insert(bottom, full.Hash(), d.NumTransactions())
 	}
+}
 
-	// Universal items (support |O|) belong to every closure; they are
-	// absorbed into each root's prefix instead of spawning branches.
+// buildRoots assembles the level-1 IT-pairs in increasing-support
+// order. Universal items (support |O|) belong to every closure; they
+// are absorbed into each root's prefix instead of spawning branches.
+func buildRoots(dc *dataset.Context, numTx, minSup int) []node {
 	var roots []node
 	var universal itemset.Itemset
 	for it := 0; it < dc.NumItems; it++ {
 		sup := dc.Cols[it].Count()
 		switch {
-		case d.NumTransactions() > 0 && sup == d.NumTransactions():
+		case numTx > 0 && sup == numTx:
 			universal = universal.With(it)
 		case sup >= minSup:
-			roots = append(roots, node{items: itemset.Of(it), tids: dc.Cols[it]})
+			roots = append(roots, node{items: itemset.Of(it), tids: dc.Cols[it], sup: sup})
 		}
 	}
 	if universal.Len() > 0 {
@@ -83,19 +127,14 @@ func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*closedse
 			roots[i].items = roots[i].items.Union(universal)
 		}
 	}
-
 	sortBySupport(roots)
-	if err := m.extend(roots); err != nil {
-		return nil, err
-	}
-	return m.fc, nil
+	return roots
 }
 
 func sortBySupport(ns []node) {
 	sort.SliceStable(ns, func(i, j int) bool {
-		ci, cj := ns[i].tids.Count(), ns[j].tids.Count()
-		if ci != cj {
-			return ci < cj
+		if ns[i].sup != ns[j].sup {
+			return ns[i].sup < ns[j].sup
 		}
 		return ns[i].items.Compare(ns[j].items) < 0
 	})
@@ -111,61 +150,78 @@ func (m *miner) extend(nodes []node) error {
 		if err := m.ctx.Err(); err != nil {
 			return err
 		}
-		x := nodes[i].items
-		ti := nodes[i].tids
-		var children []node
-		for j := i + 1; j < len(nodes); j++ {
-			if skip[j] {
-				continue
-			}
-			tj := nodes[j].tids
-			inter := ti.Intersect(tj)
-			sup := inter.Count()
-			tiSubTj := inter.Equal(ti) // ti ⊆ tj
-			tjSubTi := inter.Equal(tj) // tj ⊆ ti
-			switch {
-			case tiSubTj && tjSubTi: // property 1: identical tidsets
-				x = x.Union(nodes[j].items)
-				skip[j] = true
-			case tiSubTj: // property 2: ti ⊂ tj — absorb j's items
-				x = x.Union(nodes[j].items)
-			case tjSubTi: // property 3: tj ⊂ ti — child, drop j
-				if sup >= m.minSup {
-					children = append(children, node{items: nodes[j].items, tids: inter})
-				}
-				skip[j] = true
-			default: // property 4: incomparable
-				if sup >= m.minSup {
-					children = append(children, node{items: nodes[j].items, tids: inter})
-				}
-			}
-		}
-		// Children inherit the fully absorbed prefix x: every item of x
-		// occurs in all of ti ⊇ child tids.
-		for k := range children {
-			children[k].items = children[k].items.Union(x)
-		}
-		sortBySupport(children)
-		if len(children) > 0 {
-			if err := m.extend(children); err != nil {
+		x, members := classOf(nodes, skip, i, m.minSup)
+		if len(members) > 0 {
+			if err := m.extend(buildChildren(nodes, i, x, members)); err != nil {
 				return err
 			}
 		}
-		m.insertIfClosed(x, ti)
+		m.emit(x, nodes[i].tids, nodes[i].sup)
 	}
 	return nil
 }
 
-// insertIfClosed adds x unless a previously found closed itemset with
-// the same tidset subsumes it.
-func (m *miner) insertIfClosed(x itemset.Itemset, tids bitset.Set) {
-	h := tids.Hash()
-	sup := tids.Count()
-	for _, e := range m.byHash[h] {
-		if e.support == sup && e.items.ContainsAll(x) {
-			return // subsumed: x is not closed
+// member is one surviving child of an equivalence class, identified by
+// its index in the parent level; its tidset is not materialized yet.
+type member struct {
+	j   int
+	sup int
+}
+
+// classOf computes the equivalence class of nodes[i] at the current
+// level: the fully absorbed prefix x and the surviving child members,
+// applying Zaki's four tidset-containment properties and marking later
+// nodes consumed by properties 1/3 in skip. The pairwise pruning works
+// on popcounts only (IntersectionCount; equal count plus the cached
+// supports decides containment), so deciding class boundaries
+// allocates no tidsets at all — materialization is buildChildren's
+// job, which the parallel front end defers into its workers. Shared by
+// the sequential walk (extend) and MineParallelContext, which must
+// agree on class boundaries exactly.
+func classOf(nodes []node, skip []bool, i, minSup int) (itemset.Itemset, []member) {
+	x := nodes[i].items
+	ti := nodes[i].tids
+	var members []member
+	for j := i + 1; j < len(nodes); j++ {
+		if skip[j] {
+			continue
+		}
+		sup := ti.IntersectionCount(nodes[j].tids)
+		tiSubTj := sup == nodes[i].sup // ti ⊆ tj
+		tjSubTi := sup == nodes[j].sup // tj ⊆ ti
+		switch {
+		case tiSubTj && tjSubTi: // property 1: identical tidsets
+			x = x.Union(nodes[j].items)
+			skip[j] = true
+		case tiSubTj: // property 2: ti ⊂ tj — absorb j's items
+			x = x.Union(nodes[j].items)
+		case tjSubTi: // property 3: tj ⊂ ti — child, drop j
+			if sup >= minSup {
+				members = append(members, member{j: j, sup: sup})
+			}
+			skip[j] = true
+		default: // property 4: incomparable
+			if sup >= minSup {
+				members = append(members, member{j: j, sup: sup})
+			}
 		}
 	}
-	m.byHash[h] = append(m.byHash[h], subEntry{items: x, support: sup})
-	m.fc.Add(x, sup)
+	return x, members
+}
+
+// buildChildren materializes the child nodes of one class: intersected
+// tidsets, the absorbed prefix x unioned in (every item of x occurs in
+// all of ti ⊇ child tids), sorted by support for the next level.
+func buildChildren(nodes []node, i int, x itemset.Itemset, members []member) []node {
+	ti := nodes[i].tids
+	children := make([]node, len(members))
+	for k, mb := range members {
+		children[k] = node{
+			items: nodes[mb.j].items.Union(x),
+			tids:  ti.Intersect(nodes[mb.j].tids),
+			sup:   mb.sup,
+		}
+	}
+	sortBySupport(children)
+	return children
 }

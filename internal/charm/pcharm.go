@@ -1,0 +1,125 @@
+package charm
+
+import (
+	"context"
+	"fmt"
+
+	"closedrules/internal/bitset"
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	registry "closedrules/internal/miner"
+)
+
+// Parallel CHARM: the first-level equivalence classes (one per
+// frequent root item) are fanned out to a bounded worker pool, and the
+// per-class results are merged back through the sequential subsumption
+// index in root order.
+//
+// The merge is what makes the result byte-identical to MineContext:
+// the IT-tree walk below a root never reads the subsumption index (the
+// index only filters output), so each worker records its *candidate*
+// insertions — in the exact order the sequential miner would attempt
+// them — and the single-threaded replay applies the same
+// previously-found-subsumer check against the same prior state. No
+// striped locks are needed on the hot path; workers share nothing but
+// the read-only root nodes.
+
+// attempt is one candidate insertion recorded by a worker: the itemset,
+// its support, and the hash of its tidset (the tidset itself is not
+// retained — equal support plus containment already implies tidset
+// equality, the hash only buckets).
+type attempt struct {
+	items itemset.Itemset
+	hash  uint64
+	sup   int
+}
+
+// pjob is the unit handed to the pool: one root's class — prefix,
+// root index and surviving members — plus the recorded attempts it
+// produces. Child tidsets are not materialized here: the dispatcher
+// only decides class boundaries (popcounts, allocation-free); the
+// worker pays for its own class's intersections, so that work runs in
+// parallel and only one class's tidsets are resident per worker.
+type pjob struct {
+	x        itemset.Itemset
+	root     int
+	members  []member
+	attempts []attempt
+}
+
+// MineParallel mines the frequent closed itemsets with the given
+// number of workers (≤ 0 means one per CPU); the result is
+// byte-identical to Mine.
+func MineParallel(d *dataset.Dataset, minSup, workers int) (*closedset.Set, error) {
+	return MineParallelContext(context.Background(), d, minSup, workers)
+}
+
+// MineParallelContext is MineParallel with cancellation: every worker
+// checks ctx at each branch extension of its subtree, so a cancelled
+// context aborts the whole pool within one extension step per worker.
+func MineParallelContext(ctx context.Context, d *dataset.Dataset, minSup, workers int) (*closedset.Set, error) {
+	if minSup < 1 {
+		return nil, fmt.Errorf("charm: minSup %d < 1", minSup)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	dc := d.Context()
+	roots := buildRoots(dc, d.NumTransactions(), minSup)
+
+	// First level, sequential: the pairwise tidset-containment pruning
+	// couples the roots (property 1/3 removes later roots, property 2
+	// grows the prefix), so the class boundaries are computed by the
+	// same classOf the sequential CHARM-EXTEND uses — only the descent
+	// below each class is farmed out.
+	var jobs []*pjob
+	skip := make([]bool, len(roots))
+	for i := range roots {
+		if skip[i] {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		x, members := classOf(roots, skip, i, minSup)
+		jobs = append(jobs, &pjob{x: x, root: i, members: members})
+	}
+
+	err := registry.RunPool(len(jobs), workers, func(i int) error {
+		return jobs[i].run(ctx, roots, minSup)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: replay every worker's attempts in root order
+	// through the sequential subsumption index.
+	col := newCollector()
+	addBottom(dc, d, minSup, col)
+	for _, jb := range jobs {
+		for _, a := range jb.attempts {
+			col.insert(a.items, a.hash, a.sup)
+		}
+	}
+	return col.fc, nil
+}
+
+// run mines one class subtree, recording candidate insertions in
+// sequential attempt order (children post-order, then the class prefix
+// itself).
+func (jb *pjob) run(ctx context.Context, roots []node, minSup int) error {
+	m := &miner{ctx: ctx, minSup: minSup, emit: func(x itemset.Itemset, tids bitset.Set, sup int) {
+		jb.attempts = append(jb.attempts, attempt{items: x, hash: tids.Hash(), sup: sup})
+	}}
+	if len(jb.members) > 0 {
+		if err := m.extend(buildChildren(roots, jb.root, jb.x, jb.members)); err != nil {
+			return err
+		}
+	}
+	jb.attempts = append(jb.attempts, attempt{items: jb.x, hash: roots[jb.root].tids.Hash(), sup: roots[jb.root].sup})
+	return nil
+}

@@ -1,0 +1,120 @@
+package charm
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"closedrules/internal/testgen"
+)
+
+// countdownCtx cancels itself after a fixed number of Err probes — a
+// deterministic way to hit a miner mid-run, deep inside the IT-tree,
+// regardless of machine speed.
+type countdownCtx struct {
+	context.Context
+	mu sync.Mutex
+	n  int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+	if c.n <= 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestMineParallelMatchesSequentialClassic(t *testing.T) {
+	d := classic(t)
+	for _, workers := range []int{1, 2, 4, 7} {
+		seq, err := Mine(d, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MineParallel(d, 2, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Equal(seq) {
+			t.Fatalf("workers=%d: parallel %d closed, sequential %d", workers, par.Len(), seq.Len())
+		}
+	}
+}
+
+// TestMineParallelByteIdentical checks the strongest contract: All()
+// returns the same closed itemsets, in the same order, with the same
+// supports — not just the same family.
+func TestMineParallelByteIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	for iter := 0; iter < 60; iter++ {
+		d := testgen.Random(r, 30, 12, 0.4)
+		minSup := 1 + r.Intn(4)
+		workers := 1 + r.Intn(6)
+		seq, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MineParallel(d, minSup, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, pa := seq.All(), par.All()
+		if len(sa) != len(pa) {
+			t.Fatalf("iter %d (workers %d): parallel %d closed, sequential %d", iter, workers, len(pa), len(sa))
+		}
+		for i := range sa {
+			if !sa[i].Items.Equal(pa[i].Items) || sa[i].Support != pa[i].Support {
+				t.Fatalf("iter %d (workers %d): element %d differs: %v/%d vs %v/%d",
+					iter, workers, i, pa[i].Items, pa[i].Support, sa[i].Items, sa[i].Support)
+			}
+		}
+	}
+}
+
+func TestMineParallelCorrelated(t *testing.T) {
+	r := rand.New(rand.NewSource(137))
+	for iter := 0; iter < 10; iter++ {
+		d := testgen.Correlated(r, 80, 5, 3, 0.15)
+		minSup := 2 + r.Intn(8)
+		seq, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MineParallel(d, minSup, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !par.Equal(seq) {
+			t.Fatalf("iter %d: parallel %d, sequential %d", iter, par.Len(), seq.Len())
+		}
+	}
+}
+
+func TestMineParallelCancelledMidMine(t *testing.T) {
+	r := rand.New(rand.NewSource(139))
+	d := testgen.Correlated(r, 200, 6, 3, 0.2)
+	// A full run needs far more than 40 Err probes; the countdown
+	// cancels while workers are inside their subtrees.
+	ctx := &countdownCtx{Context: context.Background(), n: 40}
+	if _, err := MineParallelContext(ctx, d, 2, 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMineParallelCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MineParallelContext(ctx, classic(t), 2, 2); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMineParallelValidation(t *testing.T) {
+	if _, err := MineParallel(classic(t), 0, 2); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+}

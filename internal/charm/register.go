@@ -20,4 +20,22 @@ func (registered) MineClosed(ctx context.Context, d *dataset.Dataset, minSup int
 
 func (registered) TracksGenerators() bool { return false }
 
-func init() { registry.RegisterClosed("charm", registered{}) }
+// registeredParallel adapts the parallel miner; the worker count comes
+// from the context hint (WithParallelism in the root package), else
+// one worker per CPU.
+type registeredParallel struct{}
+
+func (registeredParallel) MineClosed(ctx context.Context, d *dataset.Dataset, minSup int) ([]closedset.Closed, error) {
+	fc, err := MineParallelContext(ctx, d, minSup, registry.ParallelismFromContext(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return fc.All(), nil
+}
+
+func (registeredParallel) TracksGenerators() bool { return false }
+
+func init() {
+	registry.RegisterClosed("charm", registered{})
+	registry.RegisterClosed("pcharm", registeredParallel{})
+}

@@ -114,19 +114,16 @@ func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*closedse
 		counts := make([]int, len(cands))
 		closures := make([]bitset.Set, len(cands))
 		trie := levelwise.NewTrie(k, cands)
-		for o, tx := range d.Transactions() {
-			if tx.Len() < k {
-				continue
+		err := trie.WalkPass(ctx, d.Transactions(), k, func(o, idx int) {
+			if counts[idx] == 0 {
+				closures[idx] = dc.Rows[o].Clone()
+			} else {
+				closures[idx].And(dc.Rows[o])
 			}
-			row := dc.Rows[o]
-			trie.Walk(tx, func(idx int) {
-				if counts[idx] == 0 {
-					closures[idx] = row.Clone()
-				} else {
-					closures[idx].And(row)
-				}
-				counts[idx]++
-			})
+			counts[idx]++
+		})
+		if err != nil {
+			return nil, stats, err
 		}
 		stats.Passes++
 

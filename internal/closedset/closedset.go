@@ -140,7 +140,14 @@ func (s *Set) All() []Closed {
 // (X is not frequent at the mining threshold, or the set is
 // incomplete). Because FC is closed under intersection, the smallest
 // container is unique whenever it exists.
+//
+// An itemset that is itself closed — the common case on serving paths,
+// where queries arrive straight from basis rules — is answered by one
+// key lookup; only non-closed itemsets pay the ordered scan.
 func (s *Set) ClosureOf(x itemset.Itemset) (Closed, bool) {
+	if i, ok := s.byKey[x.Key()]; ok {
+		return s.list[i], true
+	}
 	for _, idx := range s.ensureSorted() {
 		if s.list[idx].Items.ContainsAll(x) {
 			return s.list[idx], true

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"closedrules/internal/closedset"
 	"closedrules/internal/itemset"
 	"closedrules/internal/rules"
@@ -25,17 +27,34 @@ func DeriveAllRules(eng *Engine, fc *closedset.Set, minConf float64, maxWidth in
 		return nil, err
 	}
 	var out []rules.Rule
+	memo := map[string]memoSupport{}
 	for _, f := range fam.All() {
 		if f.Items.Len() < 2 {
 			continue
 		}
+		// Every subset split of f shares the same union f.Items, whose
+		// support the expansion already knows — derive it once here
+		// instead of re-closing (and re-keying) it for every subset.
+		// The memo carries the per-side supports: each subset is probed
+		// as an antecedent of one split and a consequent of the
+		// complementary one, and smaller subsets recur across itemsets.
+		supU := f.Support
 		var derr error
 		f.Items.Subsets(func(ante itemset.Itemset) bool {
 			cons := f.Items.Diff(ante)
-			r, err := eng.Rule(ante, cons)
-			if err != nil {
-				derr = err
+			supA, ok := eng.supportMemoized(ante, memo)
+			if !ok {
+				derr = fmt.Errorf("core: support of %v not derivable", ante)
 				return false
+			}
+			r := rules.Rule{
+				Antecedent:        ante,
+				Consequent:        cons,
+				Support:           supU,
+				AntecedentSupport: supA,
+			}
+			if supC, ok := eng.supportMemoized(cons, memo); ok {
+				r.ConsequentSupport = supC
 			}
 			if r.Confidence() >= minConf {
 				out = append(out, r)

@@ -67,6 +67,28 @@ func (e *Engine) Support(x itemset.Itemset) (int, bool) {
 	return s, ok
 }
 
+// memoSupport is a memoized Support probe result (see supportMemoized).
+type memoSupport struct {
+	sup int
+	ok  bool
+}
+
+// supportMemoized is Support with a caller-owned memo keyed by the raw
+// (unclosed) itemset key: the key is derived once per lookup and the
+// LinClosure fixpoint once per distinct itemset, instead of once per
+// probe. Hot loops that probe the same sides repeatedly — DeriveAllRules
+// asks for every subset of an itemset first as an antecedent and again
+// as a consequent — pass one memo across the whole loop.
+func (e *Engine) supportMemoized(x itemset.Itemset, memo map[string]memoSupport) (int, bool) {
+	k := x.Key()
+	if v, hit := memo[k]; hit {
+		return v.sup, v.ok
+	}
+	s, ok := e.supports[e.imps.Close(x).Key()]
+	memo[k] = memoSupport{sup: s, ok: ok}
+	return s, ok
+}
+
 // Rule reconstructs the measured rule A → C. The consequent support is
 // filled in when derivable, else left 0.
 func (e *Engine) Rule(antecedent, consequent itemset.Itemset) (rules.Rule, error) {

@@ -9,6 +9,7 @@ package dataset
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"closedrules/internal/bitset"
 	"closedrules/internal/itemset"
@@ -19,6 +20,17 @@ type Dataset struct {
 	tx       []itemset.Itemset
 	numItems int
 	names    []string // optional, indexed by item id; nil if unnamed
+
+	// ctxc caches the binary-matrix view across Context calls. It is a
+	// pointer so derived datasets that share tx (WithNames) share the
+	// cache, and so copying the struct never copies a sync.Once.
+	ctxc *ctxCache
+}
+
+// ctxCache builds the binary context at most once per dataset.
+type ctxCache struct {
+	once sync.Once
+	c    *Context
 }
 
 // FromTransactions builds a dataset from raw transactions. Each
@@ -34,7 +46,7 @@ func FromTransactionsN(raw [][]int, numItems int) (*Dataset, error) {
 	if numItems < 0 {
 		return nil, fmt.Errorf("dataset: negative numItems %d", numItems)
 	}
-	d := &Dataset{tx: make([]itemset.Itemset, len(raw)), numItems: numItems}
+	d := &Dataset{tx: make([]itemset.Itemset, len(raw)), numItems: numItems, ctxc: &ctxCache{}}
 	for i, t := range raw {
 		for _, x := range t {
 			if x < 0 {
@@ -148,8 +160,25 @@ type Context struct {
 	Cols       []bitset.Set
 }
 
-// Context materializes the bitset view. It is O(|R|).
+// Context returns the bitset view. The view is built once — O(|R|) —
+// on the first call and cached: miners, QueryService rebuilds and
+// hot reloads that mine the same dataset repeatedly share one context
+// instead of re-materializing |O|·|I| bits each time. Concurrent
+// callers are safe (the build is guarded by a sync.Once), and the
+// returned value is shared: treat it as read-only, like Transactions.
 func (d *Dataset) Context() *Context {
+	if d.ctxc == nil {
+		// A Dataset not built by a constructor (zero value in tests):
+		// fall back to an uncached build rather than racing on a lazily
+		// created cache.
+		return d.buildContext()
+	}
+	d.ctxc.once.Do(func() { d.ctxc.c = d.buildContext() })
+	return d.ctxc.c
+}
+
+// buildContext materializes the bitset view.
+func (d *Dataset) buildContext() *Context {
 	c := &Context{
 		NumObjects: len(d.tx),
 		NumItems:   d.numItems,
@@ -182,7 +211,7 @@ func (d *Dataset) Project(keep itemset.Itemset) (*Dataset, []int) {
 	for newID, old := range keep {
 		remap[old] = newID
 	}
-	nd := &Dataset{tx: make([]itemset.Itemset, len(d.tx)), numItems: keep.Len()}
+	nd := &Dataset{tx: make([]itemset.Itemset, len(d.tx)), numItems: keep.Len(), ctxc: &ctxCache{}}
 	for i, t := range d.tx {
 		nt := make(itemset.Itemset, 0, t.Len())
 		for _, x := range t {

@@ -316,3 +316,45 @@ func TestContextLargeRandomConsistency(t *testing.T) {
 		}
 	}
 }
+
+func TestContextCachedAndShared(t *testing.T) {
+	d, err := FromTransactions([][]int{{0, 1}, {1, 2}, {0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := d.Context()
+	if c2 := d.Context(); c1 != c2 {
+		t.Error("Context rebuilt on second call")
+	}
+	named, err := d.WithNames([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if named.Context() != c1 {
+		t.Error("WithNames dataset does not share the context cache")
+	}
+	proj, _ := d.Project(itemset.Of(0, 1))
+	if proj.Context() == c1 {
+		t.Error("Project shares the parent's context")
+	}
+	// Concurrent first builds must agree (run under -race).
+	d2, err := FromTransactions([][]int{{0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *Context, 8)
+	for i := 0; i < 8; i++ {
+		go func() { got <- d2.Context() }()
+	}
+	first := <-got
+	for i := 1; i < 8; i++ {
+		if c := <-got; c != first {
+			t.Fatal("concurrent Context calls returned different views")
+		}
+	}
+	// A zero-value Dataset still answers, uncached.
+	var zero Dataset
+	if zero.Context() == nil {
+		t.Error("zero dataset has nil context")
+	}
+}

@@ -32,16 +32,7 @@ func MineDiffsetContext(ctx context.Context, d *dataset.Dataset, minSup int) (*i
 	fam := itemset.NewFamily()
 
 	// Root level: keep plain tidsets; children switch to diffsets.
-	type root struct {
-		item int
-		tids bitset.Set
-	}
-	var roots []root
-	for it := 0; it < c.NumItems; it++ {
-		if c.Cols[it].Count() >= minSup {
-			roots = append(roots, root{item: it, tids: c.Cols[it]})
-		}
-	}
+	roots := frontier(c, minSup)
 
 	// node carries the diffset relative to its parent and its support.
 	type node struct {
@@ -60,12 +51,12 @@ func MineDiffsetContext(ctx context.Context, d *dataset.Dataset, minSup int) (*i
 			fam.Add(p, e.support)
 			var next []node
 			for _, f := range ext[i+1:] {
-				// diffset(P∪{e,f}) = diff(f) ∖ diff(e); support drops
-				// by the size of that new diffset.
-				nd := f.diff.Difference(e.diff)
-				sup := e.support - nd.Count()
+				// diffset(P∪{e,f}) = diff(f) ∖ diff(e); support drops by
+				// the size of that new diffset. Probe the size with a
+				// popcount-only pass and materialize survivors only.
+				sup := e.support - f.diff.AndNotCount(e.diff)
 				if sup >= minSup {
-					next = append(next, node{item: f.item, diff: nd, support: sup})
+					next = append(next, node{item: f.item, diff: f.diff.Difference(e.diff), support: sup})
 				}
 			}
 			if len(next) > 0 {
@@ -82,14 +73,13 @@ func MineDiffsetContext(ctx context.Context, d *dataset.Dataset, minSup int) (*i
 			return nil, err
 		}
 		p := itemset.Of(e.item)
-		fam.Add(p, e.tids.Count())
+		fam.Add(p, e.sup)
 		var children []node
 		for _, f := range roots[i+1:] {
 			// First diffset level: d(e,f) = tids(e) ∖ tids(f).
-			nd := e.tids.Difference(f.tids)
-			sup := e.tids.Count() - nd.Count()
+			sup := e.sup - e.tids.AndNotCount(f.tids)
 			if sup >= minSup {
-				children = append(children, node{item: f.item, diff: nd, support: sup})
+				children = append(children, node{item: f.item, diff: e.tids.Difference(f.tids), support: sup})
 			}
 		}
 		if len(children) > 0 {

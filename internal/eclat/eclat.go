@@ -31,43 +31,54 @@ func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*itemset.
 	}
 	c := d.Context()
 	fam := itemset.NewFamily()
-
-	type entry struct {
-		item int
-		tids bitset.Set
-	}
-	var frontier []entry
-	for it := 0; it < c.NumItems; it++ {
-		if c.Cols[it].Count() >= minSup {
-			frontier = append(frontier, entry{item: it, tids: c.Cols[it]})
-		}
-	}
-
-	var recurse func(prefix itemset.Itemset, ext []entry) error
-	recurse = func(prefix itemset.Itemset, ext []entry) error {
-		for i, e := range ext {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			p := prefix.With(e.item)
-			fam.Add(p, e.tids.Count())
-			var next []entry
-			for _, f := range ext[i+1:] {
-				t := e.tids.Intersect(f.tids)
-				if t.Count() >= minSup {
-					next = append(next, entry{item: f.item, tids: t})
-				}
-			}
-			if len(next) > 0 {
-				if err := recurse(p, next); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	if err := recurse(itemset.Empty(), frontier); err != nil {
+	if err := mine(ctx, minSup, frontier(c, minSup), itemset.Empty(), fam.Add); err != nil {
 		return nil, err
 	}
 	return fam, nil
+}
+
+// entry is one IT-pair of the search tree with its support cached.
+type entry struct {
+	item int
+	tids bitset.Set
+	sup  int
+}
+
+// frontier returns the frequent level-1 entries in item order.
+func frontier(c *dataset.Context, minSup int) []entry {
+	var out []entry
+	for it := 0; it < c.NumItems; it++ {
+		if sup := c.Cols[it].Count(); sup >= minSup {
+			out = append(out, entry{item: it, tids: c.Cols[it], sup: sup})
+		}
+	}
+	return out
+}
+
+// mine runs the depth-first tidset search below prefix over ext,
+// reporting every frequent itemset to add. Candidate extensions are
+// probed with IntersectionCount first; a tidset is materialized only
+// for the survivors, so infrequent extensions allocate nothing. Both
+// the sequential and the parallel front end drive this function.
+func mine(ctx context.Context, minSup int, ext []entry,
+	prefix itemset.Itemset, add func(itemset.Itemset, int)) error {
+	for i, e := range ext {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p := prefix.With(e.item)
+		add(p, e.sup)
+		var next []entry
+		for _, f := range ext[i+1:] {
+			if sup := e.tids.IntersectionCount(f.tids); sup >= minSup {
+				next = append(next, entry{item: f.item, tids: e.tids.Intersect(f.tids), sup: sup})
+			}
+		}
+		if len(next) > 0 {
+			if err := mine(ctx, minSup, next, p, add); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

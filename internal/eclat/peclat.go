@@ -1,0 +1,94 @@
+package eclat
+
+import (
+	"context"
+	"fmt"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/miner"
+)
+
+// Parallel Eclat: each first-level equivalence class — one frequent
+// root item together with its tidset intersections against the later
+// roots — is an independent depth-first subtree, so the classes are
+// fanned out to a bounded worker pool. Workers append into per-worker
+// result slices and never share mutable state; the merge into one
+// Family happens single-threaded afterwards, which keeps the result
+// byte-identical to the sequential miner (Family.All sorts
+// canonically, and distinct classes can never produce the same
+// itemset: every itemset of class i has minimum item i).
+
+// MineParallel mines all frequent itemsets with the given number of
+// workers (≤ 0 means one per CPU); the result is byte-identical to
+// Mine.
+func MineParallel(d *dataset.Dataset, minSup, workers int) (*itemset.Family, error) {
+	return MineParallelContext(context.Background(), d, minSup, workers)
+}
+
+// MineParallelContext is MineParallel with cancellation: every worker
+// checks ctx at each prefix extension of its subtree, so a cancelled
+// context aborts the whole pool within one extension step per worker.
+func MineParallelContext(ctx context.Context, d *dataset.Dataset, minSup, workers int) (*itemset.Family, error) {
+	if minSup < 1 {
+		return nil, fmt.Errorf("eclat: minSup %d < 1", minSup)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	c := d.Context()
+	roots := frontier(c, minSup)
+	results := make([][]itemset.Counted, len(roots))
+
+	err := miner.RunPool(len(roots), workers, func(i int) error {
+		local, err := mineClass(ctx, minSup, roots, i)
+		if err != nil {
+			return err
+		}
+		results[i] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fam := itemset.NewFamily()
+	for _, local := range results {
+		for _, f := range local {
+			fam.Add(f.Items, f.Support)
+		}
+	}
+	return fam, nil
+}
+
+// mineClass mines the complete subtree of root i: the root itself plus
+// every extension by later roots, collected into a private slice.
+func mineClass(ctx context.Context, minSup int, roots []entry, i int) ([]itemset.Counted, error) {
+	var local []itemset.Counted
+	add := func(p itemset.Itemset, sup int) {
+		local = append(local, itemset.Counted{Items: p, Support: sup})
+	}
+	e := roots[i]
+	p := itemset.Of(e.item)
+	add(p, e.sup)
+	// The wide first-level intersections happen here, inside the
+	// worker, not on the dispatching goroutine.
+	var next []entry
+	for _, f := range roots[i+1:] {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if sup := e.tids.IntersectionCount(f.tids); sup >= minSup {
+			next = append(next, entry{item: f.item, tids: e.tids.Intersect(f.tids), sup: sup})
+		}
+	}
+	if len(next) > 0 {
+		if err := mine(ctx, minSup, next, p, add); err != nil {
+			return nil, err
+		}
+	}
+	return local, nil
+}

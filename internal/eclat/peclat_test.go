@@ -1,0 +1,103 @@
+package eclat
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/testgen"
+)
+
+// countdownCtx cancels itself after a fixed number of Err probes — a
+// deterministic way to hit a miner mid-run regardless of machine speed.
+type countdownCtx struct {
+	context.Context
+	mu sync.Mutex
+	n  int
+}
+
+func (c *countdownCtx) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n--
+	if c.n <= 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestMineParallelByteIdentical checks that All() returns the same
+// itemsets, in the same order, with the same supports as sequential
+// Eclat, across worker counts.
+func TestMineParallelByteIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	for iter := 0; iter < 60; iter++ {
+		d := testgen.Random(r, 30, 12, 0.4)
+		minSup := 1 + r.Intn(4)
+		workers := 1 + r.Intn(6)
+		seq, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MineParallel(d, minSup, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, pa := seq.All(), par.All()
+		if len(sa) != len(pa) {
+			t.Fatalf("iter %d (workers %d): parallel %d itemsets, sequential %d", iter, workers, len(pa), len(sa))
+		}
+		for i := range sa {
+			if !sa[i].Items.Equal(pa[i].Items) || sa[i].Support != pa[i].Support {
+				t.Fatalf("iter %d (workers %d): element %d differs", iter, workers, i)
+			}
+		}
+	}
+}
+
+func TestMineParallelMatchesDiffsets(t *testing.T) {
+	r := rand.New(rand.NewSource(157))
+	for iter := 0; iter < 20; iter++ {
+		d := testgen.Correlated(r, 60, 5, 3, 0.15)
+		minSup := 2 + r.Intn(6)
+		want, err := MineDiffset(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MineParallel(d, minSup, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("iter %d: parallel %d itemsets, diffset %d", iter, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestMineParallelCancelledMidMine(t *testing.T) {
+	r := rand.New(rand.NewSource(163))
+	d := testgen.Correlated(r, 200, 6, 3, 0.2)
+	ctx := &countdownCtx{Context: context.Background(), n: 40}
+	if _, err := MineParallelContext(ctx, d, 2, 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMineParallelEmptyAndValidation(t *testing.T) {
+	d, err := dataset.FromTransactions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := MineParallel(d, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 0 {
+		t.Errorf("|FI| = %d on empty dataset", fam.Len())
+	}
+	if _, err := MineParallel(d, 0, 2); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+}

@@ -28,7 +28,21 @@ func (registeredDiffset) MineFrequent(ctx context.Context, d *dataset.Dataset, m
 	return fam.All(), nil
 }
 
+// registeredParallel adapts the parallel miner; the worker count comes
+// from the context hint (WithParallelism in the root package), else
+// one worker per CPU.
+type registeredParallel struct{}
+
+func (registeredParallel) MineFrequent(ctx context.Context, d *dataset.Dataset, minSup int) ([]itemset.Counted, error) {
+	fam, err := MineParallelContext(ctx, d, minSup, miner.ParallelismFromContext(ctx))
+	if err != nil {
+		return nil, err
+	}
+	return fam.All(), nil
+}
+
 func init() {
 	miner.RegisterFrequent("eclat", registered{})
 	miner.RegisterFrequent("declat", registeredDiffset{})
+	miner.RegisterFrequent("peclat", registeredParallel{})
 }

@@ -5,6 +5,7 @@
 package levelwise
 
 import (
+	"context"
 	"sort"
 
 	"closedrules/internal/itemset"
@@ -55,6 +56,26 @@ func (n *trieNode) child(item int) *trieNode {
 // transaction t (sorted itemset).
 func (t *Trie) Walk(tx itemset.Itemset, visit func(candIdx int)) {
 	walk(t.root, tx, visit)
+}
+
+// WalkPass runs one object-major counting pass: Walk over every
+// transaction of at least k items, with ctx checked every 1024
+// transactions — one pass over a huge database on a single level
+// still honors a deadline, the ROADMAP's cancellation-granularity
+// item. visit additionally receives the transaction's index o.
+func (t *Trie) WalkPass(ctx context.Context, txs []itemset.Itemset, k int, visit func(o, candIdx int)) error {
+	for o, tx := range txs {
+		if o&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if tx.Len() < k {
+			continue
+		}
+		t.Walk(tx, func(idx int) { visit(o, idx) })
+	}
+	return nil
 }
 
 func walk(n *trieNode, tx itemset.Itemset, visit func(int)) {

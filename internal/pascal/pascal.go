@@ -140,11 +140,8 @@ func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*itemset.
 			}
 			counts := make([]int, len(countSets))
 			trie := levelwise.NewTrie(k, countSets)
-			for _, tx := range d.Transactions() {
-				if tx.Len() < k {
-					continue
-				}
-				trie.Walk(tx, func(ci int) { counts[ci]++ })
+			if err := trie.WalkPass(ctx, d.Transactions(), k, func(_, ci int) { counts[ci]++ }); err != nil {
+				return nil, stats, err
 			}
 			stats.Passes++
 			for i, idx := range toCount {

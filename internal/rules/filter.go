@@ -49,19 +49,31 @@ func MinConfidence(list []Rule, c float64) []Rule {
 
 // TopBy returns the k rules maximizing score (stable on ties by the
 // canonical rule order); k ≤ 0 or k ≥ len returns a sorted copy of
-// everything.
+// everything. score is called exactly once per rule — the scores are
+// precomputed before the sort, not re-derived inside the comparator —
+// so an expensive score (lift recomputes the full metric set) costs
+// O(n), not O(n log n), per ranking.
 func TopBy(list []Rule, k int, score func(Rule) float64) []Rule {
-	out := make([]Rule, len(list))
-	copy(out, list)
-	sort.SliceStable(out, func(i, j int) bool {
-		si, sj := score(out[i]), score(out[j])
-		if si != sj {
-			return si > sj
+	type scored struct {
+		r Rule
+		s float64
+	}
+	dec := make([]scored, len(list))
+	for i, r := range list {
+		dec[i] = scored{r: r, s: score(r)}
+	}
+	sort.SliceStable(dec, func(i, j int) bool {
+		if dec[i].s != dec[j].s {
+			return dec[i].s > dec[j].s
 		}
-		return out[i].Compare(out[j]) < 0
+		return dec[i].r.Compare(dec[j].r) < 0
 	})
-	if k > 0 && k < len(out) {
-		out = out[:k]
+	if k <= 0 || k > len(dec) {
+		k = len(dec)
+	}
+	out := make([]Rule, k)
+	for i := range out {
+		out[i] = dec[i].r
 	}
 	return out
 }

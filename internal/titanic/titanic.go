@@ -108,11 +108,8 @@ func MineContext(ctx context.Context, d *dataset.Dataset, minSup int) (*closedse
 
 		counts := make([]int, len(cands))
 		trie := levelwise.NewTrie(k, cands)
-		for _, tx := range d.Transactions() {
-			if tx.Len() < k {
-				continue
-			}
-			trie.Walk(tx, func(idx int) { counts[idx]++ })
+		if err := trie.WalkPass(ctx, d.Transactions(), k, func(_, idx int) { counts[idx]++ }); err != nil {
+			return nil, stats, err
 		}
 		stats.Passes++
 

@@ -12,9 +12,10 @@ import (
 type MineOption func(*mineConfig) error
 
 type mineConfig struct {
-	minSupport float64 // relative, in (0,1]; 0 when unset
-	absSupport int     // absolute count ≥ 1; 0 when unset
-	algorithm  string  // registry name; empty means the call's default
+	minSupport  float64 // relative, in (0,1]; 0 when unset
+	absSupport  int     // absolute count ≥ 1; 0 when unset
+	algorithm   string  // registry name; empty means the call's default
+	parallelism int     // worker-count hint for parallel miners; 0 when unset
 }
 
 // WithMinSupport sets the relative minimum support threshold in
@@ -52,6 +53,21 @@ func WithAlgorithm(name string) MineOption {
 			return fmt.Errorf("closedrules: WithAlgorithm with empty name")
 		}
 		c.algorithm = name
+		return nil
+	}
+}
+
+// WithParallelism sets the number of workers parallel miners (such as
+// "pcharm" and "peclat") use, overriding their default of one worker
+// per CPU. Sequential miners ignore it. n must be ≥ 1; note that the
+// hint caps concurrency, it does not create it — mining with
+// WithParallelism(1) is the parallel algorithm run on one worker.
+func WithParallelism(n int) MineOption {
+	return func(c *mineConfig) error {
+		if n < 1 {
+			return fmt.Errorf("closedrules: WithParallelism(%d) < 1", n)
+		}
+		c.parallelism = n
 		return nil
 	}
 }
@@ -102,6 +118,9 @@ func MineContext(ctx context.Context, d *Dataset, opts ...MineOption) (*Result, 
 	if err != nil {
 		return nil, err
 	}
+	if cfg.parallelism > 0 {
+		ctx = miner.ContextWithParallelism(ctx, cfg.parallelism)
+	}
 	items, err := m.MineClosed(ctx, d, minSup)
 	if err != nil {
 		return nil, err
@@ -133,6 +152,9 @@ func MineFrequentContext(ctx context.Context, d *Dataset, opts ...MineOption) ([
 	m, err := miner.LookupFrequent(cfg.algorithm)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.parallelism > 0 {
+		ctx = miner.ContextWithParallelism(ctx, cfg.parallelism)
 	}
 	return m.MineFrequent(ctx, d, minSup)
 }

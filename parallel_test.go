@@ -1,0 +1,112 @@
+package closedrules
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestParallelMinersMatchSequentialOnGeneratorWorkloads cross-checks
+// that the parallel miners produce the identical closed-set family
+// (same itemsets, same supports, same count, same order) as their
+// sequential counterparts on each generated data regime.
+func TestParallelMinersMatchSequentialOnGeneratorWorkloads(t *testing.T) {
+	quest, err := GenerateQuest(QuestT10I4(400, 60, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	census, err := GenerateCensus(CensusC20(300, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mush, err := GenerateMushroom(MushroomConfig{NumObjects: 300, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, w := range []struct {
+		name   string
+		ds     *Dataset
+		minSup float64
+	}{
+		{"quest", quest, 0.02},
+		{"census", census, 0.5},
+		{"mushroom", mush, 0.3},
+	} {
+		seq, err := MineContext(ctx, w.ds, WithMinSupport(w.minSup), WithAlgorithm("charm"))
+		if err != nil {
+			t.Fatalf("%s charm: %v", w.name, err)
+		}
+		par, err := MineContext(ctx, w.ds, WithMinSupport(w.minSup), WithAlgorithm("pcharm"), WithParallelism(4))
+		if err != nil {
+			t.Fatalf("%s pcharm: %v", w.name, err)
+		}
+		sc, pc := seq.ClosedItemsets(), par.ClosedItemsets()
+		if len(sc) != len(pc) {
+			t.Fatalf("%s: pcharm %d closed, charm %d", w.name, len(pc), len(sc))
+		}
+		for i := range sc {
+			if !sc[i].Items.Equal(pc[i].Items) || sc[i].Support != pc[i].Support {
+				t.Fatalf("%s: closed itemset %d differs: %v/%d vs %v/%d",
+					w.name, i, pc[i].Items, pc[i].Support, sc[i].Items, sc[i].Support)
+			}
+		}
+
+		seqFI, err := MineFrequentContext(ctx, w.ds, WithMinSupport(w.minSup), WithAlgorithm("eclat"))
+		if err != nil {
+			t.Fatalf("%s eclat: %v", w.name, err)
+		}
+		parFI, err := MineFrequentContext(ctx, w.ds, WithMinSupport(w.minSup), WithAlgorithm("peclat"), WithParallelism(4))
+		if err != nil {
+			t.Fatalf("%s peclat: %v", w.name, err)
+		}
+		if len(seqFI) != len(parFI) {
+			t.Fatalf("%s: peclat %d itemsets, eclat %d", w.name, len(parFI), len(seqFI))
+		}
+		for i := range seqFI {
+			if !seqFI[i].Items.Equal(parFI[i].Items) || seqFI[i].Support != parFI[i].Support {
+				t.Fatalf("%s: frequent itemset %d differs", w.name, i)
+			}
+		}
+	}
+}
+
+// TestParallelMinersHonorDeadlineMidMine gives the parallel miners a
+// deadline that expires mid-run on a larger workload and expects the
+// deadline error, not a result.
+func TestParallelMinersHonorDeadlineMidMine(t *testing.T) {
+	ds, err := GenerateQuest(QuestT20I6(4000, 300, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the context cache so the deadline is spent inside the mine,
+	// not building the bitset view.
+	if _, err := MineContext(context.Background(), ds, WithAbsoluteMinSupport(ds.NumTransactions()/2), WithAlgorithm("pcharm")); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"pcharm", "peclat"} {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+		var mineErr error
+		if algo == "pcharm" {
+			_, mineErr = MineContext(ctx, ds, WithMinSupport(0.002), WithAlgorithm(algo), WithParallelism(4))
+		} else {
+			_, mineErr = MineFrequentContext(ctx, ds, WithMinSupport(0.002), WithAlgorithm(algo), WithParallelism(4))
+		}
+		cancel()
+		if mineErr != context.DeadlineExceeded {
+			t.Errorf("%s: err = %v, want context.DeadlineExceeded", algo, mineErr)
+		}
+	}
+}
+
+// TestWithParallelismValidation covers the option's contract.
+func TestWithParallelismValidation(t *testing.T) {
+	d := classic(t)
+	if _, err := MineContext(context.Background(), d, WithMinSupport(0.4), WithParallelism(0)); err == nil {
+		t.Error("WithParallelism(0) accepted")
+	}
+	// The hint is harmless on sequential miners.
+	if _, err := MineContext(context.Background(), d, WithMinSupport(0.4), WithParallelism(8)); err != nil {
+		t.Errorf("sequential miner with parallelism hint: %v", err)
+	}
+}

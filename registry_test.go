@@ -8,11 +8,11 @@ import (
 )
 
 func TestRegistryHasAllBuiltins(t *testing.T) {
-	wantClosed := []string{"aclose", "charm", "close", "titanic"}
+	wantClosed := []string{"aclose", "charm", "close", "pcharm", "titanic"}
 	if got := ClosedMiners(); !reflect.DeepEqual(got, wantClosed) {
 		t.Errorf("ClosedMiners() = %v, want %v", got, wantClosed)
 	}
-	wantFrequent := []string{"apriori", "declat", "eclat", "fpgrowth", "pascal"}
+	wantFrequent := []string{"apriori", "declat", "eclat", "fpgrowth", "pascal", "peclat"}
 	if got := FrequentMiners(); !reflect.DeepEqual(got, wantFrequent) {
 		t.Errorf("FrequentMiners() = %v, want %v", got, wantFrequent)
 	}

@@ -1,6 +1,7 @@
 package closedrules
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func minedBases(t *testing.T) (*Result, *Bases) {
 	t.Helper()
 	d := classic(t)
-	res, err := Mine(d, Options{MinSupport: 0.4})
+	res, err := MineContext(context.Background(), d, WithMinSupport(0.4))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,17 +156,13 @@ func TestSaveLoadClosedItemsets(t *testing.T) {
 
 func TestMineFrequentAllBaselinesAgree(t *testing.T) {
 	d := classic(t)
-	opt := Options{MinSupport: 0.4}
-	ap, err := MineFrequent(d, opt)
+	ctx := context.Background()
+	ap, err := MineFrequentContext(ctx, d, WithMinSupport(0.4), WithAlgorithm("apriori"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, fn := range map[string]func(*Dataset, Options) ([]CountedItemset, error){
-		"eclat":    MineFrequentEclat,
-		"fpgrowth": MineFrequentFPGrowth,
-		"pascal":   MineFrequentPascal,
-	} {
-		got, err := fn(d, opt)
+	for _, name := range []string{"eclat", "declat", "peclat", "fpgrowth", "pascal"} {
+		got, err := MineFrequentContext(ctx, d, WithMinSupport(0.4), WithAlgorithm(name))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
