@@ -32,13 +32,17 @@
 //	res, _ := closedrules.MineContext(ctx, ds,
 //		closedrules.WithMinSupport(0.4),
 //		closedrules.WithAlgorithm("titanic"))
-//	bases, _ := res.Bases(0.5)
-//	for _, r := range bases.Exact { fmt.Println(r) }
-//	for _, r := range bases.Approximate { fmt.Println(r) }
+//	exact, _ := res.Basis(ctx, "duquenne-guigues")
+//	approx, _ := res.Basis(ctx, "luxenburger", closedrules.WithMinConfidence(0.5))
+//	for _, r := range exact.Rules { fmt.Println(r) }
+//	for _, r := range approx.Rules { fmt.Println(r) }
 //
-// The algorithm is selected by registry name — ClosedMiners and
-// FrequentMiners list what is available, and RegisterClosedMiner /
-// RegisterFrequentMiner plug in new implementations without touching
+// Both the mining algorithm and the basis construction are selected by
+// registry name. ClosedMiners and FrequentMiners list the available
+// miners, and RegisterClosedMiner / RegisterFrequentMiner plug in new
+// implementations; Bases lists the available rule bases
+// (duquenne-guigues, luxenburger, generic, informative) and
+// RegisterBasis plugs in new constructions — both without touching
 // this package. The context is honored mid-mine: a deadline or cancel
 // aborts the run within one level (level-wise miners) or one branch
 // extension (depth-first miners).
@@ -53,8 +57,6 @@
 package closedrules
 
 import (
-	"context"
-	"fmt"
 	"io"
 	"strings"
 
@@ -120,142 +122,6 @@ func ReadTable(r io.Reader, sep rune, hasHeader bool) (*Dataset, error) {
 // ReadTableFile reads a nominal table from disk.
 func ReadTableFile(path string, sep rune, hasHeader bool) (*Dataset, error) {
 	return dataset.ReadTableFile(path, sep, hasHeader)
-}
-
-// Algorithm selects the mining algorithm.
-//
-// Deprecated: algorithms are now selected by registry name via
-// WithAlgorithm; the enum survives only for Options compatibility.
-type Algorithm int
-
-const (
-	// Close is the level-wise closed-itemset miner of reference [4]
-	// (default). Tracks minimal generators.
-	Close Algorithm = iota
-	// AClose is the generator-first closed miner of reference [5].
-	// Tracks minimal generators.
-	AClose
-	// Charm is the depth-first closed miner (Zaki & Hsiao 2002),
-	// included as a follow-on cross-check. Does not track generators.
-	Charm
-	// Titanic is the key-based miner of the same research group
-	// (Stumme et al. 2002): closures are computed from support counts
-	// alone, with no extra database pass. Tracks minimal generators.
-	Titanic
-)
-
-// String names the algorithm as registered in the miner registry.
-func (a Algorithm) String() string {
-	switch a {
-	case Close:
-		return "close"
-	case AClose:
-		return "a-close"
-	case Charm:
-		return "charm"
-	case Titanic:
-		return "titanic"
-	}
-	return fmt.Sprintf("algorithm(%d)", int(a))
-}
-
-// Options configures Mine.
-//
-// Deprecated: use MineContext with functional options
-// (WithMinSupport, WithAbsoluteMinSupport, WithAlgorithm).
-type Options struct {
-	// MinSupport is the relative minimum support in (0, 1]; ignored
-	// when AbsoluteMinSupport is set.
-	MinSupport float64
-	// AbsoluteMinSupport, when ≥ 1, is the minimum support count.
-	AbsoluteMinSupport int
-	// Algorithm chooses the closed-itemset miner (default Close).
-	Algorithm Algorithm
-}
-
-// supportOption translates the legacy Options threshold fields into a
-// functional option, preserving their validation errors.
-func (o Options) supportOption() (MineOption, error) {
-	if o.AbsoluteMinSupport >= 1 {
-		return WithAbsoluteMinSupport(o.AbsoluteMinSupport), nil
-	}
-	if o.MinSupport <= 0 || o.MinSupport > 1 {
-		return nil, fmt.Errorf("closedrules: MinSupport %v outside (0,1] and no absolute threshold", o.MinSupport)
-	}
-	return WithMinSupport(o.MinSupport), nil
-}
-
-// mineOptions translates the legacy Options struct into functional
-// options, preserving its validation errors.
-func (o Options) mineOptions() ([]MineOption, error) {
-	supOpt, err := o.supportOption()
-	if err != nil {
-		return nil, err
-	}
-	switch o.Algorithm {
-	case Close, AClose, Charm, Titanic:
-		return []MineOption{supOpt, WithAlgorithm(o.Algorithm.String())}, nil
-	default:
-		return nil, fmt.Errorf("closedrules: unknown algorithm %v", o.Algorithm)
-	}
-}
-
-// Mine extracts the frequent closed itemsets of the dataset and
-// returns a Result from which itemsets, rules and bases are derived.
-//
-// Deprecated: use MineContext, which adds cancellation and selects
-// algorithms by registry name.
-func Mine(d *Dataset, opt Options) (*Result, error) {
-	opts, err := opt.mineOptions()
-	if err != nil {
-		return nil, err
-	}
-	return MineContext(context.Background(), d, opts...)
-}
-
-// mineFrequentNamed backs the deprecated MineFrequent* wrappers. The
-// legacy Options.Algorithm field is ignored here, as it always was:
-// it only ever named closed miners, and the frequent miner is fixed
-// by the wrapper.
-func mineFrequentNamed(d *Dataset, opt Options, algo string) ([]CountedItemset, error) {
-	supOpt, err := opt.supportOption()
-	if err != nil {
-		return nil, err
-	}
-	return MineFrequentContext(context.Background(), d, supOpt, WithAlgorithm(algo))
-}
-
-// MineFrequent extracts all frequent itemsets (the Apriori baseline —
-// exactly what the bases make unnecessary, provided for comparisons).
-//
-// Deprecated: use MineFrequentContext with WithAlgorithm("apriori").
-func MineFrequent(d *Dataset, opt Options) ([]CountedItemset, error) {
-	return mineFrequentNamed(d, opt, "apriori")
-}
-
-// MineFrequentEclat extracts all frequent itemsets with the vertical
-// Eclat miner.
-//
-// Deprecated: use MineFrequentContext with WithAlgorithm("eclat").
-func MineFrequentEclat(d *Dataset, opt Options) ([]CountedItemset, error) {
-	return mineFrequentNamed(d, opt, "eclat")
-}
-
-// MineFrequentFPGrowth extracts all frequent itemsets with the
-// FP-Growth miner (prefix-tree compression, no candidate generation).
-//
-// Deprecated: use MineFrequentContext with WithAlgorithm("fpgrowth").
-func MineFrequentFPGrowth(d *Dataset, opt Options) ([]CountedItemset, error) {
-	return mineFrequentNamed(d, opt, "fpgrowth")
-}
-
-// MineFrequentPascal extracts all frequent itemsets with the PASCAL
-// miner (key-pattern counting inference — the same group's Apriori
-// refinement; fastest on correlated data).
-//
-// Deprecated: use MineFrequentContext with WithAlgorithm("pascal").
-func MineFrequentPascal(d *Dataset, opt Options) ([]CountedItemset, error) {
-	return mineFrequentNamed(d, opt, "pascal")
 }
 
 // FormatRules renders rules one per line using the dataset's item

@@ -4,8 +4,10 @@
 // Usage:
 //
 //	armine -in data.dat -minsup 0.3 -mode bases [-minconf 0.5] [-algo close] [-timeout 30s]
+//	armine -in data.dat -minsup 0.3 -basis luxenburger [-minconf 0.5] [-full]
 //	armine -in table.csv -table -sep , -header -minsup 0.5 -mode closed
 //	armine -algo list
+//	armine -basis list
 //
 // Modes:
 //
@@ -20,8 +22,12 @@
 //
 // Algorithms are resolved through the miner registry: `-algo list`
 // prints every registered name. Closed modes default to "close",
-// frequent mode to "apriori". A -timeout aborts a runaway mine
-// mid-run via context cancellation.
+// frequent mode to "apriori". Rule bases are resolved through the
+// basis registry: `-basis list` prints every registered basis, and
+// `-basis NAME` mines and prints that single basis at -minconf
+// (overriding -mode; -full selects the unreduced variant where one
+// exists). A -timeout aborts a runaway mine mid-run via context
+// cancellation.
 package main
 
 import (
@@ -53,6 +59,8 @@ func run(args []string, w io.Writer) error {
 		abssup  = fs.Int("abssup", 0, "absolute minimum support (overrides -minsup when ≥1)")
 		minconf = fs.Float64("minconf", 0.5, "minimum confidence [0,1]")
 		algo    = fs.String("algo", "", "miner registry name (\"list\" to print all; default close, or apriori in frequent mode)")
+		basis   = fs.String("basis", "", "basis registry name (\"list\" to print all); overrides -mode with a single-basis run")
+		full    = fs.Bool("full", false, "with -basis: build the unreduced variant where one exists")
 		mode    = fs.String("mode", "bases", "stats | frequent | closed | pseudo | rules | bases | generic | lattice")
 		format  = fs.String("format", "text", "rule output format: text | json | csv")
 		timeout = fs.Duration("timeout", 0, "abort mining after this duration (0 = no limit)")
@@ -64,6 +72,16 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "closed miners:   %s\n", strings.Join(closedrules.ClosedMiners(), " "))
 		fmt.Fprintf(w, "frequent miners: %s\n", strings.Join(closedrules.FrequentMiners(), " "))
 		return nil
+	}
+	if *basis == "list" {
+		fmt.Fprintf(w, "bases: %s\n", strings.Join(closedrules.Bases(), " "))
+		return nil
+	}
+	if *basis != "" {
+		// Fail on unknown names before the mining work, not after.
+		if _, err := closedrules.LookupBasis(*basis); err != nil {
+			return err
+		}
 	}
 	if *in == "" {
 		return fmt.Errorf("missing -in")
@@ -102,13 +120,13 @@ func run(args []string, w io.Writer) error {
 		opts = append(opts, closedrules.WithAlgorithm(*algo))
 	}
 
-	if *mode == "stats" {
+	if *basis == "" && *mode == "stats" {
 		s := d.Stats()
 		fmt.Fprintf(w, "transactions: %d\nitems: %d\navg length: %.2f\nmin/max length: %d/%d\ndensity: %.4f\n",
 			s.NumTransactions, s.NumItems, s.AvgLen, s.MinLen, s.MaxLen, s.Density)
 		return nil
 	}
-	if *mode == "frequent" {
+	if *basis == "" && *mode == "frequent" {
 		fi, err := closedrules.MineFrequentContext(ctx, d, opts...)
 		if err != nil {
 			return err
@@ -125,6 +143,29 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 	names := d.Names()
+
+	if *basis != "" {
+		bopts := []closedrules.BasisOption{closedrules.WithMinConfidence(*minconf)}
+		if *full {
+			bopts = append(bopts, closedrules.WithReduction(false))
+		}
+		rs, err := res.Basis(ctx, *basis, bopts...)
+		if err != nil {
+			return err
+		}
+		if done, err := writeRules(w, rs.Rules, *format); done || err != nil {
+			return err
+		}
+		variant := "reduced"
+		if !rs.Reduced {
+			variant = "full"
+		}
+		fmt.Fprintf(w, "## %s basis (%s, conf ≥ %.2f): %d\n", rs.Basis, variant, rs.MinConfidence, rs.Len())
+		for _, r := range rs.Rules {
+			fmt.Fprintln(w, r.Format(names))
+		}
+		return nil
+	}
 
 	switch *mode {
 	case "closed":

@@ -61,6 +61,53 @@ func TestAlgoList(t *testing.T) {
 	}
 }
 
+func TestBasisList(t *testing.T) {
+	out := runCLI(t, "-basis", "list")
+	for _, name := range []string{"duquenne-guigues", "generic", "informative", "luxenburger"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-basis list missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestBasisFlagAllBuiltins(t *testing.T) {
+	// Every registered basis is reachable by name from the CLI, with
+	// the counts of the classic example at conf ≥ 0.5.
+	for name, want := range map[string]string{
+		"duquenne-guigues": "## duquenne-guigues basis (reduced, conf ≥ 0.50): 3",
+		"generic":          "## generic basis (reduced, conf ≥ 0.50): 7",
+		"luxenburger":      "## luxenburger basis (reduced, conf ≥ 0.50): 5",
+		"informative":      "## informative basis (reduced, conf ≥ 0.50): 7",
+	} {
+		out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-minconf", "0.5", "-basis", name)
+		if !strings.Contains(out, want) {
+			t.Errorf("-basis %s output:\n%s", name, out)
+		}
+	}
+}
+
+func TestBasisFlagFullVariant(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-minconf", "0", "-basis", "luxenburger", "-full")
+	if !strings.Contains(out, "## luxenburger basis (full, conf ≥ 0.00): 7") {
+		t.Errorf("-basis luxenburger -full output:\n%s", out)
+	}
+}
+
+func TestBasisFlagJSONFormat(t *testing.T) {
+	out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-basis", "duquenne-guigues", "-format", "json")
+	if !strings.HasPrefix(strings.TrimSpace(out), "[") || !strings.Contains(out, "\"antecedent\"") {
+		t.Errorf("json basis output:\n%.200s", out)
+	}
+}
+
+func TestBasisFlagUnknownName(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-in", writeClassic(t), "-minsup", "0.4", "-basis", "bogus"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "unknown basis") {
+		t.Errorf("unknown basis err = %v", err)
+	}
+}
+
 func TestFrequentModeAllAlgorithms(t *testing.T) {
 	for _, algo := range []string{"apriori", "eclat", "declat", "fpgrowth", "pascal"} {
 		out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-mode", "frequent", "-algo", algo)

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	arserve -in data.dat -minsup 0.3 [-minconf 0.5] [-addr :8080]
-//	        [-algo close] [-table -sep , -header]
+//	        [-algo close] [-exact-basis duquenne-guigues] [-approx-basis luxenburger]
+//	        [-table -sep , -header]
 //	        [-request-timeout 5s] [-mine-timeout 0] [-max-k 100]
 //
 // Endpoints (see the server package for wire formats):
@@ -56,6 +57,8 @@ type config struct {
 	abssup      int
 	minconf     float64
 	algo        string
+	exactBasis  string
+	approxBasis string
 	addr        string
 	reqTimeout  time.Duration
 	mineTimeout time.Duration
@@ -73,6 +76,8 @@ func parseFlags(args []string) (*config, error) {
 		abssup      = fs.Int("abssup", 0, "absolute minimum support (overrides -minsup when ≥1)")
 		minconf     = fs.Float64("minconf", 0.5, "minimum confidence [0,1] for the served approximate basis")
 		algo        = fs.String("algo", "", "closed-miner registry name (default close)")
+		exactBasis  = fs.String("exact-basis", "", "basis registry name served for exact rules (default duquenne-guigues)")
+		approxBasis = fs.String("approx-basis", "", "basis registry name served for approximate rules (default luxenburger)")
 		addr        = fs.String("addr", ":8080", "listen address")
 		reqTimeout  = fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-query deadline (negative = none)")
 		mineTimeout = fs.Duration("mine-timeout", 0, "deadline for the initial mine and each reload (0 = none)")
@@ -91,6 +96,7 @@ func parseFlags(args []string) (*config, error) {
 	return &config{
 		in: *in, table: *table, sep: r[0], header: *header,
 		minsup: *minsup, abssup: *abssup, minconf: *minconf, algo: *algo,
+		exactBasis: *exactBasis, approxBasis: *approxBasis,
 		addr: *addr, reqTimeout: *reqTimeout, mineTimeout: *mineTimeout, maxK: *maxK,
 	}, nil
 }
@@ -135,7 +141,10 @@ func setup(ctx context.Context, args []string) (*server.Server, *config, error) 
 	if err != nil {
 		return nil, nil, err
 	}
-	qs, err := closedrules.NewQueryService(res, cfg.minconf)
+	qs, err := closedrules.NewQueryServiceWithBases(res, cfg.minconf, closedrules.BasisSelection{
+		Exact:       cfg.exactBasis,
+		Approximate: cfg.approxBasis,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -154,7 +163,8 @@ func run(ctx context.Context, args []string, w io.Writer) error {
 		return err
 	}
 	qs := srv.Service()
-	fmt.Fprintf(w, "arserve: mined %s (%d transactions, %d basis rules); serving on %s\n",
-		cfg.in, qs.NumTransactions(), qs.NumRules(), cfg.addr)
+	bases := qs.ServedBases()
+	fmt.Fprintf(w, "arserve: mined %s (%d transactions, %d basis rules from %s + %s); serving on %s\n",
+		cfg.in, qs.NumTransactions(), qs.NumRules(), bases.Exact, bases.Approximate, cfg.addr)
 	return srv.ListenAndServe(ctx, cfg.addr)
 }

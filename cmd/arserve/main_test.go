@@ -101,6 +101,39 @@ func TestReloadFromFile(t *testing.T) {
 	}
 }
 
+func TestBasisFlags(t *testing.T) {
+	ts, _ := testServer(t, "-exact-basis", "generic", "-approx-basis", "informative")
+	resp, err := http.Get(ts.URL + "/bases")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Registered []string `json:"registered"`
+		Serving    struct {
+			Exact       string `json:"exact"`
+			Approximate string `json:"approximate"`
+		} `json:"serving"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Serving.Exact != "generic" || out.Serving.Approximate != "informative" {
+		t.Errorf("serving = %+v, want generic/informative", out.Serving)
+	}
+	if len(out.Registered) < 4 {
+		t.Errorf("registered = %v, want at least the 4 built-ins", out.Registered)
+	}
+}
+
+func TestBasisFlagUnknownName(t *testing.T) {
+	path := writeClassic(t)
+	if _, _, err := setup(context.Background(),
+		[]string{"-in", path, "-minsup", "0.4", "-exact-basis", "bogus"}); err == nil {
+		t.Error("unknown -exact-basis accepted")
+	}
+}
+
 func TestTableInput(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "t.csv")
 	data := "color,size\nred,big\nred,big\nblue,small\n"

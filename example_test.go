@@ -21,16 +21,33 @@ func classicDataset() *closedrules.Dataset {
 }
 
 func Example() {
+	ctx := context.Background()
 	ds := classicDataset()
-	res, _ := closedrules.MineContext(context.Background(), ds, closedrules.WithMinSupport(0.4))
-	bases, _ := res.Bases(0.5)
-	for _, r := range bases.Exact {
+	res, _ := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
+	exact, _ := res.Basis(ctx, "duquenne-guigues")
+	for _, r := range exact.Rules {
 		fmt.Println(r)
 	}
 	// Output:
 	// {0} → {2} (sup=3, conf=1.000)
 	// {1} → {4} (sup=4, conf=1.000)
 	// {4} → {1} (sup=4, conf=1.000)
+}
+
+func ExampleResult_Basis() {
+	ctx := context.Background()
+	ds := classicDataset()
+	res, _ := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
+	approx, _ := res.Basis(ctx, "luxenburger", closedrules.WithMinConfidence(0.7))
+	fmt.Println(approx.Basis, approx.MinConfidence, approx.Len())
+	for _, r := range approx.Rules {
+		fmt.Println(r)
+	}
+	// Output:
+	// luxenburger 0.7 3
+	// {2} → {0} (sup=3, conf=0.750)
+	// {2} → {1, 4} (sup=3, conf=0.750)
+	// {1, 4} → {2} (sup=3, conf=0.750)
 }
 
 func ExampleMineContext() {
@@ -86,11 +103,11 @@ func ExampleResult_Closure() {
 	// {0, 2} 3
 }
 
-func ExampleBases_Engine() {
+func ExampleResult_DerivationEngine() {
+	ctx := context.Background()
 	ds := classicDataset()
-	res, _ := closedrules.MineContext(context.Background(), ds, closedrules.WithMinSupport(0.4))
-	bases, _ := res.Bases(0)
-	eng, _ := bases.Engine()
+	res, _ := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
+	eng, _ := res.DerivationEngine(ctx)
 	// Reconstruct the rule C → B,E from the bases alone.
 	r, _ := eng.Rule(closedrules.Items(2), closedrules.Items(1, 4))
 	fmt.Println(r)

@@ -58,12 +58,12 @@ func main() {
 
 	// The generic basis trades minimality for readability: minimal
 	// generator antecedents, no inference needed.
-	gb, err := res.GenericBasis()
+	gb, err := res.Basis(ctx, "generic")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ngeneric basis (readable, minimal-generator antecedents): %d rules, e.g.\n", len(gb))
-	for i, r := range gb {
+	fmt.Printf("\ngeneric basis (readable, minimal-generator antecedents): %d rules, e.g.\n", gb.Len())
+	for i, r := range gb.Rules {
 		if i == 5 {
 			break
 		}

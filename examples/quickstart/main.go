@@ -43,24 +43,33 @@ func main() {
 		fmt.Println()
 	}
 
-	bases, err := res.Bases(0.5)
+	// Bases are first-class and resolved by registry name, exactly like
+	// miners: closedrules.Bases() lists what is registered, and each
+	// returned RuleSet carries its provenance (basis name, thresholds).
+	exact, err := res.Basis(ctx, "duquenne-guigues")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\n## Duquenne–Guigues basis (exact rules)")
-	fmt.Print(closedrules.FormatRules(bases.Exact, ds))
-	fmt.Println("\n## Reduced Luxenburger basis (approximate rules, conf ≥ 50%)")
-	fmt.Print(closedrules.FormatRules(bases.Approximate, ds))
+	approx, err := res.Basis(ctx, "luxenburger", closedrules.WithMinConfidence(0.5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n## %s basis (exact rules)\n", exact.Basis)
+	fmt.Print(closedrules.FormatRules(exact.Rules, ds))
+	fmt.Printf("\n## reduced %s basis (approximate rules, conf ≥ %.0f%%)\n",
+		approx.Basis, approx.MinConfidence*100)
+	fmt.Print(closedrules.FormatRules(approx.Rules, ds))
 
 	all, err := res.AllRules(0.5)
 	if err != nil {
 		log.Fatal(err)
 	}
+	size := exact.Len() + approx.Len()
 	fmt.Printf("\nall valid rules: %d — bases: %d rules (%.1f× smaller)\n",
-		len(all), bases.Size(), float64(len(all))/float64(bases.Size()))
+		len(all), size, float64(len(all))/float64(size))
 
 	// The bases are generating sets: rebuild any rule from them alone.
-	eng, err := bases.Engine()
+	eng, err := res.DerivationEngine(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -22,7 +22,7 @@ type mineConfig struct {
 // (0, 1].
 func WithMinSupport(rel float64) MineOption {
 	return func(c *mineConfig) error {
-		if rel <= 0 || rel > 1 {
+		if !(rel > 0 && rel <= 1) { // negated AND also rejects NaN
 			return fmt.Errorf("closedrules: WithMinSupport(%v) outside (0,1]", rel)
 		}
 		c.minSupport = rel
@@ -70,6 +70,57 @@ func WithParallelism(n int) MineOption {
 		c.parallelism = n
 		return nil
 	}
+}
+
+// BasisOption configures Result.Basis.
+type BasisOption func(*basisConfig) error
+
+// basisConfig carries the resolved basis-construction options. The
+// zero value is not the default — buildBasisConfig seeds reduced=true,
+// the paper's served variant.
+type basisConfig struct {
+	minConf      float64 // keep rules with confidence ≥ this; 0 keeps all
+	reduced      bool    // transitive-reduction variant where one exists
+	includeEmpty bool    // keep empty-antecedent rules (engine plumbing)
+}
+
+// WithMinConfidence keeps only rules with confidence ≥ c ∈ [0,1] in
+// the constructed basis. Exact-rule bases (confidence 1 everywhere)
+// are unaffected. The default 0 keeps every rule.
+func WithMinConfidence(c float64) BasisOption {
+	return func(cfg *basisConfig) error {
+		// The negated-AND form also rejects NaN, which passes every
+		// ordered comparison.
+		if !(c >= 0 && c <= 1) {
+			return fmt.Errorf("closedrules: WithMinConfidence(%v) outside [0,1]", c)
+		}
+		cfg.minConf = c
+		return nil
+	}
+}
+
+// WithReduction selects between the transitive-reduction variant of a
+// basis (true, the default — e.g. the Hasse-edge Luxenburger reduction
+// of Theorem 2) and the full variant (false — one rule per comparable
+// closed pair). Bases without a reduced variant ignore it.
+func WithReduction(reduced bool) BasisOption {
+	return func(cfg *basisConfig) error {
+		cfg.reduced = reduced
+		return nil
+	}
+}
+
+func buildBasisConfig(opts []BasisOption) (basisConfig, error) {
+	cfg := basisConfig{reduced: true}
+	for _, opt := range opts {
+		if opt == nil {
+			return cfg, fmt.Errorf("closedrules: nil BasisOption")
+		}
+		if err := opt(&cfg); err != nil {
+			return cfg, err
+		}
+	}
+	return cfg, nil
 }
 
 func buildConfig(opts []MineOption) (mineConfig, error) {

@@ -29,12 +29,42 @@ type QueryService struct {
 	swaps       atomic.Uint64
 }
 
+// BasisSelection names the exact/approximate basis pair a
+// QueryService serves its Recommend rules from. Names resolve through
+// the basis registry; an empty field selects the paper's default for
+// that slot ("duquenne-guigues" exact, "luxenburger" approximate).
+type BasisSelection struct {
+	// Exact names the exact-rule basis ("duquenne-guigues" or
+	// "generic"; "" selects the default).
+	Exact string
+	// Approximate names the approximate-rule basis ("luxenburger" or
+	// "informative"; "" selects the default).
+	Approximate string
+}
+
+// defaultBasisSelection is the paper's pair: Duquenne–Guigues exact
+// rules plus the reduced Luxenburger basis.
+var defaultBasisSelection = BasisSelection{Exact: "duquenne-guigues", Approximate: "luxenburger"}
+
+// withDefaults fills empty slots with the paper's default pair.
+func (b BasisSelection) withDefaults() BasisSelection {
+	if b.Exact == "" {
+		b.Exact = defaultBasisSelection.Exact
+	}
+	if b.Approximate == "" {
+		b.Approximate = defaultBasisSelection.Approximate
+	}
+	return b
+}
+
 // serviceState is an immutable-after-build snapshot of everything the
 // service answers from; Swap replaces it wholesale. Only the recCache
 // stripes mutate after build, each under its own lock.
 type serviceState struct {
 	numTx    int
 	minConf  float64
+	bases    BasisSelection // provenance of recRules (canonical names)
+	res      *Result        // nil for collection-backed services
 	fc       *closedset.Set
 	recRules []Rule // basis rules (exact + approximate) for Recommend
 	recCache *recCache
@@ -54,12 +84,21 @@ type ServiceStats struct {
 	CacheEntries int
 }
 
-// NewQueryService builds a service from a mining result. minConf
-// filters the approximate basis rules served by Recommend; Support and
-// Confidence are unaffected by it (they derive exact measures from the
-// closed itemsets).
+// NewQueryService builds a service from a mining result, serving the
+// paper's default basis pair (Duquenne–Guigues + reduced Luxenburger).
+// minConf filters the approximate basis rules served by Recommend;
+// Support and Confidence are unaffected by it (they derive exact
+// measures from the closed itemsets).
 func NewQueryService(res *Result, minConf float64) (*QueryService, error) {
-	st, err := stateFromResult(res, minConf)
+	return NewQueryServiceWithBases(res, minConf, BasisSelection{})
+}
+
+// NewQueryServiceWithBases is NewQueryService with an explicit basis
+// pair: Recommend serves the rules of the named exact and approximate
+// bases instead of the defaults. Generator-based bases ("generic",
+// "informative") require a generator-tracking miner.
+func NewQueryServiceWithBases(res *Result, minConf float64, sel BasisSelection) (*QueryService, error) {
+	st, err := stateFromResult(res, minConf, sel)
 	if err != nil {
 		return nil, err
 	}
@@ -82,23 +121,31 @@ func NewQueryServiceFromCollection(col *ClosedCollection, minConf float64) (*Que
 	return qs, nil
 }
 
-func stateFromResult(res *Result, minConf float64) (*serviceState, error) {
+func stateFromResult(res *Result, minConf float64, sel BasisSelection) (*serviceState, error) {
 	if res == nil {
 		return nil, fmt.Errorf("closedrules: nil Result")
 	}
-	if minConf < 0 || minConf > 1 {
+	if !(minConf >= 0 && minConf <= 1) { // negated AND also rejects NaN
 		return nil, fmt.Errorf("closedrules: minConf %v outside [0,1]", minConf)
 	}
-	bases, err := res.Bases(minConf)
+	sel = sel.withDefaults()
+	ctx := context.Background()
+	exact, err := res.Basis(ctx, sel.Exact)
 	if err != nil {
 		return nil, err
 	}
-	recRules := make([]Rule, 0, bases.Size())
-	recRules = append(recRules, bases.Exact...)
-	recRules = append(recRules, bases.Approximate...)
+	approx, err := res.Basis(ctx, sel.Approximate, WithMinConfidence(minConf))
+	if err != nil {
+		return nil, err
+	}
+	recRules := make([]Rule, 0, exact.Len()+approx.Len())
+	recRules = append(recRules, exact.Rules...)
+	recRules = append(recRules, approx.Rules...)
 	return &serviceState{
 		numTx:    res.Dataset().NumTransactions(),
 		minConf:  minConf,
+		bases:    BasisSelection{Exact: exact.Basis, Approximate: approx.Basis},
+		res:      res,
 		fc:       res.fc,
 		recRules: recRules,
 		recCache: newRecCache(),
@@ -109,16 +156,18 @@ func stateFromCollection(col *ClosedCollection, minConf float64) (*serviceState,
 	if col == nil {
 		return nil, fmt.Errorf("closedrules: nil ClosedCollection")
 	}
-	if minConf < 0 || minConf > 1 {
+	if !(minConf >= 0 && minConf <= 1) { // negated AND also rejects NaN
 		return nil, fmt.Errorf("closedrules: minConf %v outside [0,1]", minConf)
 	}
 	var recRules []Rule
+	bases := BasisSelection{Approximate: "luxenburger"}
 	if len(col.set.AllGenerators()) > 0 {
 		exact, err := col.GenericBasis()
 		if err != nil {
 			return nil, err
 		}
 		recRules = append(recRules, exact...)
+		bases.Exact = "generic"
 	}
 	approx, err := col.LuxenburgerReduction(minConf)
 	if err != nil {
@@ -128,6 +177,7 @@ func stateFromCollection(col *ClosedCollection, minConf float64) (*serviceState,
 	return &serviceState{
 		numTx:    col.NumTransactions(),
 		minConf:  minConf,
+		bases:    bases,
 		fc:       col.set,
 		recRules: recRules,
 		recCache: newRecCache(),
@@ -135,13 +185,14 @@ func stateFromCollection(col *ClosedCollection, minConf float64) (*serviceState,
 }
 
 // Swap atomically replaces the served data with a freshly mined
-// result, keeping the service's confidence threshold. In-flight
-// queries finish against the old snapshot; new queries see the new
-// one. The expensive basis construction happens before the pointer is
-// published, so queries are never blocked on a re-mine. The
-// recommendation cache starts empty in the new snapshot.
+// result, keeping the service's confidence threshold and basis
+// selection. In-flight queries finish against the old snapshot; new
+// queries see the new one. The expensive basis construction happens
+// before the pointer is published, so queries are never blocked on a
+// re-mine. The recommendation cache starts empty in the new snapshot.
 func (qs *QueryService) Swap(res *Result) error {
-	st, err := stateFromResult(res, qs.st.Load().minConf)
+	cur := qs.st.Load()
+	st, err := stateFromResult(res, cur.minConf, cur.bases)
 	if err != nil {
 		return err
 	}
@@ -174,6 +225,42 @@ func (qs *QueryService) NumTransactions() int {
 // approximate basis.
 func (qs *QueryService) MinConfidence() float64 {
 	return qs.st.Load().minConf
+}
+
+// ServedBases returns the basis pair the current snapshot serves
+// Recommend from. For a collection-backed service without generators
+// the Exact slot is empty (no exact basis is derivable).
+func (qs *QueryService) ServedBases() BasisSelection {
+	return qs.st.Load().bases
+}
+
+// BasisRules constructs the named basis from the snapshot currently
+// being served, at the given confidence threshold — the query-side
+// door to every registered basis (the HTTP layer's /rules?basis=).
+// It requires a result-backed service (NewQueryService or Swap); a
+// collection-backed snapshot cannot build arbitrary bases and errors.
+// Outputs are memoized on the snapshot's Result, so repeated requests
+// for one basis are cheap; callers must not mutate the returned rules.
+func (qs *QueryService) BasisRules(ctx context.Context, name string, minConf float64) (*RuleSet, error) {
+	rs, _, err := qs.BasisRulesWithN(ctx, name, minConf)
+	return rs, err
+}
+
+// BasisRulesWithN is BasisRules plus the transaction count of the
+// snapshot that answered (see RuleWithN).
+func (qs *QueryService) BasisRulesWithN(ctx context.Context, name string, minConf float64) (*RuleSet, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	st := qs.st.Load()
+	if st.res == nil {
+		return nil, 0, fmt.Errorf("closedrules: basis construction needs the mining result; this service was built from a detached collection")
+	}
+	rs, err := st.res.Basis(ctx, name, WithMinConfidence(minConf))
+	if err != nil {
+		return nil, 0, err
+	}
+	return rs, st.numTx, nil
 }
 
 // NumRules returns the number of basis rules available to Recommend.

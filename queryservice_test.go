@@ -207,6 +207,105 @@ func TestQueryServiceFromCollection(t *testing.T) {
 	}
 }
 
+func TestQueryServiceServedBases(t *testing.T) {
+	qs := classicService(t)
+	sel := qs.ServedBases()
+	if sel.Exact != "duquenne-guigues" || sel.Approximate != "luxenburger" {
+		t.Errorf("ServedBases = %+v, want the paper's default pair", sel)
+	}
+}
+
+func TestQueryServiceWithBases(t *testing.T) {
+	ctx := context.Background()
+	res, err := MineContext(ctx, classic(t), WithMinSupport(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := NewQueryServiceWithBases(res, 0.5, BasisSelection{Exact: "generic", Approximate: "informative"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := qs.ServedBases()
+	if sel.Exact != "generic" || sel.Approximate != "informative" {
+		t.Errorf("ServedBases = %+v, want generic/informative", sel)
+	}
+	// generic (7) + informative reduced at 0.5 (7).
+	if qs.NumRules() != 14 {
+		t.Errorf("NumRules = %d, want 14", qs.NumRules())
+	}
+	// The selection survives a hot swap.
+	res2, err := MineContext(ctx, classic(t), WithMinSupport(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := qs.Swap(res2); err != nil {
+		t.Fatal(err)
+	}
+	if sel := qs.ServedBases(); sel.Exact != "generic" || sel.Approximate != "informative" {
+		t.Errorf("ServedBases after Swap = %+v", sel)
+	}
+	// A generator basis over a generator-less miner fails at build.
+	resCharm, err := MineContext(ctx, classic(t), WithMinSupport(0.4), WithAlgorithm("charm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewQueryServiceWithBases(resCharm, 0.5, BasisSelection{Exact: "generic"}); err == nil {
+		t.Error("generic basis over charm accepted")
+	}
+	if _, err := NewQueryServiceWithBases(res, 0.5, BasisSelection{Exact: "bogus"}); err == nil {
+		t.Error("unknown basis accepted")
+	}
+}
+
+func TestQueryServiceBasisRules(t *testing.T) {
+	qs := classicService(t)
+	ctx := context.Background()
+	rs, err := qs.BasisRules(ctx, "luxenburger", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Basis != "luxenburger" || rs.Len() != 5 {
+		t.Errorf("BasisRules(luxenburger, 0.5) = (%q, %d), want (luxenburger, 5)", rs.Basis, rs.Len())
+	}
+	if _, err := qs.BasisRules(ctx, "bogus", 0.5); err == nil {
+		t.Error("unknown basis accepted")
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := qs.BasisRules(cancelled, "luxenburger", 0.5); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled BasisRules err = %v", err)
+	}
+}
+
+func TestQueryServiceBasisRulesFromCollection(t *testing.T) {
+	ctx := context.Background()
+	res, err := MineContext(ctx, classic(t), WithMinSupport(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.SaveClosedItemsets(&buf); err != nil {
+		t.Fatal(err)
+	}
+	col, err := ReadClosedCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := NewQueryServiceFromCollection(col, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A collection-backed snapshot records its served pair but cannot
+	// build arbitrary bases (no mining result behind it).
+	sel := qs.ServedBases()
+	if sel.Exact != "generic" || sel.Approximate != "luxenburger" {
+		t.Errorf("ServedBases = %+v, want generic/luxenburger", sel)
+	}
+	if _, err := qs.BasisRules(ctx, "luxenburger", 0.5); err == nil {
+		t.Error("BasisRules on a collection-backed service accepted")
+	}
+}
+
 // TestQueryServiceConcurrent hammers one service from 8 goroutines
 // while a ninth keeps hot-swapping fresh results in; run under -race
 // this is the serving-layer safety proof.

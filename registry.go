@@ -1,7 +1,12 @@
 package closedrules
 
 import (
+	"closedrules/internal/basis"
 	"closedrules/internal/miner"
+
+	// The built-in bases register themselves from builtin's init
+	// function, exactly as the miners below do.
+	_ "closedrules/internal/basis/builtin"
 
 	// The built-in miners register themselves from their init
 	// functions; these imports are what make them reachable by name.
@@ -51,3 +56,42 @@ func ClosedMiners() []string { return miner.ClosedNames() }
 
 // FrequentMiners returns the registered frequent-miner names, sorted.
 func FrequentMiners() []string { return miner.FrequentNames() }
+
+// BasisBuilder is a pluggable rule-basis construction, reachable by
+// name through Result.Basis. Register an implementation with
+// RegisterBasis to plug a new basis — e.g. a closure-operator basis or
+// a simultaneous lattice+bases construction — into the library, the
+// armine CLI and the HTTP server without touching any of them.
+// Implementations must return rules in canonical sorted order, honor
+// ctx cancellation, and be safe for concurrent use.
+type BasisBuilder = basis.Builder
+
+// BasisRequirements declares what a basis construction needs from the
+// mining result (generators, the iceberg lattice, the frequent-itemset
+// family); the registry verifies them before every Build.
+type BasisRequirements = basis.Requirements
+
+// BasisInput carries the mining result's components into a
+// BasisBuilder: the closed itemsets, |O|, and lazy thunks for the
+// lattice and the frequent-itemset family.
+type BasisInput = basis.BuildInput
+
+// RuleSet is a constructed rule basis with its provenance: the basis
+// registry name, the thresholds it was built at, and the rules in
+// canonical order.
+type RuleSet = basis.RuleSet
+
+// RegisterBasis makes a rule-basis construction available under the
+// given name, with the same panicking contract as RegisterClosedMiner:
+// registration is meant to run from an init function, where a nil
+// builder, an empty name or a duplicate is a programming error.
+func RegisterBasis(name string, b BasisBuilder) { basis.Register(name, b) }
+
+// LookupBasis resolves a registered basis builder by name; the error
+// of an unknown name lists the registered alternatives. Matching
+// ignores case, hyphens and underscores, so "Duquenne-Guigues" and
+// "duquenneguigues" are equivalent.
+func LookupBasis(name string) (BasisBuilder, error) { return basis.Lookup(name) }
+
+// Bases returns the registered basis names, sorted.
+func Bases() []string { return basis.Names() }

@@ -3,6 +3,7 @@ package closedrules
 import (
 	"context"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 )
@@ -141,21 +142,102 @@ func TestTracksGenerators(t *testing.T) {
 	}
 }
 
-func TestMineFrequentWrappersIgnoreAlgorithmField(t *testing.T) {
-	// The legacy MineFrequent* functions never looked at
-	// Options.Algorithm; the compatibility wrappers must not start
-	// rejecting values the old code accepted.
-	d := classic(t)
-	fi, err := MineFrequentEclat(d, Options{MinSupport: 0.4, Algorithm: Algorithm(7)})
+func TestBasisRegistryHasAllBuiltins(t *testing.T) {
+	// Subset rather than exact equality: other tests in this package
+	// exercise RegisterBasis with extension bases, and the registry is
+	// process-global.
+	got := Bases()
+	if !sort.StringsAreSorted(got) {
+		t.Errorf("Bases() not sorted: %v", got)
+	}
+	for _, want := range []string{"duquenne-guigues", "generic", "informative", "luxenburger"} {
+		found := false
+		for _, n := range got {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Bases() = %v, missing %q", got, want)
+		}
+	}
+}
+
+func TestBasisRegistryLookup(t *testing.T) {
+	// Canonical names, hyphenated and cased variants all resolve.
+	for _, name := range []string{
+		"duquenne-guigues", "duquenneguigues", "Duquenne-Guigues", "DUQUENNE_GUIGUES",
+		"luxenburger", "Luxenburger", "generic", "informative",
+	} {
+		if _, err := LookupBasis(name); err != nil {
+			t.Errorf("LookupBasis(%q): %v", name, err)
+		}
+	}
+}
+
+func TestBasisRegistryUnknownName(t *testing.T) {
+	_, err := LookupBasis("bogus")
+	if err == nil {
+		t.Fatal("unknown basis accepted")
+	}
+	if !strings.Contains(err.Error(), "duquenne-guigues") || !strings.Contains(err.Error(), "luxenburger") {
+		t.Errorf("error does not list registered bases: %v", err)
+	}
+	// The same error surfaces from the construction entry point.
+	res, err := MineContext(context.Background(), classic(t), WithMinSupport(0.4))
 	if err != nil {
-		t.Fatalf("MineFrequentEclat with stray Algorithm: %v", err)
+		t.Fatal(err)
 	}
-	if len(fi) != 15 {
-		t.Errorf("|FI| = %d, want 15", len(fi))
+	if _, err := res.Basis(context.Background(), "bogus"); err == nil {
+		t.Error("Result.Basis with unknown basis accepted")
 	}
-	// Mine, by contrast, always validated it.
-	if _, err := Mine(d, Options{MinSupport: 0.4, Algorithm: Algorithm(7)}); err == nil {
-		t.Error("Mine with unknown Algorithm accepted")
+}
+
+func TestRegisterBasisDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate basis registration did not panic")
+		}
+	}()
+	b, err := LookupBasis("luxenburger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterBasis("luxenburger", b)
+}
+
+// customBasis is a registry-extension probe: a basis that serves only
+// the top closed itemset's exact expansion, registered under a name no
+// built-in uses.
+type customBasis struct{}
+
+func (customBasis) Name() string                    { return "test-custom" }
+func (customBasis) Requirements() BasisRequirements { return BasisRequirements{} }
+func (customBasis) Build(ctx context.Context, in BasisInput) (RuleSet, error) {
+	return RuleSet{Rules: nil}, nil
+}
+
+func TestRegisterBasisExtension(t *testing.T) {
+	RegisterBasis("test-custom", customBasis{})
+	found := false
+	for _, n := range Bases() {
+		if n == "test-custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Bases() = %v, missing test-custom", Bases())
+	}
+	res, err := MineContext(context.Background(), classic(t), WithMinSupport(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := res.Basis(context.Background(), "Test-Custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Basis != "test-custom" {
+		t.Errorf("provenance Basis = %q, want test-custom", rs.Basis)
 	}
 }
 

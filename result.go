@@ -1,11 +1,14 @@
 package closedrules
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 
 	"closedrules/internal/apriori"
+	"closedrules/internal/basis"
 	"closedrules/internal/closedset"
 	"closedrules/internal/core"
 	"closedrules/internal/itemset"
@@ -28,6 +31,11 @@ type Result struct {
 	famErr  error
 	latOnce sync.Once
 	lat     *lattice.Lattice // lazily built
+
+	// basisCache memoizes Basis outputs per (basis, thresholds) so a
+	// serving layer can re-request the same basis without re-walking
+	// the lattice. Values are *RuleSet; keys come from basisCacheKey.
+	basisCache sync.Map
 }
 
 // Dataset returns the mined dataset.
@@ -41,8 +49,8 @@ func (r *Result) MinSupport() int { return r.minSup }
 func (r *Result) MinerName() string { return r.minerName }
 
 // TracksGenerators reports whether the producing miner recorded the
-// minimal generators of each closed itemset (required by GenericBasis
-// and InformativeBasis).
+// minimal generators of each closed itemset (required by the generic
+// and informative bases).
 func (r *Result) TracksGenerators() bool { return r.hasGens }
 
 // ClosedItemsets returns the frequent closed itemsets (FC), including
@@ -116,12 +124,92 @@ func (r *Result) LatticeEdges() [][2]ClosedItemset {
 	return out
 }
 
-// Bases holds the paper's two bases: Exact is the Duquenne–Guigues
+// buildInput assembles the registry-facing view of this result with
+// the given construction options.
+func (r *Result) buildInput(cfg basisConfig) basis.BuildInput {
+	return basis.BuildInput{
+		NumTx:                  r.d.NumTransactions(),
+		FC:                     r.fc,
+		HasGenerators:          r.hasGens,
+		MinerName:              r.minerName,
+		MinConfidence:          cfg.minConf,
+		Reduced:                cfg.reduced,
+		IncludeEmptyAntecedent: cfg.includeEmpty,
+		Lattice:                r.latticeOf,
+		Family:                 r.family,
+	}
+}
+
+// basisCacheKey is the memoization key for one unfiltered Basis
+// configuration. The confidence threshold is deliberately absent: only
+// threshold-0 builds are cached, so the key space is bounded by
+// (basis, variant) and a client sweeping minconf values cannot grow
+// the cache.
+func basisCacheKey(name string, cfg basisConfig) string {
+	return basis.Canonical(name) + "|" +
+		strconv.FormatBool(cfg.reduced) + "|" +
+		strconv.FormatBool(cfg.includeEmpty)
+}
+
+// Basis constructs the named rule basis from this result — the one way
+// to obtain any basis, built-in or registered via RegisterBasis. The
+// name is resolved through the basis registry (matching ignores case,
+// hyphens and underscores; Bases lists what is registered), thresholds
+// come from the options (WithMinConfidence, WithReduction), and the
+// returned RuleSet carries the provenance: basis name, thresholds and
+// rules. The unfiltered construction is memoized per (basis, variant)
+// on the Result and the confidence threshold applied as a cheap
+// per-rule filter on each call, so serving layers can re-request a
+// basis at any threshold for near-free; callers must not mutate the
+// returned rules.
+func (r *Result) Basis(ctx context.Context, name string, opts ...BasisOption) (*RuleSet, error) {
+	cfg, err := buildBasisConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.basisWith(ctx, name, cfg)
+}
+
+// basisWith is Basis after option resolution; internal callers (the
+// derivation engine, the legacy wrappers) use it to reach the
+// IncludeEmptyAntecedent variants the exported options do not expose.
+// Only the unfiltered (threshold-0) construction is built and cached;
+// the requested confidence threshold is applied as a per-rule filter
+// on the way out, per the Builder contract. This keeps the cache key
+// space bounded by (basis, variant) no matter how many distinct
+// thresholds callers — including HTTP clients via /rules?basis= —
+// request.
+func (r *Result) basisWith(ctx context.Context, name string, cfg basisConfig) (*RuleSet, error) {
+	base := cfg
+	base.minConf = 0
+	key := basisCacheKey(name, base)
+	cached, ok := r.basisCache.Load(key)
+	if !ok {
+		rs, err := basis.Build(ctx, name, r.buildInput(base))
+		if err != nil {
+			return nil, err
+		}
+		cached, _ = r.basisCache.LoadOrStore(key, &rs)
+	}
+	full := cached.(*RuleSet)
+	if cfg.minConf == 0 {
+		return full, nil
+	}
+	filtered := *full
+	filtered.MinConfidence = cfg.minConf
+	filtered.Rules = rules.MinConfidence(full.Rules, cfg.minConf)
+	return &filtered, nil
+}
+
+// BasisPair holds the paper's two bases: Exact is the Duquenne–Guigues
 // basis (Theorem 1) and Approximate the transitive reduction of the
 // Luxenburger basis at the chosen confidence (Theorem 2). Together
 // they are a minimal non-redundant generating set for all valid rules.
-type Bases struct {
-	Exact       []Rule
+type BasisPair struct {
+	// Exact is the Duquenne–Guigues basis (confidence-1 rules).
+	Exact []Rule
+	// Approximate is the reduced Luxenburger basis at the requested
+	// confidence.
 	Approximate []Rule
 
 	numTx int
@@ -131,69 +219,83 @@ type Bases struct {
 	luxAll []Rule
 }
 
-// Bases computes both bases. minConf filters the approximate basis;
-// exact rules always have confidence 1. Rules with an empty antecedent
-// (possible only for the exact rule ∅ → h(∅) and approximate rules
-// out of an empty bottom) are excluded from the exported lists but
-// kept internally for derivation.
-func (r *Result) Bases(minConf float64) (*Bases, error) {
-	fam, err := r.family()
+// Bases computes both of the paper's bases. minConf filters the
+// approximate basis; exact rules always have confidence 1. Rules with
+// an empty antecedent (possible only for the exact rule ∅ → h(∅) and
+// approximate rules out of an empty bottom) are excluded from the
+// exported lists but kept internally for derivation.
+//
+// Deprecated: use Basis(ctx, "duquenne-guigues") and Basis(ctx,
+// "luxenburger", WithMinConfidence(minConf)), which resolve through
+// the basis registry and carry provenance.
+func (r *Result) Bases(minConf float64) (*BasisPair, error) {
+	if !(minConf >= 0 && minConf <= 1) { // negated AND also rejects NaN
+		return nil, fmt.Errorf("closedrules: minConfidence %v outside [0,1]", minConf)
+	}
+	ctx := context.Background()
+	dg, err := r.basisWith(ctx, "duquenne-guigues", basisConfig{reduced: true, includeEmpty: true})
 	if err != nil {
 		return nil, err
 	}
-	dg, err := core.DuquenneGuigues(r.d.NumTransactions(), fam, r.fc)
+	// One lattice walk builds the unfiltered diagram; the displayed
+	// basis is filtered from it in-process rather than re-walked.
+	lux, err := r.basisWith(ctx, "luxenburger", basisConfig{reduced: true, includeEmpty: true})
 	if err != nil {
 		return nil, err
 	}
-	lat := r.latticeOf()
-	luxAll, err := core.LuxenburgerReduction(lat, r.fc, core.LuxenburgerOptions{
-		IncludeEmptyAntecedent: true,
+	approximate := rules.Filter(lux.Rules, func(ru Rule) bool {
+		return ru.Antecedent.Len() > 0 && ru.Confidence() >= minConf
 	})
-	if err != nil {
-		return nil, err
-	}
-	filtered, err := core.LuxenburgerReduction(lat, r.fc, core.LuxenburgerOptions{
-		MinConfidence: minConf,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Bases{
-		Exact:       core.DropEmptyAntecedent(dg),
-		Approximate: filtered,
+	return &BasisPair{
+		Exact:       core.DropEmptyAntecedent(dg.Rules),
+		Approximate: approximate,
 		numTx:       r.d.NumTransactions(),
-		dgAll:       dg,
-		luxAll:      luxAll,
+		dgAll:       dg.Rules,
+		luxAll:      lux.Rules,
 	}, nil
 }
 
 // LuxenburgerFull returns the unreduced Luxenburger basis: one rule
 // per comparable pair of frequent closed itemsets.
+//
+// Deprecated: use Basis(ctx, "luxenburger", WithMinConfidence(minConf),
+// WithReduction(false)).
 func (r *Result) LuxenburgerFull(minConf float64) ([]Rule, error) {
-	return core.LuxenburgerFull(r.fc, core.LuxenburgerOptions{MinConfidence: minConf})
+	rs, err := r.Basis(context.Background(), "luxenburger",
+		WithMinConfidence(minConf), WithReduction(false))
+	if err != nil {
+		return nil, err
+	}
+	return rs.Rules, nil
 }
 
 // GenericBasis returns the generic basis for exact rules (minimal-
 // generator antecedents), the follow-on refinement of the same
 // authors. Requires a generator-tracking miner (close, a-close,
 // titanic).
+//
+// Deprecated: use Basis(ctx, "generic").
 func (r *Result) GenericBasis() ([]Rule, error) {
-	if !r.hasGens {
-		return nil, fmt.Errorf("closedrules: miner %q does not track generators; mine with close, a-close or titanic", r.minerName)
+	rs, err := r.Basis(context.Background(), "generic")
+	if err != nil {
+		return nil, err
 	}
-	return core.GenericBasis(r.fc)
+	return rs.Rules, nil
 }
 
 // InformativeBasis returns the informative basis for approximate rules
 // (minimal-generator antecedents, closed-itemset consequents); reduced
 // restricts consequents to lattice covers.
+//
+// Deprecated: use Basis(ctx, "informative", WithMinConfidence(minConf),
+// WithReduction(reduced)).
 func (r *Result) InformativeBasis(minConf float64, reduced bool) ([]Rule, error) {
-	if !r.hasGens {
-		return nil, fmt.Errorf("closedrules: miner %q does not track generators; mine with close, a-close or titanic", r.minerName)
+	rs, err := r.Basis(context.Background(), "informative",
+		WithMinConfidence(minConf), WithReduction(reduced))
+	if err != nil {
+		return nil, err
 	}
-	return core.InformativeBasis(r.latticeOf(), r.fc, reduced, core.LuxenburgerOptions{
-		MinConfidence: minConf,
-	})
+	return rs.Rules, nil
 }
 
 // PseudoClosedItemsets returns the frequent pseudo-closed itemsets —
@@ -220,23 +322,46 @@ func (r *Result) PseudoClosedItemsets() ([]CountedItemset, error) {
 type Engine = core.Engine
 
 // Engine builds a derivation engine from the bases.
-func (b *Bases) Engine() (*Engine, error) {
+func (b *BasisPair) Engine() (*Engine, error) {
 	return core.NewEngine(b.numTx, b.dgAll, b.luxAll)
 }
 
 // Size returns |Exact| + |Approximate|.
-func (b *Bases) Size() int { return len(b.Exact) + len(b.Approximate) }
+func (b *BasisPair) Size() int { return len(b.Exact) + len(b.Approximate) }
+
+// NewEngine builds a derivation engine from an exact and an
+// approximate rule set, the registry-era counterpart of
+// BasisPair.Engine. For complete derivability the sets must be
+// unfiltered (confidence 0) and the exact set a Duquenne–Guigues
+// basis; Result.DerivationEngine assembles exactly that.
+func NewEngine(numTx int, exact, approximate *RuleSet) (*Engine, error) {
+	if exact == nil || approximate == nil {
+		return nil, fmt.Errorf("closedrules: NewEngine with nil rule set")
+	}
+	return core.NewEngine(numTx, exact.Rules, approximate.Rules)
+}
+
+// DerivationEngine builds the derivation engine from the unfiltered
+// Duquenne–Guigues and reduced Luxenburger bases of this result — the
+// complete condensed representation of Theorems 1 and 2.
+func (r *Result) DerivationEngine(ctx context.Context) (*Engine, error) {
+	dg, err := r.basisWith(ctx, "duquenne-guigues", basisConfig{reduced: true, includeEmpty: true})
+	if err != nil {
+		return nil, err
+	}
+	lux, err := r.basisWith(ctx, "luxenburger", basisConfig{reduced: true, includeEmpty: true})
+	if err != nil {
+		return nil, err
+	}
+	return NewEngine(r.d.NumTransactions(), dg, lux)
+}
 
 // DeriveAllRules regenerates the complete set of valid rules at the
 // given confidence from the condensed representation alone (closed
 // itemsets + bases) — the database is not consulted. It must return
 // exactly what AllRules measures; the test suite asserts this.
 func (r *Result) DeriveAllRules(minConf float64) ([]Rule, error) {
-	bases, err := r.Bases(0)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := bases.Engine()
+	eng, err := r.DerivationEngine(context.Background())
 	if err != nil {
 		return nil, err
 	}

@@ -6,7 +6,7 @@ import (
 	"testing"
 )
 
-func minedBases(t *testing.T) (*Result, *Bases) {
+func minedBases(t *testing.T) (*Result, *BasisPair) {
 	t.Helper()
 	d := classic(t)
 	res, err := MineContext(context.Background(), d, WithMinSupport(0.4))

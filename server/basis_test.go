@@ -1,0 +1,108 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"closedrules"
+)
+
+func TestBasesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var out basesJSON
+	getJSON(t, ts.URL+"/bases", http.StatusOK, &out)
+	for _, want := range []string{"duquenne-guigues", "generic", "informative", "luxenburger"} {
+		found := false
+		for _, n := range out.Registered {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registered = %v, missing %q", out.Registered, want)
+		}
+	}
+	if out.Serving.Exact != "duquenne-guigues" || out.Serving.Approximate != "luxenburger" {
+		t.Errorf("serving = %+v, want the default pair", out.Serving)
+	}
+	if out.MinConfidence != 0.5 {
+		t.Errorf("minConfidence = %v, want 0.5", out.MinConfidence)
+	}
+}
+
+func TestRulesBasisParam(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Every registered built-in basis is reachable by name; variants in
+	// spelling resolve through the registry's canonicalization.
+	for name, wantCount := range map[string]int{
+		"duquenne-guigues": 3,
+		"duquenneguigues":  3,
+		"generic":          7,
+		"luxenburger":      5,
+		"informative":      7,
+	} {
+		var out basisRulesJSON
+		getJSON(t, ts.URL+"/rules?basis="+name, http.StatusOK, &out)
+		if out.Count != wantCount || len(out.Rules) != wantCount {
+			t.Errorf("basis %q: count = %d (|rules| = %d), want %d", name, out.Count, len(out.Rules), wantCount)
+		}
+		if out.MinConfidence != 0.5 {
+			t.Errorf("basis %q: minConfidence = %v, want the service default 0.5", name, out.MinConfidence)
+		}
+	}
+}
+
+func TestRulesBasisMinconfOverride(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var out basisRulesJSON
+	getJSON(t, ts.URL+"/rules?basis=luxenburger&minconf=0.7", http.StatusOK, &out)
+	if out.Basis != "luxenburger" || out.MinConfidence != 0.7 {
+		t.Errorf("provenance = (%q, %v), want (luxenburger, 0.7)", out.Basis, out.MinConfidence)
+	}
+	if out.Count != 3 {
+		t.Errorf("count = %d, want 3 at conf ≥ 0.7", out.Count)
+	}
+	for _, r := range out.Rules {
+		if r.Confidence < 0.7 {
+			t.Errorf("rule %v below the requested threshold", r)
+		}
+	}
+}
+
+func TestRulesBasisErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Unknown names and malformed thresholds are client errors. NaN
+	// parses as a float but must be rejected: it passes ordered range
+	// comparisons and is unencodable as JSON.
+	getJSON(t, ts.URL+"/rules?basis=bogus", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/rules?basis=luxenburger&minconf=2", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/rules?basis=luxenburger&minconf=abc", http.StatusBadRequest, nil)
+	getJSON(t, ts.URL+"/rules?basis=luxenburger&minconf=NaN", http.StatusBadRequest, nil)
+}
+
+func TestHealthzReportsServedBases(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var out healthJSON
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &out)
+	if out.Serving.Exact != "duquenne-guigues" || out.Serving.Approximate != "luxenburger" {
+		t.Errorf("healthz serving = %+v, want the default pair", out.Serving)
+	}
+}
+
+func TestServerWithExplicitBasisPair(t *testing.T) {
+	res := mineClassic(t, 1)
+	qs, err := closedrules.NewQueryServiceWithBases(res, 0.5,
+		closedrules.BasisSelection{Exact: "generic", Approximate: "informative"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(qs, Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	var out basesJSON
+	getJSON(t, ts.URL+"/bases", http.StatusOK, &out)
+	if out.Serving.Exact != "generic" || out.Serving.Approximate != "informative" {
+		t.Errorf("serving = %+v, want generic/informative", out.Serving)
+	}
+}

@@ -10,7 +10,9 @@
 //	GET  /support?items=1,2            supp(X) from the closed itemsets
 //	GET  /confidence?antecedent=2&consequent=0
 //	GET  /rules?antecedent=2&consequent=0   the fully measured rule
+//	GET  /rules?basis=luxenburger[&minconf=0.5]  a full basis by registry name
 //	POST /recommend                    {"observed":[1],"k":3} → ranked rules
+//	GET  /bases                        registered bases + the served pair
 //	GET  /healthz                      liveness + serving snapshot summary
 //	GET  /metrics                      Prometheus text format
 //	POST /admin/reload                 re-mine via Config.Reload, then Swap
@@ -87,7 +89,7 @@ type Server struct {
 
 // endpointNames are the metric label values, in exposition order.
 var endpointNames = []string{
-	"support", "confidence", "rules", "recommend", "healthz", "metrics", "reload",
+	"support", "confidence", "rules", "recommend", "bases", "healthz", "metrics", "reload",
 }
 
 // New builds a Server around the service, applying Config defaults.
@@ -107,6 +109,7 @@ func New(qs *closedrules.QueryService, cfg Config) *Server {
 	mux.HandleFunc("GET /confidence", s.instrument("confidence", s.handleConfidence))
 	mux.HandleFunc("GET /rules", s.instrument("rules", s.handleRules))
 	mux.HandleFunc("POST /recommend", s.instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("GET /bases", s.instrument("bases", s.handleBases))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("POST /admin/reload", s.instrument("reload", s.handleReload))
@@ -336,7 +339,58 @@ func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// basisRulesJSON is the wire form of a full basis listing.
+type basisRulesJSON struct {
+	Basis         string     `json:"basis"`
+	MinConfidence float64    `json:"minConfidence"`
+	Count         int        `json:"count"`
+	Rules         []ruleJSON `json:"rules"`
+}
+
+// handleBasisRules answers /rules?basis=NAME[&minconf=C]: the complete
+// rule list of the named basis, built from the served snapshot.
+// minconf defaults to the service's confidence threshold.
+func (s *Server) handleBasisRules(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("basis")
+	if _, err := closedrules.LookupBasis(name); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	minConf := s.qs.MinConfidence()
+	if raw := r.URL.Query().Get("minconf"); raw != "" {
+		c, err := strconv.ParseFloat(raw, 64)
+		// The negated-AND form also rejects NaN ("minconf=NaN" parses
+		// without error but passes every ordered comparison).
+		if err != nil || !(c >= 0 && c <= 1) {
+			writeError(w, http.StatusBadRequest, "minconf: want a number in [0,1]")
+			return
+		}
+		minConf = c
+	}
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	rs, numTx, err := s.qs.BasisRulesWithN(ctx, name, minConf)
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	out := basisRulesJSON{
+		Basis:         rs.Basis,
+		MinConfidence: rs.MinConfidence,
+		Count:         rs.Len(),
+		Rules:         make([]ruleJSON, rs.Len()),
+	}
+	for i, rule := range rs.Rules {
+		out.Rules[i] = ruleToJSON(rule, numTx)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Has("basis") {
+		s.handleBasisRules(w, r)
+		return
+	}
 	ant, ok := itemsParam(w, r, "antecedent")
 	if !ok {
 		return
@@ -404,19 +458,47 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// servingJSON names the basis pair the snapshot serves queries from.
+type servingJSON struct {
+	Exact       string `json:"exact,omitempty"`
+	Approximate string `json:"approximate"`
+}
+
+// basesJSON is the wire form of GET /bases: what is registered and
+// what this service is serving.
+type basesJSON struct {
+	Registered    []string    `json:"registered"`
+	Serving       servingJSON `json:"serving"`
+	MinConfidence float64     `json:"minConfidence"`
+}
+
+// handleBases answers GET /bases with the registered basis names and
+// the pair the current snapshot serves Recommend from.
+func (s *Server) handleBases(w http.ResponseWriter, r *http.Request) {
+	served := s.qs.ServedBases()
+	writeJSON(w, http.StatusOK, basesJSON{
+		Registered:    closedrules.Bases(),
+		Serving:       servingJSON{Exact: served.Exact, Approximate: served.Approximate},
+		MinConfidence: s.qs.MinConfidence(),
+	})
+}
+
 type healthJSON struct {
-	Status        string  `json:"status"`
-	Transactions  int     `json:"transactions"`
-	BasisRules    int     `json:"basisRules"`
-	MinConfidence float64 `json:"minConfidence"`
-	Swaps         uint64  `json:"swaps"`
+	Status        string      `json:"status"`
+	Transactions  int         `json:"transactions"`
+	BasisRules    int         `json:"basisRules"`
+	Serving       servingJSON `json:"serving"`
+	MinConfidence float64     `json:"minConfidence"`
+	Swaps         uint64      `json:"swaps"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	served := s.qs.ServedBases()
 	writeJSON(w, http.StatusOK, healthJSON{
 		Status:        "ok",
 		Transactions:  s.qs.NumTransactions(),
 		BasisRules:    s.qs.NumRules(),
+		Serving:       servingJSON{Exact: served.Exact, Approximate: served.Approximate},
 		MinConfidence: s.qs.MinConfidence(),
 		Swaps:         s.qs.Swaps(),
 	})
