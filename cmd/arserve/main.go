@@ -7,6 +7,7 @@
 //	arserve -in data.dat -minsup 0.3 [-minconf 0.5] [-addr :8080]
 //	        [-algo close] [-exact-basis duquenne-guigues] [-approx-basis luxenburger]
 //	        [-table -sep , -header]
+//	        [-refresh 30s] [-refresh-timeout 1m]
 //	        [-request-timeout 5s] [-mine-timeout 0] [-max-k 100]
 //
 // Endpoints (see the server package for wire formats):
@@ -17,11 +18,17 @@
 //	POST /recommend        {"observed":[1],"k":3}
 //	GET  /healthz
 //	GET  /metrics          Prometheus text format
-//	POST /admin/reload     re-read -in, re-mine, hot-swap
+//	POST /admin/reload     force one refresh cycle now
 //
-// The input file is re-read on every /admin/reload, so replacing the
-// file on disk and POSTing to the endpoint refreshes the served rules
-// with zero downtime. SIGINT/SIGTERM trigger a graceful shutdown.
+// Data freshness is a refresh.Refresher over the input file: with
+// -refresh set, the file is watched (mtime, size, checksum) and a
+// change re-mines and hot-swaps the served snapshot with zero
+// downtime — append transactions to -in and the served rules update
+// without a restart. Without -refresh nothing polls, but POST
+// /admin/reload still runs the same cycle logic on demand. Failed
+// cycles keep the old snapshot serving and back off exponentially;
+// /healthz and /metrics report the cycle counters. SIGINT/SIGTERM
+// trigger a graceful shutdown.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"closedrules"
+	"closedrules/refresh"
 	"closedrules/server"
 )
 
@@ -49,39 +57,43 @@ func main() {
 
 // config is the parsed flag set.
 type config struct {
-	in          string
-	table       bool
-	sep         rune
-	header      bool
-	minsup      float64
-	abssup      int
-	minconf     float64
-	algo        string
-	exactBasis  string
-	approxBasis string
-	addr        string
-	reqTimeout  time.Duration
-	mineTimeout time.Duration
-	maxK        int
+	in             string
+	table          bool
+	sep            rune
+	header         bool
+	minsup         float64
+	abssup         int
+	minconf        float64
+	algo           string
+	exactBasis     string
+	approxBasis    string
+	addr           string
+	reqTimeout     time.Duration
+	mineTimeout    time.Duration
+	refresh        time.Duration
+	refreshTimeout time.Duration
+	maxK           int
 }
 
 func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("arserve", flag.ContinueOnError)
 	var (
-		in          = fs.String("in", "", "input file (.dat basket format unless -table); re-read on /admin/reload")
-		table       = fs.Bool("table", false, "input is a nominal table (one attribute per column)")
-		sep         = fs.String("sep", ",", "table column separator")
-		header      = fs.Bool("header", false, "table has a header row")
-		minsup      = fs.Float64("minsup", 0.5, "relative minimum support (0,1]")
-		abssup      = fs.Int("abssup", 0, "absolute minimum support (overrides -minsup when ≥1)")
-		minconf     = fs.Float64("minconf", 0.5, "minimum confidence [0,1] for the served approximate basis")
-		algo        = fs.String("algo", "", "closed-miner registry name (default close)")
-		exactBasis  = fs.String("exact-basis", "", "basis registry name served for exact rules (default duquenne-guigues)")
-		approxBasis = fs.String("approx-basis", "", "basis registry name served for approximate rules (default luxenburger)")
-		addr        = fs.String("addr", ":8080", "listen address")
-		reqTimeout  = fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-query deadline (negative = none)")
-		mineTimeout = fs.Duration("mine-timeout", 0, "deadline for the initial mine and each reload (0 = none)")
-		maxK        = fs.Int("max-k", server.DefaultMaxRecommend, "cap on the k of a recommend request")
+		in             = fs.String("in", "", "input file (.dat basket format unless -table); watched when -refresh is set")
+		table          = fs.Bool("table", false, "input is a nominal table (one attribute per column)")
+		sep            = fs.String("sep", ",", "table column separator")
+		header         = fs.Bool("header", false, "table has a header row")
+		minsup         = fs.Float64("minsup", 0.5, "relative minimum support (0,1]")
+		abssup         = fs.Int("abssup", 0, "absolute minimum support (overrides -minsup when ≥1)")
+		minconf        = fs.Float64("minconf", 0.5, "minimum confidence [0,1] for the served approximate basis")
+		algo           = fs.String("algo", "", "closed-miner registry name (default close)")
+		exactBasis     = fs.String("exact-basis", "", "basis registry name served for exact rules (default duquenne-guigues)")
+		approxBasis    = fs.String("approx-basis", "", "basis registry name served for approximate rules (default luxenburger)")
+		addr           = fs.String("addr", ":8080", "listen address")
+		reqTimeout     = fs.Duration("request-timeout", server.DefaultRequestTimeout, "per-query deadline (negative = none)")
+		mineTimeout    = fs.Duration("mine-timeout", 0, "deadline for the initial mine (0 = none)")
+		refreshEvery   = fs.Duration("refresh", 0, "poll the input file and re-mine on change at this interval (0 = manual /admin/reload only)")
+		refreshTimeout = fs.Duration("refresh-timeout", 0, "deadline per refresh cycle (0 = same as -mine-timeout)")
+		maxK           = fs.Int("max-k", server.DefaultMaxRecommend, "cap on the k of a recommend request")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -89,38 +101,29 @@ func parseFlags(args []string) (*config, error) {
 	if *in == "" {
 		return nil, fmt.Errorf("missing -in")
 	}
+	if *refreshEvery < 0 || *refreshTimeout < 0 {
+		return nil, fmt.Errorf("-refresh and -refresh-timeout must be non-negative")
+	}
 	r := []rune(*sep)
 	if len(r) != 1 {
 		return nil, fmt.Errorf("-sep must be a single character")
 	}
-	return &config{
+	cfg := &config{
 		in: *in, table: *table, sep: r[0], header: *header,
 		minsup: *minsup, abssup: *abssup, minconf: *minconf, algo: *algo,
 		exactBasis: *exactBasis, approxBasis: *approxBasis,
-		addr: *addr, reqTimeout: *reqTimeout, mineTimeout: *mineTimeout, maxK: *maxK,
-	}, nil
+		addr: *addr, reqTimeout: *reqTimeout, mineTimeout: *mineTimeout,
+		refresh: *refreshEvery, refreshTimeout: *refreshTimeout, maxK: *maxK,
+	}
+	if cfg.refreshTimeout == 0 {
+		cfg.refreshTimeout = cfg.mineTimeout
+	}
+	return cfg, nil
 }
 
-// load reads the input file from disk.
-func (c *config) load() (*closedrules.Dataset, error) {
-	if c.table {
-		return closedrules.ReadTableFile(c.in, c.sep, c.header)
-	}
-	return closedrules.ReadDatFile(c.in)
-}
-
-// mine re-reads the input file and mines it, under the configured
-// mine deadline. This is both the startup path and the ReloadFunc.
-func (c *config) mine(ctx context.Context) (*closedrules.Result, error) {
-	if c.mineTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, c.mineTimeout)
-		defer cancel()
-	}
-	d, err := c.load()
-	if err != nil {
-		return nil, err
-	}
+// mineOptions are the registry options shared by the initial mine and
+// every refresh cycle.
+func (c *config) mineOptions() []closedrules.MineOption {
 	opts := []closedrules.MineOption{closedrules.WithMinSupport(c.minsup)}
 	if c.abssup >= 1 {
 		opts = []closedrules.MineOption{closedrules.WithAbsoluteMinSupport(c.abssup)}
@@ -128,39 +131,83 @@ func (c *config) mine(ctx context.Context) (*closedrules.Result, error) {
 	if c.algo != "" {
 		opts = append(opts, closedrules.WithAlgorithm(c.algo))
 	}
-	return closedrules.MineContext(ctx, d, opts...)
+	return opts
 }
 
-// setup mines the initial representation and builds the HTTP server.
-func setup(ctx context.Context, args []string) (*server.Server, *config, error) {
+// source builds the file watcher the refresher polls.
+func (c *config) source() *refresh.FileSource {
+	if c.table {
+		return refresh.NewTableFileSource(c.in, c.sep, c.header)
+	}
+	return refresh.NewFileSource(c.in)
+}
+
+// mine loads the input file and mines it once, under the configured
+// initial-mine deadline. Subsequent re-mines go through the Refresher.
+func (c *config) mine(ctx context.Context, src *refresh.FileSource) (*closedrules.Result, error) {
+	if c.mineTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.mineTimeout)
+		defer cancel()
+	}
+	d, err := src.Load(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return closedrules.MineContext(ctx, d, c.mineOptions()...)
+}
+
+// setup mines the initial representation and builds the HTTP server
+// plus the refresher that keeps it fresh. The refresher is returned
+// unstarted; run starts its poll loop when -refresh is set.
+func setup(ctx context.Context, args []string) (*server.Server, *refresh.Refresher, *config, error) {
 	cfg, err := parseFlags(args)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	res, err := cfg.mine(ctx)
+	src := cfg.source()
+	res, err := cfg.mine(ctx, src)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	qs, err := closedrules.NewQueryServiceWithBases(res, cfg.minconf, closedrules.BasisSelection{
 		Exact:       cfg.exactBasis,
 		Approximate: cfg.approxBasis,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	// No ReloadTimeout: cfg.mine already applies -mine-timeout itself.
+	// The startup mine is now serving: commit its fingerprint so the
+	// first poll does not re-mine identical data.
+	src.Commit()
+	ref, err := refresh.New(qs, refresh.Config{
+		Source:      src,
+		Interval:    cfg.refresh,
+		MineTimeout: cfg.refreshTimeout,
+		MineOptions: cfg.mineOptions(),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	srv := server.New(qs, server.Config{
 		RequestTimeout: cfg.reqTimeout,
 		MaxRecommend:   cfg.maxK,
-		Reload:         cfg.mine,
+		Refresher:      ref,
 	})
-	return srv, cfg, nil
+	return srv, ref, cfg, nil
 }
 
 func run(ctx context.Context, args []string, w io.Writer) error {
-	srv, cfg, err := setup(ctx, args)
+	srv, ref, cfg, err := setup(ctx, args)
 	if err != nil {
 		return err
+	}
+	if cfg.refresh > 0 {
+		if err := ref.Start(); err != nil {
+			return err
+		}
+		defer ref.Stop()
+		fmt.Fprintf(w, "arserve: watching %s every %s\n", cfg.in, cfg.refresh)
 	}
 	qs := srv.Service()
 	bases := qs.ServedBases()

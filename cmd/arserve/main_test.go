@@ -4,12 +4,14 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -31,7 +33,7 @@ func writeClassic(t *testing.T) string {
 func testServer(t *testing.T, args ...string) (*httptest.Server, string) {
 	t.Helper()
 	path := writeClassic(t)
-	srv, _, err := setup(context.Background(), append([]string{"-in", path, "-minsup", "0.4"}, args...))
+	srv, _, _, err := setup(context.Background(), append([]string{"-in", path, "-minsup", "0.4"}, args...))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +130,7 @@ func TestBasisFlags(t *testing.T) {
 
 func TestBasisFlagUnknownName(t *testing.T) {
 	path := writeClassic(t)
-	if _, _, err := setup(context.Background(),
+	if _, _, _, err := setup(context.Background(),
 		[]string{"-in", path, "-minsup", "0.4", "-exact-basis", "bogus"}); err == nil {
 		t.Error("unknown -exact-basis accepted")
 	}
@@ -140,7 +142,7 @@ func TestTableInput(t *testing.T) {
 	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	srv, _, err := setup(context.Background(), []string{"-in", path, "-table", "-header", "-minsup", "0.5"})
+	srv, _, _, err := setup(context.Background(), []string{"-in", path, "-table", "-header", "-minsup", "0.5"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,14 +162,14 @@ func TestSetupErrors(t *testing.T) {
 		{"-in", writeClassic(t), "-minconf", "2"},
 	}
 	for i, args := range cases {
-		if _, _, err := setup(ctx, args); err == nil {
+		if _, _, _, err := setup(ctx, args); err == nil {
 			t.Errorf("case %d (%v): no error", i, args)
 		}
 	}
 }
 
 func TestMineTimeout(t *testing.T) {
-	_, _, err := setup(context.Background(),
+	_, _, _, err := setup(context.Background(),
 		[]string{"-in", writeClassic(t), "-minsup", "0.4", "-mine-timeout", "1ns"})
 	if err == nil {
 		t.Error("expired mine deadline accepted")
@@ -201,5 +203,151 @@ func TestRunSetupError(t *testing.T) {
 	err := run(context.Background(), []string{}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "missing -in") {
 		t.Errorf("run with no args = %v", err)
+	}
+}
+
+// TestRefreshFlagPicksUpAppendedTransactions is the live-reload
+// acceptance path: with -refresh the served snapshot follows the
+// input file. A transaction appended to the file shows up in the
+// served measures without a restart, and not a single request fails
+// while the swap lands.
+func TestRefreshFlagPicksUpAppendedTransactions(t *testing.T) {
+	path := writeClassic(t)
+	srv, ref, _, err := setup(context.Background(),
+		[]string{"-in", path, "-minsup", "0.4", "-refresh", "3ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Stop()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Hammer the query endpoints for the whole life of the test; every
+	// response must be 200 — the swap is invisible to clients.
+	stop := make(chan struct{})
+	errc := make(chan error, 32)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/support?items=2")
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("support = %d during refresh", resp.StatusCode)
+					return
+				}
+				resp, err = http.Post(ts.URL+"/recommend", "application/json",
+					strings.NewReader(`{"observed":[1],"k":3}`))
+				if err != nil {
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("recommend = %d during refresh", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+
+	// Append one transaction; supp(C)=supp({2}) must go 4 → 5 without
+	// any restart or reload call.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("0 1 2 4\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("appended transaction never served; refresher stats: %+v", ref.Stats())
+		}
+		resp, err := http.Get(ts.URL + "/support?items=2")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s struct {
+			Support int `json:"support"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if s.Support == 5 {
+			break
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Errorf("request failed during live refresh: %v", err)
+	}
+	if st := ref.Stats(); st.Failures != 0 || st.Successes < 1 {
+		t.Errorf("refresher stats after pickup = %+v", st)
+	}
+
+	// healthz reflects the new snapshot and the refresh counters.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Transactions int `json:"transactions"`
+		Refresh      *struct {
+			Running bool `json:"running"`
+		} `json:"refresh"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Transactions != 6 {
+		t.Errorf("healthz transactions = %d, want 6", h.Transactions)
+	}
+	if h.Refresh == nil || !h.Refresh.Running {
+		t.Errorf("healthz refresh block = %+v, want running", h.Refresh)
+	}
+}
+
+// TestRefreshTimeoutDefaultsToMineTimeout pins the flag fallback.
+func TestRefreshTimeoutDefaultsToMineTimeout(t *testing.T) {
+	cfg, err := parseFlags([]string{"-in", "x.dat", "-mine-timeout", "7s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.refreshTimeout != 7*time.Second {
+		t.Errorf("refreshTimeout = %v, want the -mine-timeout fallback", cfg.refreshTimeout)
+	}
+	cfg, err = parseFlags([]string{"-in", "x.dat", "-mine-timeout", "7s", "-refresh-timeout", "2s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.refreshTimeout != 2*time.Second {
+		t.Errorf("refreshTimeout = %v, want the explicit 2s", cfg.refreshTimeout)
+	}
+	if _, err := parseFlags([]string{"-in", "x.dat", "-refresh", "-1s"}); err == nil {
+		t.Error("negative -refresh accepted")
 	}
 }

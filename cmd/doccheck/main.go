@@ -1,17 +1,28 @@
-// Command doccheck enforces the exported-documentation rule of golint
-// and revive on the given directories: every exported package-level
-// symbol — functions, methods on exported types, types, and the specs
-// of var/const declarations — must carry a doc comment, and every
-// package must have a package comment. It is self-contained (go/ast
-// only, no third-party linter) so CI can gate on it without network
-// access.
+// Command doccheck keeps the repo's documentation honest, in two
+// modes selected by the kind of each argument.
+//
+// A directory argument gets the exported-documentation rule of golint
+// and revive: every exported package-level symbol — functions,
+// methods on exported types, types, and the specs of var/const
+// declarations — must carry a doc comment, and every package must
+// have a package comment. Test files are skipped.
+//
+// A *.md file argument gets its intra-repo links validated: every
+// markdown link target that is not an external URL or a same-file
+// anchor must resolve to an existing file or directory, relative to
+// the markdown file's location. Fragments are stripped before the
+// check ("../server/server.go#L10" checks "../server/server.go");
+// fenced code blocks are ignored. This is what keeps the file
+// references in docs/PAPER_MAP.md and the READMEs from rotting as
+// code moves.
 //
 // Usage:
 //
-//	doccheck DIR...
+//	doccheck DIR|FILE.md ...
 //
-// Test files are skipped. Exits non-zero and prints one line per
-// violation when any exported symbol is undocumented.
+// It is self-contained (go/ast and regexp only, no third-party
+// linter) so CI can gate on it without network access. Exits non-zero
+// and prints one line per violation.
 package main
 
 import (
@@ -25,12 +36,18 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: doccheck DIR...")
+		fmt.Fprintln(os.Stderr, "usage: doccheck DIR|FILE.md ...")
 		os.Exit(2)
 	}
 	bad := 0
-	for _, dir := range os.Args[1:] {
-		problems, err := checkDir(dir)
+	for _, arg := range os.Args[1:] {
+		var problems []string
+		var err error
+		if strings.HasSuffix(arg, ".md") {
+			problems, err = checkMarkdown(arg)
+		} else {
+			problems, err = checkDir(arg)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "doccheck:", err)
 			os.Exit(2)
@@ -41,7 +58,7 @@ func main() {
 		bad += len(problems)
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "doccheck: %d undocumented exported symbol(s)\n", bad)
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", bad)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckDirFlagsUndocumentedExports(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "a.go", `// Package a is documented.
+package a
+
+// Documented is fine.
+func Documented() {}
+
+func Undocumented() {}
+
+type Exposed struct{}
+`)
+	problems, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want 2 (Undocumented, Exposed)", problems)
+	}
+}
+
+func TestCheckMarkdownLinks(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(dir, "docs"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(t, dir, "exists.go", "package x\n")
+	write(t, dir, "docs/OTHER.md", "# other\n")
+	md := write(t, dir, "docs/GUIDE.md", `# Guide
+
+Good: [code](../exists.go), [sibling](OTHER.md), [dir](../docs),
+[anchored](../exists.go#L1), [self](#guide),
+[external](https://example.com/missing), [mail](mailto:x@y.z).
+
+Bad: [gone](../missing.go) and [typo](OTHERS.md).
+
+`+"```go\n// [not](a-link.go) inside a fence\nfunc f() { _ = []int(nil) }\n```\n")
+	problems, err := checkMarkdown(md)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want exactly the two broken links", problems)
+	}
+	for _, p := range problems {
+		if !strings.Contains(p, "missing.go") && !strings.Contains(p, "OTHERS.md") {
+			t.Errorf("unexpected problem: %s", p)
+		}
+	}
+}
+
+// TestRepoMarkdownClean gates the repo's own documentation: every
+// intra-repo link in the top-level and docs/ markdown must resolve.
+func TestRepoMarkdownClean(t *testing.T) {
+	for _, md := range []string{
+		"../../README.md",
+		"../../docs/ARCHITECTURE.md",
+		"../../docs/PAPER_MAP.md",
+	} {
+		problems, err := checkMarkdown(md)
+		if err != nil {
+			t.Fatalf("%s: %v", md, err)
+		}
+		for _, p := range problems {
+			t.Error(p)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches inline markdown links and images: [text](target) /
+// ![alt](target). The target group stops at whitespace or the closing
+// parenthesis, so optional titles ([x](file "title")) are excluded.
+var linkRE = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)`)
+
+// checkMarkdown validates the intra-repo link targets of one markdown
+// file and returns one formatted problem line per broken link.
+// External URLs (any target with a scheme or a host) and same-file
+// anchors (#section) are skipped; a fragment on a file target is
+// stripped before the existence check. Fenced code blocks are not
+// scanned — Go snippets are full of ](-free bracket-paren runs, but
+// a fence guard keeps any future example from false-positives.
+func checkMarkdown(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	var out []string
+	inFence := false
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(line, -1) {
+			target := m[1]
+			if externalTarget(target) {
+				continue
+			}
+			rel := target
+			if i := strings.IndexByte(rel, '#'); i >= 0 {
+				rel = rel[:i]
+			}
+			// Percent-decode so targets like "a%20b.md" resolve.
+			if dec, err := url.PathUnescape(rel); err == nil {
+				rel = dec
+			}
+			if _, err := os.Stat(filepath.Join(dir, rel)); err != nil {
+				out = append(out, fmt.Sprintf("%s:%d: broken link %q (%s does not exist)",
+					path, lineNo+1, target, rel))
+			}
+		}
+	}
+	return out, nil
+}
+
+// externalTarget reports whether a link target is out of scope for
+// the intra-repo check: a same-file anchor, or anything with a URL
+// scheme or host (https, mailto, protocol-relative).
+func externalTarget(target string) bool {
+	if strings.HasPrefix(target, "#") {
+		return true
+	}
+	u, err := url.Parse(target)
+	return err == nil && (u.Scheme != "" || u.Host != "")
+}

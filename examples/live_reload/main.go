@@ -1,0 +1,109 @@
+// Live-reload example: a QueryService that follows its data. A
+// background refresh.Refresher watches a transaction file; appending
+// transactions to the file changes the served recommendations without
+// a restart, a reload call, or a dropped query — the library half of
+// what `arserve -refresh` does over HTTP.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"closedrules"
+	"closedrules/refresh"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// A small shop's transaction log: items 0=bread, 1=butter, 2=milk,
+	// 3=jam, 4=tea.
+	dir, err := os.MkdirTemp("", "live_reload")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "transactions.dat")
+	seed := "0 2 3\n1 2 4\n0 1 2 4\n1 4\n0 1 2 4\n"
+	if err := os.WriteFile(path, []byte(seed), 0o644); err != nil {
+		log.Fatal(err)
+	}
+
+	// Mine once and start serving.
+	src := refresh.NewFileSource(path)
+	ds, err := src.Load(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mineOpts := []closedrules.MineOption{closedrules.WithMinSupport(0.4)}
+	res, err := closedrules.MineContext(ctx, ds, mineOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs, err := closedrules.NewQueryService(res, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src.Commit() // the initial load is now the served snapshot
+
+	// Watch the file: every 50ms the refresher stats it and — only
+	// when the content actually changed — re-mines and atomically
+	// swaps the served snapshot.
+	r, err := refresh.New(qs, refresh.Config{
+		Source:      src,
+		Interval:    50 * time.Millisecond,
+		MineTimeout: 30 * time.Second,
+		MineOptions: mineOpts,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer r.Stop()
+
+	show := func(when string) {
+		sup, _, _ := qs.Support(ctx, closedrules.Items(2))
+		recs, err := qs.Recommend(ctx, closedrules.Items(1), 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d transactions, supp(milk)=%d\n", when, qs.NumTransactions(), sup)
+		for _, rule := range recs {
+			fmt.Println("   recommend:", rule)
+		}
+	}
+	show("before")
+
+	// New sales land in the log — no restart, no reload endpoint.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := f.WriteString("0 1 2 4\n0 1 2 4\n0 2 4\n"); err != nil {
+		log.Fatal(err)
+	}
+	f.Close()
+
+	// Wait for the watcher to pick the change up (one poll interval
+	// plus the re-mine; queries keep answering from the old snapshot
+	// until the very instant the swap lands).
+	deadline := time.Now().Add(10 * time.Second)
+	for qs.Stats().Swaps == 0 {
+		if time.Now().After(deadline) {
+			st := r.Stats()
+			log.Fatalf("refresher never swapped: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	show("after ")
+
+	st := r.Stats()
+	fmt.Printf("refresher: %d cycles, %d swaps, %d skips, last mine %v\n",
+		st.Cycles, st.Successes, st.Skips, st.LastMineDuration.Round(time.Millisecond))
+}

@@ -1,0 +1,73 @@
+package refresh_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"closedrules"
+	"closedrules/refresh"
+)
+
+// ExampleFileSource shows the file-watcher path: the served snapshot
+// follows a transaction file. Refresh runs one cycle by hand; Start
+// runs the same cycle on an interval in the background.
+func ExampleFileSource() {
+	dir, _ := os.MkdirTemp("", "refresh-example")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "tx.dat")
+	_ = os.WriteFile(path, []byte("0 2 3\n1 2 4\n0 1 2 4\n1 4\n0 1 2 4\n"), 0o644)
+
+	ctx := context.Background()
+	src := refresh.NewFileSource(path)
+	ds, _ := src.Load(ctx)
+	res, _ := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
+	qs, _ := closedrules.NewQueryService(res, 0.5)
+	r, _ := refresh.New(qs, refresh.Config{
+		Source:      src,
+		MineOptions: []closedrules.MineOption{closedrules.WithMinSupport(0.4)},
+	})
+	fmt.Println("before:", qs.NumTransactions(), "transactions")
+
+	// New data arrives in the file; the next cycle picks it up and
+	// hot-swaps the served snapshot.
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	_, _ = f.WriteString("0 1 2 4\n")
+	_ = f.Close()
+	if err := r.Refresh(ctx); err != nil {
+		fmt.Println("refresh:", err)
+	}
+	fmt.Println("after: ", qs.NumTransactions(), "transactions")
+	// Output:
+	// before: 5 transactions
+	// after:  6 transactions
+}
+
+// ExampleSourceFunc shows the callback source: any function that can
+// produce a dataset — a database query, an API fetch, a generator —
+// becomes a refreshable data source.
+func ExampleSourceFunc() {
+	ctx := context.Background()
+	tx := [][]int{{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4}}
+	src := refresh.SourceFunc(func(ctx context.Context) (*closedrules.Dataset, error) {
+		return closedrules.NewDataset(tx)
+	})
+	ds, _ := src.Load(ctx)
+	res, _ := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
+	qs, _ := closedrules.NewQueryService(res, 0.5)
+	r, _ := refresh.New(qs, refresh.Config{
+		Source:      src,
+		MineOptions: []closedrules.MineOption{closedrules.WithMinSupport(0.4)},
+	})
+
+	tx = append(tx, []int{1, 2, 4}) // the upstream data grew
+	if err := r.Refresh(ctx); err != nil {
+		fmt.Println("refresh:", err)
+	}
+	st := r.Stats()
+	fmt.Printf("%d transactions after %d successful cycle(s)\n",
+		qs.NumTransactions(), st.Successes)
+	// Output:
+	// 6 transactions after 1 successful cycle(s)
+}

@@ -1,0 +1,213 @@
+package refresh
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"closedrules"
+)
+
+// Source supplies datasets to a Refresher. Load is called once per
+// refresh cycle and must be safe for concurrent use (a manual
+// Refresh can race a polling cycle's change check). Implementations
+// should honor ctx cancellation where loading is slow (network
+// sources, large files).
+type Source interface {
+	// Load returns the current dataset. The Refresher mines whatever
+	// Load returns, so the returned dataset must be complete — Load is
+	// snapshot semantics, not a delta feed.
+	Load(ctx context.Context) (*closedrules.Dataset, error)
+}
+
+// ChangeDetector is an optional Source extension. When a Source
+// implements it, a polling Refresher calls Changed before Load and
+// skips the whole mine-and-swap cycle — recording a skip, not a
+// cycle failure — when nothing changed. Sources without it are
+// treated as changed on every poll. Manual Refresh calls bypass the
+// check entirely.
+type ChangeDetector interface {
+	// Changed reports whether a Load would observe data different
+	// from the last committed Load (see Committer). It should be
+	// cheap relative to Load (a stat, a version counter, an ETag
+	// probe).
+	Changed(ctx context.Context) (bool, error)
+}
+
+// Committer is the optional Source extension that pairs with
+// ChangeDetector: the Refresher calls Commit only after a cycle's
+// mining result has been swapped into the QueryService, so change
+// detection always compares against the data actually being served.
+// A cycle whose Load succeeds but whose mine or swap fails leaves
+// the source uncommitted, and the next poll sees the data as still
+// changed and retries (under the failure backoff) instead of
+// silently skipping forever.
+type Committer interface {
+	// Commit acknowledges that the dataset returned by the most
+	// recent Load is now being served.
+	Commit()
+}
+
+// SourceFunc adapts a plain dataset-producing function into a Source —
+// the callback source for data that lives behind an API, a database
+// query, or a generator rather than a file. It has no change
+// detection, so every polling cycle re-mines; wrap it in a custom
+// ChangeDetector implementation when the upstream can answer "did
+// anything change" cheaply.
+type SourceFunc func(ctx context.Context) (*closedrules.Dataset, error)
+
+// Load calls f.
+func (f SourceFunc) Load(ctx context.Context) (*closedrules.Dataset, error) { return f(ctx) }
+
+// fingerprint identifies one observed file state. mtime and size are
+// the cheap probe; sum is the content identity.
+type fingerprint struct {
+	mtime time.Time
+	size  int64
+	sum   [sha256.Size]byte
+}
+
+// FileSource loads a transaction file from disk and detects changes
+// with a two-level probe: the cheap level compares the file's
+// modification time and size against the last committed load, and
+// only when those differ does it read the file and compare a SHA-256
+// checksum — so a rewrite-with-identical-content (an idempotent ETL
+// job, a touch(1)) does not trigger a re-mine. The bytes read by a
+// positive Changed probe are handed to the following Load, so a real
+// change costs one read and one hash, not two.
+//
+// Limitation inherent to the cheap probe: a rewrite that preserves
+// both byte length and modification time (e.g. an equal-length
+// `cp -p`) is invisible to Changed until some later change moves
+// either; Refresher.Refresh (the /admin/reload path) bypasses
+// detection and re-mines unconditionally when that matters.
+//
+// Safe for concurrent use. Create one with NewFileSource or
+// NewTableFileSource.
+type FileSource struct {
+	path   string
+	table  bool
+	sep    rune
+	header bool
+
+	mu        sync.Mutex
+	committed bool
+	cur       fingerprint // state of the last committed load
+	pending   *fingerprint
+	// readAhead carries the bytes a positive Changed probe already
+	// read, for the immediately following Load.
+	readAhead []byte
+}
+
+// NewFileSource watches a basket-format (.dat) transaction file: one
+// transaction per line, space-separated non-negative item ids.
+func NewFileSource(path string) *FileSource {
+	return &FileSource{path: path}
+}
+
+// NewTableFileSource watches a nominal table file (one attribute per
+// column, sep-separated, optionally with a header row) — the same
+// format closedrules.ReadTableFile accepts.
+func NewTableFileSource(path string, sep rune, header bool) *FileSource {
+	return &FileSource{path: path, table: true, sep: sep, header: header}
+}
+
+// Path returns the watched file path.
+func (s *FileSource) Path() string { return s.path }
+
+// Changed implements ChangeDetector: it stats the file and, when
+// mtime or size moved against the last committed load, reads it and
+// compares checksums. A file that has never been committed is always
+// changed.
+func (s *FileSource) Changed(ctx context.Context) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.committed {
+		return true, nil
+	}
+	fi, err := os.Stat(s.path)
+	if err != nil {
+		return false, fmt.Errorf("refresh: stat %s: %w", s.path, err)
+	}
+	if fi.ModTime().Equal(s.cur.mtime) && fi.Size() == s.cur.size {
+		return false, nil
+	}
+	// mtime or size moved: confirm with content before re-mining.
+	data, err := os.ReadFile(s.path)
+	if err != nil {
+		return false, fmt.Errorf("refresh: read %s: %w", s.path, err)
+	}
+	fp := fingerprint{mtime: fi.ModTime(), size: fi.Size(), sum: sha256.Sum256(data)}
+	if fp.sum == s.cur.sum {
+		// Same bytes, new metadata — remember the new stat so the
+		// next poll takes the cheap path again.
+		s.cur.mtime = fp.mtime
+		s.cur.size = fp.size
+		return false, nil
+	}
+	s.pending = &fp
+	s.readAhead = data
+	return true, nil
+}
+
+// Load reads and parses the file. The observed fingerprint is held
+// as pending until Commit; Changed keeps reporting the content as
+// changed until then, so a cycle that fails downstream of Load is
+// retried rather than skipped.
+func (s *FileSource) Load(ctx context.Context) (*closedrules.Dataset, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Consume the probe's staged bytes before anything can return:
+	// bytes staged by a cycle that then got cancelled must not
+	// survive to a later (possibly forced) cycle, which would mine a
+	// stale snapshot of a file that has since moved on.
+	data := s.readAhead
+	s.readAhead = nil
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if data == nil {
+		fi, err := os.Stat(s.path)
+		if err != nil {
+			return nil, fmt.Errorf("refresh: stat %s: %w", s.path, err)
+		}
+		data, err = os.ReadFile(s.path)
+		if err != nil {
+			return nil, fmt.Errorf("refresh: read %s: %w", s.path, err)
+		}
+		s.pending = &fingerprint{mtime: fi.ModTime(), size: fi.Size(), sum: sha256.Sum256(data)}
+	}
+	var d *closedrules.Dataset
+	var err error
+	if s.table {
+		d, err = closedrules.ReadTable(bytes.NewReader(data), s.sep, s.header)
+	} else {
+		d, err = closedrules.ReadDat(bytes.NewReader(data))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("refresh: parse %s: %w", s.path, err)
+	}
+	return d, nil
+}
+
+// Commit implements Committer: the dataset from the most recent Load
+// is now being served, so Changed compares against its fingerprint
+// from here on. Callers that serve an initial Load outside a
+// Refresher cycle (cmd/arserve's startup mine) call it directly.
+func (s *FileSource) Commit() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pending == nil {
+		return
+	}
+	s.cur = *s.pending
+	s.pending = nil
+	s.committed = true
+}

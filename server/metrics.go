@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"closedrules"
+	"closedrules/refresh"
 )
 
 // endpointStats accumulates per-endpoint counters. All fields are
@@ -56,7 +57,9 @@ func (m *metricsRegistry) observe(endpoint string, code int, d time.Duration) {
 // format (version 0.0.4). QPS and mean latency are derivable by the
 // scraper: rate(closedrules_http_requests_total) and
 // closedrules_http_request_seconds_total / ..._requests_total.
-func (m *metricsRegistry) writePrometheus(w io.Writer, svc closedrules.ServiceStats, numTx, numRules int) {
+// ref is the background refresher's counters, or nil when no
+// refresher is configured (the refresh metric family is then absent).
+func (m *metricsRegistry) writePrometheus(w io.Writer, svc closedrules.ServiceStats, numTx, numRules int, ref *refresh.Stats) {
 	fmt.Fprintf(w, "# HELP closedrules_http_requests_total Requests served, by endpoint.\n")
 	fmt.Fprintf(w, "# TYPE closedrules_http_requests_total counter\n")
 	for _, e := range m.order {
@@ -90,6 +93,37 @@ func (m *metricsRegistry) writePrometheus(w io.Writer, svc closedrules.ServiceSt
 	fmt.Fprintf(w, "# HELP closedrules_basis_rules Basis rules available to Recommend.\n")
 	fmt.Fprintf(w, "# TYPE closedrules_basis_rules gauge\n")
 	fmt.Fprintf(w, "closedrules_basis_rules %d\n", numRules)
+	if ref != nil {
+		fmt.Fprintf(w, "# HELP closedrules_refresh_cycles_total Refresh cycles attempted (poll ticks run + manual reloads).\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_cycles_total counter\n")
+		fmt.Fprintf(w, "closedrules_refresh_cycles_total %d\n", ref.Cycles)
+		fmt.Fprintf(w, "# HELP closedrules_refresh_successes_total Refresh cycles that mined and swapped a new snapshot.\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_successes_total counter\n")
+		fmt.Fprintf(w, "closedrules_refresh_successes_total %d\n", ref.Successes)
+		fmt.Fprintf(w, "# HELP closedrules_refresh_skips_total Refresh cycles skipped because the source was unchanged.\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_skips_total counter\n")
+		fmt.Fprintf(w, "closedrules_refresh_skips_total %d\n", ref.Skips)
+		fmt.Fprintf(w, "# HELP closedrules_refresh_failures_total Refresh cycles that failed (source, mine, or swap error).\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_failures_total counter\n")
+		fmt.Fprintf(w, "closedrules_refresh_failures_total %d\n", ref.Failures)
+		fmt.Fprintf(w, "# HELP closedrules_refresh_last_mine_seconds Mining duration of the last successful refresh cycle.\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_last_mine_seconds gauge\n")
+		fmt.Fprintf(w, "closedrules_refresh_last_mine_seconds %.9f\n", ref.LastMineDuration.Seconds())
+		fmt.Fprintf(w, "# HELP closedrules_refresh_last_swap_timestamp_seconds Unix time of the last successful swap (0 before the first).\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_last_swap_timestamp_seconds gauge\n")
+		lastSwap := 0.0
+		if !ref.LastSwap.IsZero() {
+			lastSwap = float64(ref.LastSwap.UnixNano()) / 1e9
+		}
+		fmt.Fprintf(w, "closedrules_refresh_last_swap_timestamp_seconds %.3f\n", lastSwap)
+		fmt.Fprintf(w, "# HELP closedrules_refresh_running Whether the background refresh loop is active.\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_running gauge\n")
+		running := 0
+		if ref.Running {
+			running = 1
+		}
+		fmt.Fprintf(w, "closedrules_refresh_running %d\n", running)
+	}
 	fmt.Fprintf(w, "# HELP closedrules_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE closedrules_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "closedrules_uptime_seconds %.3f\n", time.Since(m.start).Seconds())

@@ -1,0 +1,171 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"closedrules"
+	"closedrules/refresh"
+)
+
+// newRefreshedServer builds a server whose reload path is a Refresher
+// over the given source.
+func newRefreshedServer(t *testing.T, src refresh.Source) (*refresh.Refresher, *httptest.Server) {
+	t.Helper()
+	qs, err := closedrules.NewQueryService(mineClassic(t, 1), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := refresh.New(qs, refresh.Config{
+		Source:      src,
+		MineOptions: []closedrules.MineOption{closedrules.WithMinSupport(0.4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(qs, Config{Refresher: r})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return r, ts
+}
+
+// doubledSource returns the classic context twice over.
+func doubledSource() refresh.Source {
+	return refresh.SourceFunc(func(ctx context.Context) (*closedrules.Dataset, error) {
+		return closedrules.NewDataset(append(append([][]int{}, classicTx...), classicTx...))
+	})
+}
+
+func TestReloadDelegatesToRefresher(t *testing.T) {
+	r, ts := newRefreshedServer(t, doubledSource())
+	var out struct {
+		Status       string `json:"status"`
+		Transactions int    `json:"transactions"`
+	}
+	postJSON(t, ts.URL+"/admin/reload", nil, http.StatusOK, &out)
+	if out.Status != "reloaded" || out.Transactions != 10 {
+		t.Fatalf("reload via refresher = %+v, want 10 transactions", out)
+	}
+	st := r.Stats()
+	if st.Cycles != 1 || st.Successes != 1 {
+		t.Fatalf("refresher stats after HTTP reload = %+v", st)
+	}
+}
+
+func TestReloadRefresherBusy409(t *testing.T) {
+	gate := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	src := refresh.SourceFunc(func(ctx context.Context) (*closedrules.Dataset, error) {
+		once.Do(func() { close(entered) })
+		<-gate
+		return closedrules.NewDataset(classicTx)
+	})
+	r, ts := newRefreshedServer(t, src)
+	go r.Refresh(context.Background())
+	<-entered
+	defer close(gate)
+	var out struct {
+		Error string `json:"error"`
+	}
+	postJSON(t, ts.URL+"/admin/reload", nil, http.StatusConflict, &out)
+	if !strings.Contains(out.Error, "in flight") {
+		t.Fatalf("busy reload error = %q", out.Error)
+	}
+}
+
+func TestReloadRefresherError500(t *testing.T) {
+	src := refresh.SourceFunc(func(ctx context.Context) (*closedrules.Dataset, error) {
+		return nil, context.DeadlineExceeded
+	})
+	r, ts := newRefreshedServer(t, src)
+	postJSON(t, ts.URL+"/admin/reload", nil, http.StatusInternalServerError, nil)
+	if st := r.Stats(); st.Failures != 1 || st.LastError == "" {
+		t.Fatalf("stats after failed HTTP reload = %+v", st)
+	}
+}
+
+func TestHealthzReportsRefresher(t *testing.T) {
+	_, ts := newRefreshedServer(t, doubledSource())
+	postJSON(t, ts.URL+"/admin/reload", nil, http.StatusOK, nil)
+	var h struct {
+		Transactions int `json:"transactions"`
+		Refresh      *struct {
+			Running   bool   `json:"running"`
+			Cycles    uint64 `json:"cycles"`
+			Successes uint64 `json:"successes"`
+			LastSwap  string `json:"lastSwap"`
+		} `json:"refresh"`
+	}
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &h)
+	if h.Refresh == nil {
+		t.Fatal("healthz has no refresh block with a Refresher configured")
+	}
+	if h.Refresh.Cycles != 1 || h.Refresh.Successes != 1 || h.Refresh.LastSwap == "" {
+		t.Fatalf("healthz refresh = %+v", h.Refresh)
+	}
+	if h.Refresh.Running {
+		t.Fatal("healthz reports a running loop for a manual-only refresher")
+	}
+	if h.Transactions != 10 {
+		t.Fatalf("healthz transactions after reload = %d, want 10", h.Transactions)
+	}
+}
+
+func TestHealthzOmitsRefreshWithoutRefresher(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var h map[string]any
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, &h)
+	if _, present := h["refresh"]; present {
+		t.Fatal("healthz has a refresh block without a Refresher")
+	}
+}
+
+func TestMetricsRefreshFamilies(t *testing.T) {
+	_, ts := newRefreshedServer(t, doubledSource())
+	postJSON(t, ts.URL+"/admin/reload", nil, http.StatusOK, nil)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"closedrules_refresh_cycles_total 1",
+		"closedrules_refresh_successes_total 1",
+		"closedrules_refresh_skips_total 0",
+		"closedrules_refresh_failures_total 0",
+		"closedrules_refresh_last_mine_seconds ",
+		"closedrules_refresh_last_swap_timestamp_seconds ",
+		"closedrules_refresh_running 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+func TestMetricsOmitRefreshWithoutRefresher(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(strings.Builder)
+	if _, err := io.Copy(buf, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "closedrules_refresh_") {
+		t.Fatal("refresh metric family present without a Refresher")
+	}
+}

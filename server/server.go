@@ -15,7 +15,14 @@
 //	GET  /bases                        registered bases + the served pair
 //	GET  /healthz                      liveness + serving snapshot summary
 //	GET  /metrics                      Prometheus text format
-//	POST /admin/reload                 re-mine via Config.Reload, then Swap
+//	POST /admin/reload                 re-mine and Swap (Config.Refresher or Config.Reload)
+//
+// When Config.Refresher is set (see the refresh package), the server
+// becomes the observation surface of a continuously self-updating
+// service: /healthz and /metrics report the refresher's cycle
+// counters and POST /admin/reload runs one forced refresh cycle,
+// sharing the background loop's single-flight guard (a concurrent
+// cycle answers 409).
 //
 // Queries run under a per-request deadline (Config.RequestTimeout)
 // wired into the library's context plumbing; a deadline that expires
@@ -39,6 +46,7 @@ import (
 	"time"
 
 	"closedrules"
+	"closedrules/refresh"
 )
 
 // Default configuration values applied by New.
@@ -73,8 +81,17 @@ type Config struct {
 	// are clamped. 0 means DefaultMaxRecommend.
 	MaxRecommend int
 	// Reload, when set, enables POST /admin/reload: it is called to
-	// re-mine and the result is hot-swapped into the service.
+	// re-mine and the result is hot-swapped into the service. Ignored
+	// when Refresher is set.
 	Reload ReloadFunc
+	// Refresher, when set, takes over the data-freshness surface:
+	// POST /admin/reload delegates to Refresher.Refresh (the same
+	// cycle logic the background poll loop runs, so manual and
+	// automatic reloads share single-flight and stats), and /healthz
+	// and /metrics expose the refresher's cycle counters. The server
+	// does not Start or Stop the refresher — its lifecycle belongs to
+	// the caller (see cmd/arserve).
+	Refresher *refresh.Refresher
 }
 
 // Server serves a QueryService over HTTP. Create one with New; it is
@@ -484,31 +501,76 @@ func (s *Server) handleBases(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthJSON struct {
-	Status        string      `json:"status"`
-	Transactions  int         `json:"transactions"`
-	BasisRules    int         `json:"basisRules"`
-	Serving       servingJSON `json:"serving"`
-	MinConfidence float64     `json:"minConfidence"`
-	Swaps         uint64      `json:"swaps"`
+	Status        string       `json:"status"`
+	Transactions  int          `json:"transactions"`
+	BasisRules    int          `json:"basisRules"`
+	Serving       servingJSON  `json:"serving"`
+	MinConfidence float64      `json:"minConfidence"`
+	Swaps         uint64       `json:"swaps"`
+	Refresh       *refreshJSON `json:"refresh,omitempty"`
+}
+
+// refreshJSON is the healthz view of the background refresher's cycle
+// counters; present only when a Refresher is configured.
+type refreshJSON struct {
+	Running             bool   `json:"running"`
+	Cycles              uint64 `json:"cycles"`
+	Successes           uint64 `json:"successes"`
+	Skips               uint64 `json:"skips"`
+	Failures            uint64 `json:"failures"`
+	ConsecutiveFailures int    `json:"consecutiveFailures"`
+	LastError           string `json:"lastError,omitempty"`
+	LastSwap            string `json:"lastSwap,omitempty"`
+	LastMineMs          int64  `json:"lastMineMs"`
+}
+
+// refreshStats snapshots the configured refresher's counters, or nil.
+func (s *Server) refreshStats() *refresh.Stats {
+	if s.cfg.Refresher == nil {
+		return nil
+	}
+	st := s.cfg.Refresher.Stats()
+	return &st
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	served := s.qs.ServedBases()
-	writeJSON(w, http.StatusOK, healthJSON{
+	out := healthJSON{
 		Status:        "ok",
 		Transactions:  s.qs.NumTransactions(),
 		BasisRules:    s.qs.NumRules(),
 		Serving:       servingJSON{Exact: served.Exact, Approximate: served.Approximate},
 		MinConfidence: s.qs.MinConfidence(),
 		Swaps:         s.qs.Swaps(),
-	})
+	}
+	if st := s.refreshStats(); st != nil {
+		out.Refresh = &refreshJSON{
+			Running:             st.Running,
+			Cycles:              st.Cycles,
+			Successes:           st.Successes,
+			Skips:               st.Skips,
+			Failures:            st.Failures,
+			ConsecutiveFailures: st.ConsecutiveFailures,
+			LastError:           st.LastError,
+			LastMineMs:          st.LastMineDuration.Milliseconds(),
+		}
+		if !st.LastSwap.IsZero() {
+			out.Refresh.LastSwap = st.LastSwap.UTC().Format(time.RFC3339)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.metrics.writePrometheus(w, s.qs.Stats(), s.qs.NumTransactions(), s.qs.NumRules())
+	s.metrics.writePrometheus(w, s.qs.Stats(), s.qs.NumTransactions(), s.qs.NumRules(), s.refreshStats())
 }
 
+// reloadJSON is the wire form of a successful reload. Transactions
+// and BasisRules describe the snapshot being served as the response
+// is written; under a polling refresher a subsequent cycle's swap can
+// land between this request's swap and the read, so automation should
+// treat them as "now serving", not "what this call mined".
 type reloadJSON struct {
 	Status       string `json:"status"`
 	Transactions int    `json:"transactions"`
@@ -516,16 +578,21 @@ type reloadJSON struct {
 	ElapsedMs    int64  `json:"elapsedMs"`
 }
 
+// errReloadBusy is the legacy-path counterpart of refresh.ErrBusy.
+var errReloadBusy = errors.New("reload already in progress")
+
+// handleReload answers POST /admin/reload: one forced re-mine-and-
+// swap through whichever mechanism is configured, under the optional
+// ReloadTimeout. With a Refresher it is one forced refresh cycle —
+// the exact logic the background poll loop runs, sharing its
+// single-flight guard and stats, so an operator POST and an interval
+// tick can never mine concurrently; a cycle already in flight
+// answers 409.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if s.cfg.Reload == nil {
+	if s.cfg.Refresher == nil && s.cfg.Reload == nil {
 		writeError(w, http.StatusNotImplemented, "no reload source configured")
 		return
 	}
-	if !s.reloadMu.TryLock() {
-		writeError(w, http.StatusConflict, "reload already in progress")
-		return
-	}
-	defer s.reloadMu.Unlock()
 	ctx := r.Context()
 	if s.cfg.ReloadTimeout > 0 {
 		var cancel context.CancelFunc
@@ -533,13 +600,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := s.cfg.Reload(ctx)
-	if err != nil {
+	if err := s.reload(ctx); err != nil {
+		if errors.Is(err, refresh.ErrBusy) || errors.Is(err, errReloadBusy) {
+			writeError(w, http.StatusConflict, err.Error())
+			return
+		}
 		writeError(w, http.StatusInternalServerError, "reload: "+err.Error())
-		return
-	}
-	if err := s.qs.Swap(res); err != nil {
-		writeError(w, http.StatusInternalServerError, "swap: "+err.Error())
 		return
 	}
 	writeJSON(w, http.StatusOK, reloadJSON{
@@ -548,4 +614,21 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		BasisRules:   s.qs.NumRules(),
 		ElapsedMs:    time.Since(start).Milliseconds(),
 	})
+}
+
+// reload runs one re-mine-and-swap through the Refresher when
+// configured, else the legacy ReloadFunc under its own mutex.
+func (s *Server) reload(ctx context.Context) error {
+	if s.cfg.Refresher != nil {
+		return s.cfg.Refresher.Refresh(ctx)
+	}
+	if !s.reloadMu.TryLock() {
+		return errReloadBusy
+	}
+	defer s.reloadMu.Unlock()
+	res, err := s.cfg.Reload(ctx)
+	if err != nil {
+		return err
+	}
+	return s.qs.Swap(res)
 }
