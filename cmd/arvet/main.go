@@ -1,0 +1,134 @@
+// Command arvet is the repo's own static-analysis multichecker: it
+// runs the five invariant analyzers of internal/analysis/... over the
+// named package patterns and fails when any finding survives. It is
+// what turns the conventions PRs 1–5 established by review into
+// machine-checked properties, so new miners and bases (GenClose, the
+// incremental lattice work, the Balcázar/Hamrouni plugins) cannot
+// silently regress the hot paths or drop cancellation coverage.
+//
+// Usage:
+//
+//	arvet [-list] [-only name[,name]] [packages]
+//
+// With no packages, ./... is checked. -list prints the analyzers and
+// exits; -only restricts the run to a comma-separated subset. Like
+// the doccheck gate, arvet is self-contained (standard library only)
+// so CI can run it without network access; it must be invoked from
+// inside the module, since package loading resolves imports through
+// the module's source.
+//
+// The enforced invariants, the //ar:noalloc and //ar:nocancel
+// annotation contracts, and the reasoning behind each analyzer are
+// documented in docs/ARCHITECTURE.md under "Enforced invariants".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"closedrules/internal/analysis"
+	"closedrules/internal/analysis/atomicsnapshot"
+	"closedrules/internal/analysis/bitsetalias"
+	"closedrules/internal/analysis/ctxcancel"
+	"closedrules/internal/analysis/noalloc"
+	"closedrules/internal/analysis/registrycheck"
+)
+
+// analyzers is the full multichecker suite, in reporting order.
+var analyzers = []*analysis.Analyzer{
+	atomicsnapshot.Analyzer,
+	bitsetalias.Analyzer,
+	ctxcancel.Analyzer,
+	noalloc.Analyzer,
+	registrycheck.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the multichecker and returns the process exit code:
+// 0 clean, 1 findings, 2 usage or load failure.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("arvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "arvet:", err)
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "arvet:", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "arvet:", err)
+		return 2
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg, suite)
+		if err != nil {
+			fmt.Fprintln(stderr, "arvet:", err)
+			return 2
+		}
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+		bad += len(findings)
+	}
+	if bad > 0 {
+		fmt.Fprintf(stderr, "arvet: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -only flag to a suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+	var suite []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: %s)", name, names())
+		}
+		suite = append(suite, a)
+	}
+	return suite, nil
+}
+
+// names lists the registered analyzer names.
+func names() string {
+	out := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		out[i] = a.Name
+	}
+	return strings.Join(out, ", ")
+}

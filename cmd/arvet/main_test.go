@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRepoClean runs the full multichecker over every package of the
+// module, so a plain `go test ./...` fails the moment any enforced
+// invariant regresses — the same gate CI applies with
+// `go run ./cmd/arvet ./...`. The module-path pattern makes the run
+// independent of the test's working directory.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"closedrules/..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("arvet found regressions (exit %d):\n%s%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestList pins the analyzer roster: every analyzer the architecture
+// documentation names must be present, so a silently dropped analyzer
+// fails loudly.
+func TestList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("arvet -list: exit %d\n%s", code, stderr.String())
+	}
+	for _, name := range []string{"atomicsnapshot", "bitsetalias", "ctxcancel", "noalloc", "registry"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("arvet -list output is missing analyzer %q:\n%s", name, stdout.String())
+		}
+	}
+}
+
+// TestOnlyUnknown verifies the usage exit code for a bad -only value.
+func TestOnlyUnknown(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "nonesuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("arvet -only nonesuch: got exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown analyzer") {
+		t.Errorf("stderr does not name the unknown analyzer:\n%s", stderr.String())
+	}
+}

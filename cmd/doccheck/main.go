@@ -5,7 +5,11 @@
 // and revive: every exported package-level symbol — functions,
 // methods on exported types, types, and the specs of var/const
 // declarations — must carry a doc comment, and every package must
-// have a package comment. Test files are skipped.
+// have a package comment. _test.go files are skipped, and so are
+// testdata directories: the analyzer golden packages under
+// internal/analysis/*/testdata deliberately hold undocumented and
+// ill-formed declarations, which are the point, not a doc-lint
+// finding.
 //
 // A *.md file argument gets its intra-repo links validated: every
 // markdown link target that is not an external URL or a same-file
@@ -31,6 +35,7 @@ import (
 	"go/parser"
 	"go/token"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
@@ -63,13 +68,16 @@ func main() {
 	}
 }
 
-// checkDir parses one directory (non-test files) and returns one
-// formatted problem line per undocumented exported symbol.
+// checkDir parses one directory and returns one formatted problem
+// line per undocumented exported symbol. Directories under a testdata
+// element are skipped entirely; _test.go files are excluded by
+// includeGoFile.
 func checkDir(dir string) ([]string, error) {
+	if underTestdata(dir) {
+		return nil, nil
+	}
 	fset := token.NewFileSet()
-	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
-		return !strings.HasSuffix(fi.Name(), "_test.go")
-	}, parser.ParseComments)
+	pkgs, err := parser.ParseDir(fset, dir, includeGoFile, parser.ParseComments)
 	if err != nil {
 		return nil, err
 	}
@@ -81,6 +89,23 @@ func checkDir(dir string) ([]string, error) {
 		out = append(out, checkPackage(fset, dir, pkg)...)
 	}
 	return out, nil
+}
+
+// includeGoFile is the exported-symbol mode's file filter: test files
+// are never doc-linted (their names are their documentation).
+func includeGoFile(fi os.FileInfo) bool {
+	return !strings.HasSuffix(fi.Name(), "_test.go")
+}
+
+// underTestdata reports whether any element of the path is testdata,
+// the go toolchain's convention for data invisible to builds.
+func underTestdata(dir string) bool {
+	for _, part := range strings.Split(filepath.ToSlash(filepath.Clean(dir)), "/") {
+		if part == "testdata" {
+			return true
+		}
+	}
+	return false
 }
 
 func checkPackage(fset *token.FileSet, dir string, pkg *ast.Package) []string {

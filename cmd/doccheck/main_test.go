@@ -37,6 +37,40 @@ type Exposed struct{}
 	}
 }
 
+// TestCheckDirSkipsTestFiles pins the _test.go exclusion: an
+// undocumented exported symbol in a test file is not a finding.
+func TestCheckDirSkipsTestFiles(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "doc.go", "// Package p is documented.\npackage p\n")
+	write(t, dir, "x_test.go", "package p\n\nfunc Exported() {}\n")
+	problems, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("want no problems for a _test.go symbol, got %v", problems)
+	}
+}
+
+// TestCheckDirSkipsTestdata pins the testdata exclusion: the analyzer
+// golden packages under internal/analysis/*/testdata hold
+// deliberately undocumented declarations and must never trip the doc
+// linter, even when their directory is named directly.
+func TestCheckDirSkipsTestdata(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "testdata", "bad")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	write(t, dir, "bad.go", "package bad\n\nfunc Exported() {}\n")
+	problems, err := checkDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("want testdata directories skipped, got %v", problems)
+	}
+}
+
 func TestCheckMarkdownLinks(t *testing.T) {
 	dir := t.TempDir()
 	if err := os.MkdirAll(filepath.Join(dir, "docs"), 0o755); err != nil {

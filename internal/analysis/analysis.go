@@ -1,0 +1,145 @@
+// Package analysis is a self-contained static-analysis framework
+// modeled on golang.org/x/tools/go/analysis, reduced to what the
+// repo's own checkers (cmd/arvet) need. The module is intentionally
+// dependency-free, so the framework is rebuilt here on the standard
+// library alone: an Analyzer runs over one type-checked package at a
+// time and reports position-anchored diagnostics.
+//
+// The five analyzers under internal/analysis/... encode the repo's
+// mining invariants — cancellation coverage of mining loops
+// (ctxcancel), allocation-free annotated hot paths (noalloc),
+// registration discipline (registry), atomic-snapshot field hygiene
+// (atomicsnapshot) and in-place bitset aliasing (bitsetalias) — so
+// that the conventions PRs 1–5 established by review are machine
+// checked as the miner and basis registries grow. See
+// docs/ARCHITECTURE.md, "Enforced invariants".
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer describes one static check: a name, what it enforces, and
+// the function that runs it over a single package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run analyzes one package and reports findings via pass.Report.
+	// The non-error return value is unused (kept for symmetry with
+	// x/tools analyzers, whose Run returns a result).
+	Run func(pass *Pass) (any, error)
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer's Run function, plus the Report sink for diagnostics.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file locations.
+	Fset *token.FileSet
+	// Files holds the package's parsed source files.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo records type and object resolution for the package.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. The driver
+// prefixes the analyzer name when printing.
+type Diagnostic struct {
+	// Pos anchors the finding in the file set of the reporting pass.
+	Pos token.Pos
+	// Message states the violated invariant and, where useful, the fix.
+	Message string
+}
+
+// Finding is a resolved diagnostic as the driver hands it to callers:
+// positioned, attributed to its analyzer, ready to print.
+type Finding struct {
+	// Position is the resolved file:line:col of the diagnostic.
+	Position token.Position
+	// Analyzer is the name of the analyzer that produced it.
+	Analyzer string
+	// Message is the diagnostic message.
+	Message string
+}
+
+// String renders the finding in the conventional file:line:col:
+// message (analyzer) form used by go vet.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Message, f.Analyzer)
+}
+
+// Run executes every analyzer over the package and returns the
+// findings sorted by position. Analyzer errors (not diagnostics)
+// abort the run.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	var out []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			out = append(out, Finding{
+				Position: pkg.Fset.Position(d.Pos),
+				Analyzer: name,
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi, pj := out[i].Position, out[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// WithStack walks every node of f depth-first, calling fn with the
+// node and the stack of its ancestors (outermost first, not including
+// n itself). If fn returns false the node's children are skipped.
+// It is the stand-in for x/tools' inspector.WithStack.
+func WithStack(f *ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		keep := fn(n, stack)
+		if keep {
+			stack = append(stack, n)
+		}
+		return keep
+	})
+}

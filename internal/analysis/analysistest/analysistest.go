@@ -1,0 +1,126 @@
+// Package analysistest runs an analyzer over a golden testdata
+// package and compares its diagnostics against // want comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest (rebuilt
+// on the repo's own internal/analysis framework, since the module is
+// dependency-free).
+//
+// A testdata source line states its expected diagnostics as one or
+// more quoted regular expressions:
+//
+//	s.AndInto(s, t) // want `receiver aliases argument`
+//
+// Every reported diagnostic must be matched by a want on its line,
+// and every want must be matched by a diagnostic; a package with no
+// want comments asserts the analyzer stays silent on it (the
+// false-positive pin the repo's clean-idiom packages provide).
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"closedrules/internal/analysis"
+)
+
+// wantRe extracts the quoted expectations of one // want comment.
+// Both Go string forms are accepted: `...` and "...".
+var wantRe = regexp.MustCompile("`[^`]*`|\"[^\"]*\"")
+
+// expectation is one // want entry: a compiled pattern at a line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the single package rooted at dir, applies the analyzers,
+// and reports any mismatch between diagnostics and // want comments
+// as test errors. dir is relative to the test's working directory
+// (conventionally "testdata/<case>").
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkg, err := analysis.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	wants := collectWants(t, pkg)
+	findings, err := analysis.Run(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers over %s: %v", dir, err)
+	}
+	for _, f := range findings {
+		if !claimWant(wants, f) {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", posOf(f), f.Message, f.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				filepath.Base(w.file), w.line, w.pattern)
+		}
+	}
+}
+
+// claimWant marks and returns the first unmatched expectation on the
+// finding's line whose pattern matches the message.
+func claimWant(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Position.Filename || w.line != f.Position.Line {
+			continue
+		}
+		if w.pattern.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses every // want comment of the package.
+func collectWants(t *testing.T, pkg *analysis.Package) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRe.FindAllString(text[len("want "):], -1) {
+					pat, err := unquote(q)
+					if err != nil {
+						t.Fatalf("%s: bad want string %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// unquote decodes a want string in either quoting form.
+func unquote(q string) (string, error) {
+	if strings.HasPrefix(q, "`") {
+		return strings.Trim(q, "`"), nil
+	}
+	return strconv.Unquote(q)
+}
+
+// posOf renders a finding position relative to the testdata dir for
+// readable failures.
+func posOf(f analysis.Finding) string {
+	return fmt.Sprintf("%s:%d:%d", filepath.Base(f.Position.Filename), f.Position.Line, f.Position.Column)
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Annotation markers recognized in function doc comments. A marker
+// occupies its own comment line, optionally followed by a reason:
+//
+//	//ar:noalloc
+//	//ar:nocancel bounded by transaction width; WalkPass checks per pass
+//
+// The contract of each marker is documented in docs/ARCHITECTURE.md
+// ("Enforced invariants").
+const (
+	// NoAlloc marks a function whose body must not allocate; enforced
+	// by the noalloc analyzer.
+	NoAlloc = "noalloc"
+	// NoCancel exempts a bounded recursive walk from the ctxcancel
+	// analyzer; the rest of the line must state why the recursion
+	// terminates quickly without a context check.
+	NoCancel = "nocancel"
+)
+
+// HasAnnotation reports whether the function's doc comment carries
+// the //ar:<name> marker.
+func HasAnnotation(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimSpace(text)
+		if text == "ar:"+name || strings.HasPrefix(text, "ar:"+name+" ") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,22 @@
+package atomicsnapshot_test
+
+import (
+	"testing"
+
+	"closedrules/internal/analysis/analysistest"
+	"closedrules/internal/analysis/atomicsnapshot"
+)
+
+// TestBad pins the violation surface: raw atomic-field access and
+// mining or basis construction inside a lock span (explicit unlock
+// and deferred unlock both).
+func TestBad(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", atomicsnapshot.Analyzer)
+}
+
+// TestGood pins the false-positive surface: the QueryService read and
+// publish paths and the TryLock single-flight refresh must pass
+// untouched.
+func TestGood(t *testing.T) {
+	analysistest.Run(t, "testdata/good", atomicsnapshot.Analyzer)
+}

@@ -1,0 +1,48 @@
+// Package bad violates the snapshot-serving discipline: a raw access
+// to an atomic snapshot field and mining/basis construction performed
+// while a mutex is held. Each flagged line carries a // want comment;
+// the package is type-checked by analysistest, never linked.
+package bad
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"closedrules/internal/basis"
+)
+
+type state struct{ rules []int }
+
+type service struct {
+	mu sync.Mutex
+	st atomic.Pointer[state]
+}
+
+// MineContext stands in for a miner entry point.
+func MineContext(ctx context.Context) *state { return &state{} }
+
+// refresh re-mines while holding the lock, stalling every reader on
+// the mining run.
+func (s *service) refresh(ctx context.Context) {
+	s.mu.Lock()
+	next := MineContext(ctx) // want `MineContext called while s\.mu is locked`
+	s.mu.Unlock()
+	s.st.Store(next)
+}
+
+// rebuild holds the lock (deferred unlock, so the span is the whole
+// block) across a basis construction.
+func (s *service) rebuild(ctx context.Context, b basis.Builder, in basis.BuildInput) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rs, _ := b.Build(ctx, in) // want `Build called while s\.mu is locked`
+	_ = rs
+}
+
+// peek takes the address of the atomic field, sidestepping its
+// method set.
+func (s *service) peek() *state {
+	p := &s.st // want `atomic field s\.st accessed directly`
+	return p.Load()
+}

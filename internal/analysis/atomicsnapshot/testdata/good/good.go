@@ -1,0 +1,62 @@
+// Package good mirrors the QueryService snapshot idiom exactly:
+// lock-free reads through atomic Load, mining outside every lock,
+// publication through Store/CompareAndSwap, and the TryLock-guarded
+// single-flight refresh. The atomicsnapshot analyzer must stay silent
+// on every line; any diagnostic here is a false positive.
+package good
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+type state struct{ rules []int }
+
+type service struct {
+	flight sync.Mutex
+	st     atomic.Pointer[state]
+}
+
+// MineContext stands in for a miner entry point.
+func MineContext(ctx context.Context) *state { return &state{} }
+
+// Query is the lock-free read path: one atomic Load, no mutex.
+func (s *service) Query() []int {
+	cur := s.st.Load()
+	if cur == nil {
+		return nil
+	}
+	return cur.rules
+}
+
+// Refresh mines outside any lock and publishes the finished snapshot.
+func (s *service) Refresh(ctx context.Context) {
+	next := MineContext(ctx)
+	s.st.Store(next)
+}
+
+// Single coalesces concurrent refreshes: the TryLock-guarded re-mine
+// is the sanctioned single-flight idiom — it blocks no readers, and
+// losers return instead of queueing.
+func (s *service) Single(ctx context.Context) {
+	if !s.flight.TryLock() {
+		return
+	}
+	defer s.flight.Unlock()
+	s.st.Store(MineContext(ctx))
+}
+
+// Publish swaps in a snapshot only if it is still the successor of
+// old, the refresh loop's lost-update guard.
+func (s *service) Publish(old, next *state) bool {
+	return s.st.CompareAndSwap(old, next)
+}
+
+// Bookkeep shows an ordinary short lock span with no mining inside:
+// mutexes are fine, just not across mining.
+func (s *service) Bookkeep(note func()) {
+	s.flight.Lock()
+	note()
+	s.flight.Unlock()
+}

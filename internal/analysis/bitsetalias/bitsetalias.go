@@ -1,0 +1,70 @@
+// Package bitsetalias guards the in-place bitset API PR 3 introduced:
+// the three-operand ops dst.AndInto(a, b) / OrInto / AndNotInto must
+// not be called with the receiver aliasing an argument
+// (s.AndInto(s, t)). The current word-parallel implementations would
+// happen to tolerate it, but the API contract reserves the right to
+// reorder reads and writes (SIMD batches, word-tiling), so aliasing
+// is a misuse the type system cannot express — exactly the kind of
+// latent bug a future optimization of the hot path would activate in
+// every caller that leaned on the accident.
+//
+// Aliasing is detected syntactically: the receiver expression and an
+// argument expression printing identically. Two distinct expressions
+// referencing the same set (p := &s; p.AndInto(s, t)) are out of
+// scope — that requires alias analysis; the check targets the
+// copy-paste form the API's chaining style invites.
+package bitsetalias
+
+import (
+	"go/ast"
+	"go/types"
+
+	"closedrules/internal/analysis"
+)
+
+// Analyzer is the bitsetalias analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "bitsetalias",
+	Doc:  "in-place bitset ops must not be called with the receiver aliasing an argument",
+	Run:  run,
+}
+
+// inPlaceOps are the three-operand destructive bitset operations.
+var inPlaceOps = map[string]bool{
+	"AndInto":    true,
+	"OrInto":     true,
+	"AndNotInto": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !inPlaceOps[sel.Sel.Name] {
+				return true
+			}
+			// Require a real method whose receiver and argument types
+			// agree, so an unrelated API that happens to reuse the
+			// name is not flagged.
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Type().(*types.Signature).Recv() == nil {
+				return true
+			}
+			recv := types.ExprString(sel.X)
+			for _, arg := range call.Args {
+				if types.ExprString(arg) == recv {
+					pass.Reportf(call.Pos(),
+						"%s receiver %s aliases an argument; in-place bitset ops may reorder reads and writes, so the destination must be distinct (use %s.%s on separate sets, or the two-operand form)",
+						sel.Sel.Name, recv, recv, sel.Sel.Name)
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,20 @@
+package bitsetalias_test
+
+import (
+	"testing"
+
+	"closedrules/internal/analysis/analysistest"
+	"closedrules/internal/analysis/bitsetalias"
+)
+
+// TestBad pins the violation surface: the receiver aliasing an
+// argument in each of the three in-place ops.
+func TestBad(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", bitsetalias.Analyzer)
+}
+
+// TestGood pins the false-positive surface: distinct destinations and
+// unrelated APIs reusing the op names must pass untouched.
+func TestGood(t *testing.T) {
+	analysistest.Run(t, "testdata/good", bitsetalias.Analyzer)
+}

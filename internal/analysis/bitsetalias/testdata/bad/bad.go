@@ -1,0 +1,14 @@
+// Package bad aliases the receiver of the in-place bitset ops with an
+// argument — the copy-paste misuse the chaining style invites. Each
+// flagged line carries a // want comment; the package is type-checked
+// by analysistest, never linked.
+package bad
+
+import "closedrules/internal/bitset"
+
+// collapse reuses operands as destinations in all three ops.
+func collapse(s, t bitset.Set) bitset.Set {
+	s.AndInto(s, t)           // want `AndInto receiver s aliases an argument`
+	t.OrInto(s, t)            // want `OrInto receiver t aliases an argument`
+	return s.AndNotInto(t, s) // want `AndNotInto receiver s aliases an argument`
+}

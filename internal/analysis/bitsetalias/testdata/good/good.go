@@ -1,0 +1,30 @@
+// Package good uses the in-place bitset ops with distinct
+// destinations — the scratch-buffer idiom of the fpgrowth and titanic
+// hot paths — plus an unrelated type that happens to reuse an op
+// name. The bitsetalias analyzer must stay silent on every line; any
+// diagnostic here is a false positive.
+package good
+
+import "closedrules/internal/bitset"
+
+// scratch writes every result into a dedicated destination.
+func scratch(dst, a, b bitset.Set) bitset.Set {
+	dst.AndInto(a, b)
+	dst.OrInto(a, b)
+	return dst.AndNotInto(a, b)
+}
+
+// accumulator is an unrelated API reusing the AndInto name as a plain
+// function (no receiver): not the bitset contract, not flagged.
+type accumulator struct{ fn func(a, b int) int }
+
+func (acc accumulator) apply(a, b int) int { return acc.fn(a, b) }
+
+// AndInto here is a free function, not a method.
+var AndInto = func(dst *int, a, b int) { *dst = a & b }
+
+func use(a, b int) int {
+	var out int
+	AndInto(&out, a, b)
+	return out
+}

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"closedrules/internal/analysis/analysistest"
+	"closedrules/internal/analysis/atomicsnapshot"
+	"closedrules/internal/analysis/bitsetalias"
+	"closedrules/internal/analysis/ctxcancel"
+	"closedrules/internal/analysis/noalloc"
+	"closedrules/internal/analysis/registrycheck"
+)
+
+// TestCleanIdioms runs the full arvet suite over a condensed copy of
+// the repo's real architecture (testdata/clean) and requires total
+// silence: the suite-wide false-positive pin. Per-analyzer bad/good
+// packages live next to each analyzer; this test is the one place
+// all five run together, the way cmd/arvet runs them.
+func TestCleanIdioms(t *testing.T) {
+	analysistest.Run(t, "testdata/clean",
+		atomicsnapshot.Analyzer,
+		bitsetalias.Analyzer,
+		ctxcancel.Analyzer,
+		noalloc.Analyzer,
+		registrycheck.Analyzer,
+	)
+}

@@ -1,0 +1,275 @@
+// Package ctxcancel enforces the repo's cancellation invariant: every
+// depth-first or level-wise mining loop must observe its context on
+// each recursion or pass, so a cancelled context aborts a run within
+// one extension step (the contract miner.ClosedMiner documents).
+//
+// Two rules are checked:
+//
+//  1. A loop that performs a recursive call — the shape of every
+//     depth-first miner (charm.extend, eclat.mine, fpgrowth.mineTree)
+//     — must contain a ctx.Err() or ctx.Done() check in an enclosing
+//     loop body of the same function. Bounded recursions that
+//     deliberately defer cancellation to a coarser granularity (the
+//     levelwise trie walk, checked per WalkPass) opt out with an
+//     //ar:nocancel annotation stating the reason.
+//
+//  2. A declared context.Context parameter must actually be used:
+//     a function that accepts ctx and ignores it can neither be
+//     cancelled nor forward cancellation, which is how a new miner
+//     would silently ship uncancellable.
+package ctxcancel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"closedrules/internal/analysis"
+)
+
+// Analyzer is the ctxcancel analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcancel",
+	Doc:  "mining loops must reach a context cancellation check on each recursion or pass",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		litOwner := literalOwners(pass, f)
+		checkRecursiveLoops(pass, f, litOwner)
+		checkUnusedCtxParams(pass, f)
+	}
+	return nil, nil
+}
+
+// literalOwners maps each function literal directly bound to an
+// identifier (rec := func(...) / var rec = func(...) / rec = func(...))
+// to that identifier's object, so calls through the variable are
+// recognized as recursion into the literal.
+func literalOwners(pass *analysis.Pass, f *ast.File) map[*ast.FuncLit]types.Object {
+	owners := map[*ast.FuncLit]types.Object{}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		lit, ok := rhs.(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			owners[lit] = obj
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			owners[lit] = obj
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i := range st.Lhs {
+				if i < len(st.Rhs) {
+					bind(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i := range st.Names {
+				if i < len(st.Values) {
+					bind(st.Names[i], st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return owners
+}
+
+// checkRecursiveLoops reports loops that recurse without a
+// cancellation check (rule 1).
+func checkRecursiveLoops(pass *analysis.Pass, f *ast.File, litOwner map[*ast.FuncLit]types.Object) {
+	// Loops already reported, so one loop with several recursive calls
+	// yields one diagnostic.
+	reported := map[ast.Node]bool{}
+	analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeObject(pass, call)
+		if callee == nil {
+			return true
+		}
+		// Find the innermost enclosing function that the call recurses
+		// into, and the loops between it and the call.
+		var loops []ast.Node
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch fn := stack[i].(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, stack[i])
+			case *ast.FuncLit:
+				if litOwner[fn] == callee {
+					report(pass, f, stack[:i+1], loops, reported)
+					return true
+				}
+				// A literal with its own identity ends the search: a
+				// call to the outer function from inside a nested
+				// closure is not this loop's recursion.
+			case *ast.FuncDecl:
+				if fn.Name != nil && pass.TypesInfo.Defs[fn.Name] == callee {
+					report(pass, f, stack[:i+1], loops, reported)
+				}
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// report flags the innermost loop of a recursive call when no
+// enclosing loop body contains a cancellation check, unless the
+// enclosing declared function is annotated //ar:nocancel.
+func report(pass *analysis.Pass, f *ast.File, stack []ast.Node, loops []ast.Node, reported map[ast.Node]bool) {
+	if len(loops) == 0 {
+		// Recursion outside a loop: each level is one extension step;
+		// the per-branch check the miners need lives in the loop that
+		// drives the recursion, so a loop-free recursive call is not
+		// a mining loop.
+		return
+	}
+	for _, l := range loops {
+		if hasCancelCheck(pass, loopBody(l)) {
+			return
+		}
+	}
+	if decl := enclosingDecl(stack); decl != nil && analysis.HasAnnotation(decl.Doc, analysis.NoCancel) {
+		return
+	}
+	inner := loops[0]
+	if reported[inner] {
+		return
+	}
+	reported[inner] = true
+	pass.Reportf(inner.Pos(),
+		"recursive mining loop has no context cancellation check; check ctx.Err() each iteration or annotate the function //ar:nocancel with the bound that makes it safe")
+}
+
+// calleeObject resolves the called function or method to its object,
+// or nil for dynamic calls (interface methods, computed expressions).
+func calleeObject(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// enclosingDecl returns the top FuncDecl of the stack, if any.
+func enclosingDecl(stack []ast.Node) *ast.FuncDecl {
+	for _, n := range stack {
+		if d, ok := n.(*ast.FuncDecl); ok {
+			return d
+		}
+	}
+	return nil
+}
+
+// loopBody returns the body of a for or range statement.
+func loopBody(n ast.Node) *ast.BlockStmt {
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		return l.Body
+	case *ast.RangeStmt:
+		return l.Body
+	}
+	return nil
+}
+
+// hasCancelCheck reports whether the block contains a call to Err or
+// Done on a context.Context value.
+func hasCancelCheck(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		if isContext(pass.TypesInfo.Types[sel.X].Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// checkUnusedCtxParams reports declared context parameters that the
+// function body never references (rule 2).
+func checkUnusedCtxParams(pass *analysis.Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil || fn.Type.Params == nil {
+			continue
+		}
+		if analysis.HasAnnotation(fn.Doc, analysis.NoCancel) {
+			continue
+		}
+		for _, field := range fn.Type.Params.List {
+			for _, name := range field.Names {
+				if name.Name == "_" {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[name]
+				if obj == nil || !isContext(obj.Type()) {
+					continue
+				}
+				if !usesObject(pass, fn.Body, obj) {
+					pass.Reportf(name.Pos(),
+						"context parameter %s is never used: the function cannot observe or forward cancellation; use it or rename it to _", name.Name)
+				}
+			}
+		}
+	}
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			used = true
+			return false
+		}
+		return true
+	})
+	return used
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

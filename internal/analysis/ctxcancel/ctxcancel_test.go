@@ -1,0 +1,21 @@
+package ctxcancel_test
+
+import (
+	"testing"
+
+	"closedrules/internal/analysis/analysistest"
+	"closedrules/internal/analysis/ctxcancel"
+)
+
+// TestBad pins the two rules: a recursive mining loop with the
+// cancellation check deleted is flagged, and so is an ignored context
+// parameter.
+func TestBad(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", ctxcancel.Analyzer)
+}
+
+// TestGood pins the false-positive surface: the repo's real
+// cancellation idioms must pass untouched.
+func TestGood(t *testing.T) {
+	analysistest.Run(t, "testdata/good", ctxcancel.Analyzer)
+}

@@ -1,0 +1,33 @@
+// Package bad holds the ctxcancel violations: depth-first mining
+// loops that recurse without ever consulting their context, and a
+// declared context parameter the function ignores. Each flagged line
+// carries a // want comment; the package is type-checked by
+// analysistest, never linked.
+package bad
+
+import "context"
+
+// descend is the depth-first miner shape with its cancellation check
+// deleted: the loop recurses but never consults ctx, so a cancelled
+// run keeps mining to completion.
+func descend(ctx context.Context, ext []int) error {
+	for i := range ext { // want `recursive mining loop has no context cancellation check`
+		if err := descend(ctx, ext[i+1:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mineAll drives a recursive closure that ignores cancellation, and
+// never touches its own ctx either — the shape of a new miner shipped
+// uncancellable.
+func mineAll(ctx context.Context, ext []int) { // want `context parameter ctx is never used`
+	var rec func(tail []int)
+	rec = func(tail []int) {
+		for i := range tail { // want `recursive mining loop has no context cancellation check`
+			rec(tail[i+1:])
+		}
+	}
+	rec(ext)
+}

@@ -1,0 +1,65 @@
+// Package good mirrors the repo's sanctioned cancellation idioms —
+// the per-extension ctx.Err() check of the depth-first miners, the
+// per-1024-transactions check of levelwise.WalkPass, and a bounded
+// descent opted out with //ar:nocancel. The ctxcancel analyzer must
+// stay silent on every line; any diagnostic here is a false positive.
+package good
+
+import "context"
+
+// extend recurses with ctx.Err consulted every iteration — the
+// charm.extend / eclat.mine shape.
+func extend(ctx context.Context, ext []int) error {
+	for i := range ext {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := extend(ctx, ext[i+1:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walkPass checks ctx once per 1024 transactions and hands the inner
+// descent to a bounded annotated helper — the levelwise.WalkPass
+// shape.
+func walkPass(ctx context.Context, txs [][]int) error {
+	for o, tx := range txs {
+		if o&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		walk(tx)
+	}
+	return nil
+}
+
+// walk descends one transaction's tail; cancellation is walkPass's
+// job, checked once per 1024 transactions.
+//
+//ar:nocancel bounded by the transaction's length
+func walk(tx []int) {
+	for i := range tx {
+		walk(tx[i+1:])
+	}
+}
+
+// recClosure is the closure-bound recursion idiom with the check in
+// place, as the dEclat recursion writes it.
+func recClosure(ctx context.Context, ext []int) error {
+	var rec func(tail []int) error
+	rec = func(tail []int) error {
+		for i := range tail {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := rec(tail[i+1:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(ext)
+}

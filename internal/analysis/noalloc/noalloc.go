@@ -1,0 +1,307 @@
+// Package noalloc verifies the //ar:noalloc annotation: a function so
+// marked — the PR-3 bitset probes and the other mining hot-path
+// kernels — must not allocate on any non-panicking path. The
+// annotation is the machine-checked form of the "popcount-only, no
+// materialization" contract the vertical miners' probe loops rely on;
+// without it, alloc creep in a probe helper silently undoes the
+// allocation-free hot path.
+//
+// Enforced per annotated function, over its own body and the bodies
+// of same-package functions it calls (transitively, cycle-safe):
+//
+//   - no make, new, or append
+//   - no composite or function literals, no string concatenation or
+//     string/[]byte/[]rune conversions
+//   - no go or defer statements
+//   - no address-taking (&x may force a heap escape)
+//   - no calls that cannot be verified: dynamic calls, and calls into
+//     other packages unless the callee is itself declared under
+//     //ar:noalloc (math/bits is allowlisted as compiler intrinsics;
+//     fmt in particular is always a diagnostic)
+//
+// Arguments of a builtin panic(...) call are exempt: panic paths are
+// cold and terminal, so the width-mismatch panics of the bitset
+// probes may format their message.
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+
+	"closedrules/internal/analysis"
+)
+
+// Analyzer is the noalloc analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc:  "functions annotated //ar:noalloc must not allocate outside panic paths",
+	Run:  run,
+}
+
+// intrinsicPkgs are imported packages whose functions compile to
+// allocation-free intrinsics.
+var intrinsicPkgs = map[string]bool{
+	"math/bits": true,
+}
+
+// allowedBuiltins never allocate (append, make and new are handled
+// explicitly; panic starts an exempt cold path).
+var allowedBuiltins = map[string]bool{
+	"len": true, "cap": true, "copy": true, "delete": true,
+	"min": true, "max": true, "real": true, "imag": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	c := &checker{
+		pass:    pass,
+		decls:   map[types.Object]*ast.FuncDecl{},
+		memo:    map[*ast.FuncDecl][]analysis.Diagnostic{},
+		foreign: map[string]*foreignFile{},
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					c.decls[obj] = fd
+				}
+			}
+		}
+	}
+	seenPos := map[string]bool{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !analysis.HasAnnotation(fd.Doc, analysis.NoAlloc) {
+				continue
+			}
+			if fd.Body == nil {
+				pass.Reportf(fd.Pos(), "//ar:noalloc function %s has no body to verify", fd.Name.Name)
+				continue
+			}
+			for _, diag := range c.check(fd, map[*ast.FuncDecl]bool{}) {
+				// A shared helper reached from several annotated roots
+				// is reported once per offending position.
+				key := pass.Fset.Position(diag.Pos).String() + "|" + diag.Message
+				if !seenPos[key] {
+					seenPos[key] = true
+					pass.Report(diag)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checker accumulates per-function verification results.
+type checker struct {
+	pass    *analysis.Pass
+	decls   map[types.Object]*ast.FuncDecl
+	memo    map[*ast.FuncDecl][]analysis.Diagnostic
+	foreign map[string]*foreignFile // defining file → parsed syntax (nil on parse failure)
+}
+
+// foreignFile is the re-parsed syntax of a dependency source file,
+// used to read //ar:noalloc annotations across package boundaries.
+type foreignFile struct {
+	fset *token.FileSet
+	file *ast.File
+}
+
+// check returns the allocation diagnostics of fd's body plus those of
+// every same-package callee, memoized. active guards cycles.
+func (c *checker) check(fd *ast.FuncDecl, active map[*ast.FuncDecl]bool) []analysis.Diagnostic {
+	if diags, ok := c.memo[fd]; ok {
+		return diags
+	}
+	if active[fd] {
+		return nil
+	}
+	active[fd] = true
+	defer delete(active, fd)
+
+	var diags []analysis.Diagnostic
+	reportf := func(pos ast.Node, format string, args ...any) {
+		diags = append(diags, analysis.Diagnostic{Pos: pos.Pos(), Message: fmt.Sprintf(format, args...)})
+	}
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			return c.checkCall(e, active, &diags)
+		case *ast.CompositeLit:
+			reportf(e, "composite literal allocates in //ar:noalloc path")
+		case *ast.FuncLit:
+			reportf(e, "function literal allocates in //ar:noalloc path")
+			return false
+		case *ast.GoStmt:
+			reportf(e, "go statement allocates in //ar:noalloc path")
+		case *ast.DeferStmt:
+			reportf(e, "defer may allocate in //ar:noalloc path")
+		case *ast.UnaryExpr:
+			if e.Op.String() == "&" {
+				reportf(e, "taking an address may force a heap allocation in //ar:noalloc path")
+			}
+		case *ast.BinaryExpr:
+			if e.Op.String() == "+" && isString(c.pass.TypesInfo.Types[e.X].Type) {
+				reportf(e, "string concatenation allocates in //ar:noalloc path")
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, walk)
+	c.memo[fd] = diags
+	return diags
+}
+
+// checkCall classifies one call inside a noalloc-checked body. The
+// return value tells the walker whether to descend into the call's
+// children (false for exempt panic arguments).
+func (c *checker) checkCall(call *ast.CallExpr, active map[*ast.FuncDecl]bool, diags *[]analysis.Diagnostic) bool {
+	report := func(format string, args ...any) {
+		*diags = append(*diags, analysis.Diagnostic{Pos: call.Pos(), Message: fmt.Sprintf(format, args...)})
+	}
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions: string/byte-slice/rune-slice conversions copy and
+	// allocate; numeric and named-type conversions do not.
+	if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() {
+		if allocatingConversion(tv.Type) {
+			report("conversion to %s allocates in //ar:noalloc path", tv.Type)
+		}
+		return true
+	}
+
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj = c.pass.TypesInfo.Uses[f]
+	case *ast.SelectorExpr:
+		obj = c.pass.TypesInfo.Uses[f.Sel]
+	default:
+		report("dynamic call cannot be proven allocation-free in //ar:noalloc path")
+		return true
+	}
+
+	switch o := obj.(type) {
+	case *types.Builtin:
+		switch o.Name() {
+		case "append":
+			report("append allocates in //ar:noalloc path")
+		case "make":
+			report("make allocates in //ar:noalloc path")
+		case "new":
+			report("new allocates in //ar:noalloc path")
+		case "panic":
+			// Cold path: a panic terminates the run; its message may
+			// allocate. Skip the arguments entirely.
+			return false
+		default:
+			if !allowedBuiltins[o.Name()] {
+				report("builtin %s is not allowlisted in //ar:noalloc path", o.Name())
+			}
+		}
+		return true
+	case *types.Func:
+		pkg := o.Pkg()
+		if pkg == nil || pkg != c.pass.Pkg {
+			if pkg != nil && intrinsicPkgs[pkg.Path()] {
+				return true
+			}
+			if c.annotatedElsewhere(o) {
+				// Declared //ar:noalloc in its own package, where this
+				// analyzer verifies it against its own body.
+				return true
+			}
+			report("call to %s cannot be proven allocation-free in //ar:noalloc path (outside the checked package)", qualified(o))
+			return true
+		}
+		callee, ok := c.decls[o]
+		if !ok {
+			report("call to %s cannot be proven allocation-free in //ar:noalloc path (no body found)", o.Name())
+			return true
+		}
+		if analysis.HasAnnotation(callee.Doc, analysis.NoAlloc) {
+			// Verified under its own annotation.
+			return true
+		}
+		*diags = append(*diags, c.check(callee, active)...)
+		return true
+	case nil:
+		report("unresolved call cannot be proven allocation-free in //ar:noalloc path")
+		return true
+	default:
+		// Call through a variable (function value): dynamic.
+		report("call through %s cannot be proven allocation-free in //ar:noalloc path", o.Name())
+		return true
+	}
+}
+
+// annotatedElsewhere reports whether the cross-package function o is
+// declared under //ar:noalloc. The shared source importer records
+// dependency positions in the pass's FileSet, so o.Pos() names the
+// defining file; that file is re-parsed once (cached) and the
+// declaration located by name and line. The annotation is trusted
+// here, not re-verified: the analyzer checks its body when it runs
+// over the defining package, which arvet always does (./...).
+func (c *checker) annotatedElsewhere(o *types.Func) bool {
+	pos := c.pass.Fset.Position(o.Pos())
+	if !pos.IsValid() || pos.Filename == "" {
+		return false
+	}
+	ff, ok := c.foreign[pos.Filename]
+	if !ok {
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, pos.Filename, nil, parser.ParseComments)
+		if err == nil {
+			ff = &foreignFile{fset: fset, file: f}
+		}
+		c.foreign[pos.Filename] = ff
+	}
+	if ff == nil {
+		return false
+	}
+	for _, d := range ff.file.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Name.Name != o.Name() {
+			continue
+		}
+		if ff.fset.Position(fd.Name.Pos()).Line == pos.Line {
+			return analysis.HasAnnotation(fd.Doc, analysis.NoAlloc)
+		}
+	}
+	return false
+}
+
+// allocatingConversion reports whether converting to t allocates
+// (string and slice targets copy their contents).
+func allocatingConversion(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Slice:
+		return true
+	case *types.Interface:
+		return true
+	}
+	return false
+}
+
+// isString reports whether t's underlying type is string.
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// qualified renders pkg.Name for diagnostics.
+func qualified(f *types.Func) string {
+	if f.Pkg() == nil {
+		return f.Name()
+	}
+	return f.Pkg().Path() + "." + f.Name()
+}

@@ -1,0 +1,22 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"closedrules/internal/analysis/analysistest"
+	"closedrules/internal/analysis/noalloc"
+)
+
+// TestBad pins the violation surface: direct allocations, transitive
+// allocations through unannotated helpers, and unverifiable
+// cross-package calls inside //ar:noalloc bodies.
+func TestBad(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", noalloc.Analyzer)
+}
+
+// TestGood pins the false-positive surface: the probe shape with its
+// panic path, math/bits intrinsics, and annotated callees — same
+// package and cross package — must pass untouched.
+func TestGood(t *testing.T) {
+	analysistest.Run(t, "testdata/good", noalloc.Analyzer)
+}

@@ -1,0 +1,60 @@
+// Package bad holds the noalloc violations: //ar:noalloc bodies that
+// allocate directly, through a same-package helper, or through an
+// unverifiable cross-package call. Each flagged line carries a
+// // want comment; the package is type-checked by analysistest, never
+// linked.
+package bad
+
+import "fmt"
+
+// grow appends inside an annotated body — the exact alloc creep the
+// annotation exists to catch.
+//
+//ar:noalloc
+func grow(dst, src []int) []int {
+	for _, x := range src {
+		dst = append(dst, x) // want `append allocates`
+	}
+	return dst
+}
+
+// fresh materializes a slice on the probe path.
+//
+//ar:noalloc
+func fresh(n int) []uint64 {
+	return make([]uint64, n) // want `make allocates`
+}
+
+// box returns a composite literal.
+//
+//ar:noalloc
+func box(x int) []int {
+	return []int{x} // want `composite literal allocates`
+}
+
+// concat builds a string on the hot path.
+//
+//ar:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+// shout calls into a package with no noalloc annotation; fmt is the
+// canonical unverifiable callee.
+//
+//ar:noalloc
+func shout(x int) string {
+	return fmt.Sprintf("%d", x) // want `cannot be proven allocation-free`
+}
+
+// viaHelper reaches an allocation transitively: the helper is not
+// annotated, so its body is verified as part of viaHelper's.
+//
+//ar:noalloc
+func viaHelper(xs []int) []int {
+	return helper(xs)
+}
+
+func helper(xs []int) []int {
+	return append(xs, 1) // want `append allocates`
+}

@@ -1,0 +1,46 @@
+// Package good mirrors the repo's annotated hot-path kernels: the
+// popcount probe shape with its width-mismatch panic, math/bits
+// intrinsics, and a cross-package call into an //ar:noalloc bitset
+// probe trusted under its own annotation. The noalloc analyzer must
+// stay silent on every line; any diagnostic here is a false positive.
+package good
+
+import (
+	"fmt"
+	"math/bits"
+
+	"closedrules/internal/bitset"
+)
+
+// intersectionCount is the bitset probe shape: a popcount over the
+// word-wise AND. The panic arguments are a cold, terminal path and
+// may format their message.
+//
+//ar:noalloc
+func intersectionCount(a, b []uint64) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("width mismatch %d vs %d", len(a), len(b)))
+	}
+	n := 0
+	for i, w := range a {
+		n += bits.OnesCount64(w & b[i])
+	}
+	return n
+}
+
+// probe is the charm.probe shape: a cross-package call into a bitset
+// probe that carries its own //ar:noalloc annotation, so it is
+// trusted here and verified where it is declared.
+//
+//ar:noalloc
+func probe(s, t bitset.Set) int {
+	return s.IntersectionCount(t)
+}
+
+// viaKernel calls a same-package annotated kernel, trusted under its
+// own annotation rather than re-verified.
+//
+//ar:noalloc
+func viaKernel(a, b []uint64) int {
+	return intersectionCount(a, b)
+}

@@ -1,0 +1,261 @@
+// Package registrycheck enforces the registration discipline of the
+// miner and basis registries (internal/miner, internal/basis): each
+// algorithm package registers from an init function, under a literal,
+// canonical, lowercase name, at most once per name — and a basis
+// builder's Name() method must return exactly the name it was
+// registered under. These are the copy-paste drifts a new plugin
+// (GenClose, the Balcázar and Hamrouni bases) is most likely to ship:
+// a registration pasted from a sibling package with the old name, a
+// Name() that disagrees with the registration, or a Register call
+// moved out of init where it either never runs or races the registry.
+package registrycheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"closedrules/internal/analysis"
+)
+
+// Analyzer is the registry analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "registry",
+	Doc:  "miner and basis registrations are literal canonical names, made once, from init",
+	Run:  run,
+}
+
+// registerFuncs names the registration entry points, keyed by the
+// import-path suffix of the registry package.
+var registerFuncs = map[string]map[string]bool{
+	"internal/miner": {"RegisterClosed": true, "RegisterFrequent": true},
+	"internal/basis": {"Register": true},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	seen := map[string]ast.Node{} // canonical registered name → first call
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := registrationCallee(pass, call)
+			if fn == nil {
+				return true
+			}
+			if isForwardingWrapper(pass, call, stack) {
+				// The root package re-exports the registries
+				// (RegisterClosedMiner et al.); a wrapper that passes
+				// its own name parameter through is not a
+				// registration — the discipline applies at the
+				// wrapper's call sites, which resolve to the same
+				// registry functions and are checked in their own
+				// packages.
+				return true
+			}
+			if !insideInit(stack) {
+				pass.Reportf(call.Pos(),
+					"%s must be called from an init function, so registration runs exactly once at package load", fn.Name())
+			}
+			if len(call.Args) < 1 {
+				return true
+			}
+			name, ok := literalString(call.Args[0])
+			if !ok {
+				pass.Reportf(call.Args[0].Pos(),
+					"registration name must be a string literal, so the registered name is auditable and canonical at compile time")
+				return true
+			}
+			checkName(pass, call, fn.Name(), name)
+			// Each registration function keeps its own namespace
+			// (RegisterClosed and RegisterFrequent are distinct maps).
+			key := fn.Name() + "\x00" + canonical(name)
+			if prev, dup := seen[key]; dup {
+				pass.Reportf(call.Pos(),
+					"duplicate registration of %q (canonical %q, first registered at %s) would panic at package load",
+					name, canonical(name), pass.Fset.Position(prev.Pos()))
+			} else {
+				seen[key] = call
+			}
+			if fn.Name() == "Register" && len(call.Args) >= 2 {
+				checkBuilderName(pass, call.Args[1], name)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkName verifies the literal is non-empty, trimmed and lowercase.
+func checkName(pass *analysis.Pass, call *ast.CallExpr, fn, name string) {
+	switch {
+	case strings.TrimSpace(name) == "":
+		pass.Reportf(call.Args[0].Pos(), "%s with an empty name panics at package load", fn)
+	case name != strings.TrimSpace(name):
+		pass.Reportf(call.Args[0].Pos(), "registration name %q has surrounding whitespace; register the trimmed name", name)
+	case name != strings.ToLower(name):
+		pass.Reportf(call.Args[0].Pos(), "registration name %q is not lowercase; register the canonical lowercase form", name)
+	}
+}
+
+// checkBuilderName cross-checks a basis builder's Name() method
+// against the name it is registered under. The builder argument must
+// be a value of a type declared in this package whose Name method
+// returns a single string literal; other shapes are skipped (the
+// method may be inherited or computed).
+func checkBuilderName(pass *analysis.Pass, arg ast.Expr, registered string) {
+	t := pass.TypesInfo.Types[arg].Type
+	if t == nil {
+		return
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() != pass.Pkg {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Name" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if receiverNamed(pass, fd) != named.Obj() {
+				continue
+			}
+			lit, ok := singleStringReturn(fd.Body)
+			if !ok {
+				return
+			}
+			if lit != registered {
+				pass.Reportf(arg.Pos(),
+					"builder %s is registered as %q but its Name() returns %q; the two must match so RuleSet provenance resolves back through the registry",
+					named.Obj().Name(), registered, lit)
+			}
+			return
+		}
+	}
+}
+
+// receiverNamed resolves a method declaration's receiver type object.
+func receiverNamed(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) == 0 {
+		return nil
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[tt]; obj != nil {
+				return obj
+			}
+			return pass.TypesInfo.Defs[tt]
+		default:
+			return nil
+		}
+	}
+}
+
+// singleStringReturn matches a body of exactly `return "lit"`.
+func singleStringReturn(body *ast.BlockStmt) (string, bool) {
+	if len(body.List) != 1 {
+		return "", false
+	}
+	ret, ok := body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return "", false
+	}
+	return literalString(ret.Results[0])
+}
+
+// literalString decodes a string literal expression.
+func literalString(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind.String() != "STRING" {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}
+
+// registrationCallee returns the called registration function when
+// the call targets one of the registry packages, else nil.
+func registrationCallee(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	for suffix, names := range registerFuncs {
+		if strings.HasSuffix(fn.Pkg().Path(), suffix) && names[fn.Name()] {
+			return fn
+		}
+	}
+	return nil
+}
+
+// isForwardingWrapper reports whether the registration call forwards
+// the name parameter of its enclosing function declaration.
+func isForwardingWrapper(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) < 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if pass.TypesInfo.Defs[name] == obj {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// insideInit reports whether the stack passes through a func init
+// declaration.
+func insideInit(stack []ast.Node) bool {
+	for _, n := range stack {
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			return fd.Recv == nil && fd.Name.Name == "init"
+		}
+	}
+	return false
+}
+
+// canonical mirrors miner.Canonical/basis.Canonical: lowercase with
+// hyphens and underscores removed.
+func canonical(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	name = strings.ReplaceAll(name, "-", "")
+	name = strings.ReplaceAll(name, "_", "")
+	return name
+}

@@ -1,0 +1,21 @@
+package registrycheck_test
+
+import (
+	"testing"
+
+	"closedrules/internal/analysis/analysistest"
+	"closedrules/internal/analysis/registrycheck"
+)
+
+// TestBad pins the violation surface: non-canonical and computed
+// names, duplicates, registration outside init, and Name() drift.
+func TestBad(t *testing.T) {
+	analysistest.Run(t, "testdata/bad", registrycheck.Analyzer)
+}
+
+// TestGood pins the false-positive surface: canonical registrations,
+// the per-function duplicate namespaces, and the root package's
+// forwarding wrappers must pass untouched.
+func TestGood(t *testing.T) {
+	analysistest.Run(t, "testdata/good", registrycheck.Analyzer)
+}

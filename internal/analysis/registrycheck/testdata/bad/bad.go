@@ -1,0 +1,58 @@
+// Package bad holds the registration-discipline violations against
+// the real miner and basis registries: a non-canonical name, a
+// duplicate, a computed name, a registration outside init, and a
+// builder whose Name() drifts from its registration. Each flagged
+// line carries a // want comment; the package is type-checked by
+// analysistest, never linked (the init here never runs).
+package bad
+
+import (
+	"context"
+
+	"closedrules/internal/basis"
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/miner"
+)
+
+func init() {
+	miner.RegisterClosed("Fake-Miner", fakeMiner{}) // want `not lowercase`
+	miner.RegisterClosed("fake", fakeMiner{})
+	miner.RegisterClosed("fake", fakeMiner{}) // want `duplicate registration`
+	name := "computed"
+	miner.RegisterFrequent(name, fakeFreq{}) // want `name must be a string literal`
+	basis.Register("drifted", drifted{})     // want `registered as "drifted" but its Name\(\) returns "original"`
+}
+
+// setup registers outside init, where the registration either never
+// runs or races the registry.
+func setup() {
+	miner.RegisterClosed("late", fakeMiner{}) // want `must be called from an init function`
+}
+
+type fakeMiner struct{}
+
+func (fakeMiner) MineClosed(ctx context.Context, d *dataset.Dataset, minSup int) ([]closedset.Closed, error) {
+	return nil, ctx.Err()
+}
+
+func (fakeMiner) TracksGenerators() bool { return false }
+
+type fakeFreq struct{}
+
+func (fakeFreq) MineFrequent(ctx context.Context, d *dataset.Dataset, minSup int) ([]itemset.Counted, error) {
+	return nil, ctx.Err()
+}
+
+type drifted struct{}
+
+func (drifted) Name() string { return "original" }
+
+func (drifted) Requirements() basis.Requirements { return basis.Requirements{} }
+
+func (drifted) Build(ctx context.Context, in basis.BuildInput) (basis.RuleSet, error) {
+	return basis.RuleSet{}, ctx.Err()
+}
+
+var _ = setup

@@ -1,0 +1,147 @@
+// Package clean is the want-no-diagnostics pin for the entire arvet
+// suite: a condensed copy of the repo's real architecture — the
+// atomic-snapshot read path, the TryLock single-flight refresh, the
+// depth-first miner with its per-extension ctx.Err() check, the
+// WalkPass counting pass, an //ar:noalloc probe kernel over the real
+// bitset package, distinct-destination in-place ops, and a canonical
+// init-time registration. All five analyzers run over this package in
+// one pass and must report nothing; any diagnostic here means a false
+// positive against an idiom production code actually uses.
+package clean
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"closedrules/internal/basis"
+	"closedrules/internal/bitset"
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/miner"
+)
+
+func init() {
+	miner.RegisterClosed("clean-miner", cleanMiner{})
+	basis.Register("clean-basis", cleanBasis{})
+}
+
+// snapshot is a fully built, immutable serving state.
+type snapshot struct{ supports []int }
+
+// service is the QueryService shape: readers Load a snapshot without
+// locks; the refresh path mines outside the lock and publishes with
+// Store.
+type service struct {
+	flight sync.Mutex
+	st     atomic.Pointer[snapshot]
+}
+
+// Query is the lock-free read path.
+func (s *service) Query(i int) int {
+	cur := s.st.Load()
+	if cur == nil || i >= len(cur.supports) {
+		return 0
+	}
+	return cur.supports[i]
+}
+
+// Refresh is the single-flight re-mine: TryLock coalesces concurrent
+// cycles, the mining happens under no reader-visible lock, and the
+// finished snapshot is published atomically.
+func (s *service) Refresh(ctx context.Context, ext []span) error {
+	if !s.flight.TryLock() {
+		return nil
+	}
+	defer s.flight.Unlock()
+	next := &snapshot{}
+	if err := mine(ctx, ext, func(sup int) {
+		next.supports = append(next.supports, sup)
+	}); err != nil {
+		return err
+	}
+	s.st.Store(next)
+	return nil
+}
+
+// span pairs a candidate with its extent.
+type span struct {
+	tids bitset.Set
+	sup  int
+}
+
+// mine is the depth-first shape: ctx.Err() consulted at every
+// extension before recursing.
+func mine(ctx context.Context, ext []span, emit func(sup int)) error {
+	for i, e := range ext {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		emit(e.sup)
+		var next []span
+		for _, f := range ext[i+1:] {
+			if sup := supportProbe(e.tids, f.tids); sup > 0 {
+				next = append(next, span{tids: intersect(e.tids, f.tids), sup: sup})
+			}
+		}
+		if len(next) > 0 {
+			if err := mine(ctx, next, emit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// supportProbe is the popcount-only candidate probe, allocation-free
+// through the annotated bitset kernel.
+//
+//ar:noalloc
+func supportProbe(a, b bitset.Set) int {
+	return a.IntersectionCount(b)
+}
+
+// intersect materializes a surviving candidate's extent into a fresh
+// destination — distinct from both operands, per the in-place
+// contract.
+func intersect(a, b bitset.Set) bitset.Set {
+	dst := bitset.New(a.Width())
+	return dst.AndInto(a, b)
+}
+
+// countPass is the WalkPass shape: one pass over the transactions
+// with ctx checked every 1024, the inner work unconditional.
+func countPass(ctx context.Context, txs [][]int, visit func(o int)) error {
+	for o := range txs {
+		if o&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		visit(o)
+	}
+	return nil
+}
+
+// cleanMiner is a registry citizen registered under its canonical
+// lowercase name from init.
+type cleanMiner struct{}
+
+func (cleanMiner) MineClosed(ctx context.Context, d *dataset.Dataset, minSup int) ([]closedset.Closed, error) {
+	return nil, ctx.Err()
+}
+
+func (cleanMiner) TracksGenerators() bool { return false }
+
+// cleanBasis is a builder whose Name() matches its registration.
+type cleanBasis struct{}
+
+func (cleanBasis) Name() string { return "clean-basis" }
+
+func (cleanBasis) Requirements() basis.Requirements { return basis.Requirements{} }
+
+func (cleanBasis) Build(ctx context.Context, in basis.BuildInput) (basis.RuleSet, error) {
+	return basis.RuleSet{}, ctx.Err()
+}
+
+var _ = countPass

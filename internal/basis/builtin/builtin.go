@@ -72,6 +72,9 @@ func (luxenburger) Requirements() basis.Requirements {
 
 // Build constructs the full or reduced variant per in.Reduced.
 func (luxenburger) Build(ctx context.Context, in basis.BuildInput) (basis.RuleSet, error) {
+	if err := ctx.Err(); err != nil {
+		return basis.RuleSet{}, err
+	}
 	opt := core.LuxenburgerOptions{
 		MinConfidence:          in.MinConfidence,
 		IncludeEmptyAntecedent: in.IncludeEmptyAntecedent,

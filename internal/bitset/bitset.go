@@ -162,6 +162,8 @@ func (s Set) AndNot(t Set) {
 // no allocation and no mutation. It is the support probe of the
 // vertical miners: most candidate extensions only need the cardinality
 // of an intersection, never the intersection itself.
+//
+//ar:noalloc
 func (s Set) IntersectionCount(t Set) int {
 	s.sameWidth(t)
 	n := 0
@@ -172,7 +174,12 @@ func (s Set) IntersectionCount(t Set) int {
 }
 
 // AndInto sets dst = a ∩ b without allocating. All three sets must
-// share one width; dst may alias a or b. It returns dst for chaining.
+// share one width, and dst must not alias a or b: the implementation
+// reserves the right to reorder or vectorize the word loop, which is
+// only safe when the destination is distinct. It returns dst for
+// chaining.
+//
+//ar:noalloc
 func (dst Set) AndInto(a, b Set) Set {
 	a.sameWidth(b)
 	dst.sameWidth(a)
@@ -182,8 +189,10 @@ func (dst Set) AndInto(a, b Set) Set {
 	return dst
 }
 
-// OrInto sets dst = a ∪ b without allocating, under the same aliasing
-// and width contract as AndInto.
+// OrInto sets dst = a ∪ b without allocating, under the same
+// no-aliasing and width contract as AndInto.
+//
+//ar:noalloc
 func (dst Set) OrInto(a, b Set) Set {
 	a.sameWidth(b)
 	dst.sameWidth(a)
@@ -194,7 +203,9 @@ func (dst Set) OrInto(a, b Set) Set {
 }
 
 // AndNotInto sets dst = a ∖ b without allocating, under the same
-// aliasing and width contract as AndInto.
+// no-aliasing and width contract as AndInto.
+//
+//ar:noalloc
 func (dst Set) AndNotInto(a, b Set) Set {
 	a.sameWidth(b)
 	dst.sameWidth(a)
@@ -206,6 +217,8 @@ func (dst Set) AndNotInto(a, b Set) Set {
 
 // AndNotCount returns |a ∖ b| (the size of the diffset) without
 // allocating — the diffset analogue of IntersectionCount.
+//
+//ar:noalloc
 func (s Set) AndNotCount(t Set) int {
 	s.sameWidth(t)
 	n := 0
@@ -265,6 +278,8 @@ func (s Set) IsSubset(t Set) bool { return s.IsSubsetOf(t) }
 // IsSubsetOf reports whether s ⊆ t with a single word-wise pass and no
 // allocation — the containment probe behind CHARM's four tidset
 // properties.
+//
+//ar:noalloc
 func (s Set) IsSubsetOf(t Set) bool {
 	s.sameWidth(t)
 	for i, w := range s.words {

@@ -168,27 +168,33 @@ type member struct {
 	sup int
 }
 
+// probe is the popcount-only kernel of the class-boundary decision:
+// the support of ta ∩ tb plus Zaki's two containment flags, read off
+// the cached supports without materializing the intersection.
+//
+//ar:noalloc
+func probe(a, b node) (sup int, taSubTb, tbSubTa bool) {
+	sup = a.tids.IntersectionCount(b.tids)
+	return sup, sup == a.sup, sup == b.sup
+}
+
 // classOf computes the equivalence class of nodes[i] at the current
 // level: the fully absorbed prefix x and the surviving child members,
 // applying Zaki's four tidset-containment properties and marking later
 // nodes consumed by properties 1/3 in skip. The pairwise pruning works
-// on popcounts only (IntersectionCount; equal count plus the cached
-// supports decides containment), so deciding class boundaries
-// allocates no tidsets at all — materialization is buildChildren's
-// job, which the parallel front end defers into its workers. Shared by
-// the sequential walk (extend) and MineParallelContext, which must
-// agree on class boundaries exactly.
+// through probe only, so deciding class boundaries allocates no
+// tidsets at all — materialization is buildChildren's job, which the
+// parallel front end defers into its workers. Shared by the sequential
+// walk (extend) and MineParallelContext, which must agree on class
+// boundaries exactly.
 func classOf(nodes []node, skip []bool, i, minSup int) (itemset.Itemset, []member) {
 	x := nodes[i].items
-	ti := nodes[i].tids
 	var members []member
 	for j := i + 1; j < len(nodes); j++ {
 		if skip[j] {
 			continue
 		}
-		sup := ti.IntersectionCount(nodes[j].tids)
-		tiSubTj := sup == nodes[i].sup // ti ⊆ tj
-		tjSubTi := sup == nodes[j].sup // tj ⊆ ti
+		sup, tiSubTj, tjSubTi := probe(nodes[i], nodes[j])
 		switch {
 		case tiSubTj && tjSubTi: // property 1: identical tidsets
 			x = x.Union(nodes[j].items)

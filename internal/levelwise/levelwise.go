@@ -78,6 +78,12 @@ func (t *Trie) WalkPass(ctx context.Context, txs []itemset.Itemset, k int, visit
 	return nil
 }
 
+// walk descends the trie against one transaction's tail. Cancellation
+// is WalkPass's job, checked once per 1024 transactions — a per-node
+// check here would put a branch on the innermost counting loop of
+// every level-wise miner.
+//
+//ar:nocancel bounded by transaction length and candidate size k
 func walk(n *trieNode, tx itemset.Itemset, visit func(int)) {
 	if n.leaf >= 0 {
 		visit(n.leaf)
