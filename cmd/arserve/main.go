@@ -9,6 +9,7 @@
 //	        [-table -sep , -header]
 //	        [-refresh 30s] [-refresh-timeout 1m]
 //	        [-request-timeout 5s] [-mine-timeout 0] [-max-k 100]
+//	        [-max-inflight 0] [-batch 0] [-batch-wait 2ms]
 //
 // Endpoints (see the server package for wire formats):
 //
@@ -73,6 +74,9 @@ type config struct {
 	refresh        time.Duration
 	refreshTimeout time.Duration
 	maxK           int
+	maxInflight    int
+	batch          int
+	batchWait      time.Duration
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -94,6 +98,9 @@ func parseFlags(args []string) (*config, error) {
 		refreshEvery   = fs.Duration("refresh", 0, "poll the input file and re-mine on change at this interval (0 = manual /admin/reload only)")
 		refreshTimeout = fs.Duration("refresh-timeout", 0, "deadline per refresh cycle (0 = same as -mine-timeout)")
 		maxK           = fs.Int("max-k", server.DefaultMaxRecommend, "cap on the k of a recommend request")
+		maxInflight    = fs.Int("max-inflight", 0, "per-endpoint admission cap; excess requests get a fast 429 (0 = off)")
+		batch          = fs.Int("batch", 0, "coalesce concurrent /recommend calls into batches of this size (0 = off)")
+		batchWait      = fs.Duration("batch-wait", 0, "max time a /recommend call waits for its batch to fill (0 = server default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -103,6 +110,9 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if *refreshEvery < 0 || *refreshTimeout < 0 {
 		return nil, fmt.Errorf("-refresh and -refresh-timeout must be non-negative")
+	}
+	if *maxInflight < 0 || *batch < 0 || *batchWait < 0 {
+		return nil, fmt.Errorf("-max-inflight, -batch and -batch-wait must be non-negative")
 	}
 	r := []rune(*sep)
 	if len(r) != 1 {
@@ -114,6 +124,7 @@ func parseFlags(args []string) (*config, error) {
 		exactBasis: *exactBasis, approxBasis: *approxBasis,
 		addr: *addr, reqTimeout: *reqTimeout, mineTimeout: *mineTimeout,
 		refresh: *refreshEvery, refreshTimeout: *refreshTimeout, maxK: *maxK,
+		maxInflight: *maxInflight, batch: *batch, batchWait: *batchWait,
 	}
 	if cfg.refreshTimeout == 0 {
 		cfg.refreshTimeout = cfg.mineTimeout
@@ -193,6 +204,9 @@ func setup(ctx context.Context, args []string) (*server.Server, *refresh.Refresh
 		RequestTimeout: cfg.reqTimeout,
 		MaxRecommend:   cfg.maxK,
 		Refresher:      ref,
+		MaxInFlight:    cfg.maxInflight,
+		BatchSize:      cfg.batch,
+		BatchMaxWait:   cfg.batchWait,
 	})
 	return srv, ref, cfg, nil
 }

@@ -331,6 +331,86 @@ func TestRefreshFlagPicksUpAppendedTransactions(t *testing.T) {
 	}
 }
 
+// TestServingKnobFlags pins that -max-inflight, -batch and -batch-wait
+// reach the server config: with a one-slot gate and a pinned batch the
+// stack sheds a concurrent burst with 429s, and healthz reports both
+// admission and batching blocks.
+func TestServingKnobFlags(t *testing.T) {
+	path := writeClassic(t)
+	srv, _, cfg, err := setup(context.Background(), []string{
+		"-in", path, "-minsup", "0.4",
+		"-max-inflight", "1", "-batch", "8", "-batch-wait", "100ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	if cfg.maxInflight != 1 || cfg.batch != 8 || cfg.batchWait != 100*time.Millisecond {
+		t.Fatalf("parsed knobs = %+v", cfg)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	const clients = 4
+	codes := make(chan int, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			resp, err := http.Post(ts.URL+"/recommend", "application/json",
+				strings.NewReader(`{"observed":[1],"k":3}`))
+			if err != nil {
+				codes <- 0
+				return
+			}
+			resp.Body.Close()
+			codes <- resp.StatusCode
+		}()
+	}
+	var ok, shed int
+	for i := 0; i < clients; i++ {
+		switch code := <-codes; code {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			shed++
+		default:
+			t.Errorf("unexpected status %d", code)
+		}
+	}
+	if ok < 1 || ok+shed != clients {
+		t.Errorf("ok=%d shed=%d, want every request answered and ≥1 admitted", ok, shed)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Admission *struct {
+			MaxInFlight int `json:"maxInFlight"`
+		} `json:"admission"`
+		Batching *struct {
+			BatchSize int `json:"batchSize"`
+		} `json:"batching"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Admission == nil || h.Admission.MaxInFlight != 1 {
+		t.Errorf("healthz admission = %+v, want maxInFlight 1", h.Admission)
+	}
+	if h.Batching == nil || h.Batching.BatchSize != 8 {
+		t.Errorf("healthz batching = %+v, want batchSize 8", h.Batching)
+	}
+
+	if _, err := parseFlags([]string{"-in", "x.dat", "-max-inflight", "-1"}); err == nil {
+		t.Error("negative -max-inflight accepted")
+	}
+	if _, err := parseFlags([]string{"-in", "x.dat", "-batch", "-1"}); err == nil {
+		t.Error("negative -batch accepted")
+	}
+}
+
 // TestRefreshTimeoutDefaultsToMineTimeout pins the flag fallback.
 func TestRefreshTimeoutDefaultsToMineTimeout(t *testing.T) {
 	cfg, err := parseFlags([]string{"-in", "x.dat", "-mine-timeout", "7s"})

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// The serving-side counterpart of the mining benchmark: every cell is
+// one (endpoint × concurrency) load-test of a live HTTP server —
+// p50/p99 latency, throughput and shed counts — and cells accumulate
+// in a committed BENCH_serving.json exactly like the mining cells in
+// BENCH_closedmining.json, so the read path's perf trajectory is
+// tracked, not remembered. The cmd/benchhttp command is the driver.
+
+// ServingSchema is the current schema version of ServingReport; bump
+// it when the JSON layout changes incompatibly.
+const ServingSchema = 1
+
+// ServingResult is one measured (endpoint, concurrency) serving cell.
+type ServingResult struct {
+	// Endpoint is the path exercised ("recommend", "support", ...).
+	Endpoint string `json:"endpoint"`
+	// Concurrency is the number of closed-loop client workers.
+	Concurrency int `json:"concurrency"`
+	// DurationMs is the measured wall-clock window.
+	DurationMs int64 `json:"duration_ms"`
+	// Requests counts every response received, any status.
+	Requests int64 `json:"requests"`
+	// OK counts 200 responses.
+	OK int64 `json:"ok"`
+	// Shed counts 429 responses (admission control at work).
+	Shed int64 `json:"shed"`
+	// Failed counts everything else: 5xx, unexpected 4xx, transport
+	// errors. A healthy run has zero.
+	Failed int64 `json:"failed"`
+	// RPS is Requests over the measured window.
+	RPS float64 `json:"rps"`
+	// P50Micros and P99Micros are latency percentiles over the
+	// admitted (200) responses, in microseconds.
+	P50Micros int64 `json:"p50_us"`
+	P99Micros int64 `json:"p99_us"`
+}
+
+// ServingRun is one load-test campaign: a set of cells measured
+// against one server configuration on one machine state.
+type ServingRun struct {
+	Label      string `json:"label"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Date       string `json:"date,omitempty"`
+	// Workload names the mined dataset backing the server.
+	Workload string  `json:"workload"`
+	MinSup   float64 `json:"minsup"`
+	MinConf  float64 `json:"minconf"`
+	// Batching reports whether recommend coalescing was on, and with
+	// which knobs (zero when off).
+	Batching    bool  `json:"batching"`
+	BatchSize   int   `json:"batch_size,omitempty"`
+	BatchWaitUs int64 `json:"batch_wait_us,omitempty"`
+	// MaxInFlight is the per-endpoint admission cap (0 = off).
+	MaxInFlight int `json:"max_inflight,omitempty"`
+	// Baskets is the size of the request pool the workers drew from —
+	// smaller pools mean warmer caches and more coalescing.
+	Baskets int             `json:"baskets"`
+	Results []ServingResult `json:"results"`
+}
+
+// ServingReport is the on-disk accumulation of serving runs
+// (BENCH_serving.json).
+type ServingReport struct {
+	Schema int          `json:"schema"`
+	Runs   []ServingRun `json:"runs"`
+}
+
+// ValidateServing checks a serving report for structural sanity — the
+// guard the CI smoke step relies on.
+func ValidateServing(r ServingReport) error {
+	if r.Schema != ServingSchema {
+		return fmt.Errorf("bench: serving report schema %d, want %d", r.Schema, ServingSchema)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("bench: serving report has no runs")
+	}
+	for i, run := range r.Runs {
+		if run.Label == "" {
+			return fmt.Errorf("bench: serving run %d has no label", i)
+		}
+		if run.GOMAXPROCS < 1 {
+			return fmt.Errorf("bench: serving run %q has GOMAXPROCS %d", run.Label, run.GOMAXPROCS)
+		}
+		if run.Workload == "" {
+			return fmt.Errorf("bench: serving run %q has no workload", run.Label)
+		}
+		if run.Batching && run.BatchSize < 1 {
+			return fmt.Errorf("bench: serving run %q claims batching with batch size %d", run.Label, run.BatchSize)
+		}
+		if len(run.Results) == 0 {
+			return fmt.Errorf("bench: serving run %q has no results", run.Label)
+		}
+		for _, res := range run.Results {
+			cell := fmt.Sprintf("run %q: cell %s/c%d", run.Label, res.Endpoint, res.Concurrency)
+			if res.Endpoint == "" {
+				return fmt.Errorf("bench: run %q has a result without an endpoint", run.Label)
+			}
+			if res.Concurrency < 1 {
+				return fmt.Errorf("bench: %s has concurrency %d", cell, res.Concurrency)
+			}
+			if res.DurationMs <= 0 || res.Requests <= 0 {
+				return fmt.Errorf("bench: %s not measured", cell)
+			}
+			if res.OK+res.Shed+res.Failed != res.Requests {
+				return fmt.Errorf("bench: %s: %d ok + %d shed + %d failed != %d requests",
+					cell, res.OK, res.Shed, res.Failed, res.Requests)
+			}
+			if res.OK > 0 && (res.P50Micros <= 0 || res.P99Micros < res.P50Micros) {
+				return fmt.Errorf("bench: %s has implausible percentiles p50=%dus p99=%dus",
+					cell, res.P50Micros, res.P99Micros)
+			}
+			if res.RPS <= 0 {
+				return fmt.Errorf("bench: %s has RPS %v", cell, res.RPS)
+			}
+		}
+	}
+	return nil
+}
+
+// ReadServingReport decodes and validates a serving report.
+func ReadServingReport(r io.Reader) (ServingReport, error) {
+	var rep ServingReport
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return rep, fmt.Errorf("bench: decoding serving report: %w", err)
+	}
+	if err := ValidateServing(rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// WriteServingReport validates and encodes a serving report.
+func WriteServingReport(w io.Writer, rep ServingReport) error {
+	if err := ValidateServing(rep); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Percentiles computes the p50 and p99 of a latency sample. The input
+// is sorted in place; an empty sample yields zeros.
+func Percentiles(lat []time.Duration) (p50, p99 time.Duration) {
+	if len(lat) == 0 {
+		return 0, 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat[percentileIndex(len(lat), 50)], lat[percentileIndex(len(lat), 99)]
+}
+
+// percentileIndex is the nearest-rank index of the p-th percentile in
+// a sorted sample of n.
+func percentileIndex(n, p int) int {
+	idx := (n*p + 99) / 100 // ceil(n*p/100), nearest-rank
+	if idx < 1 {
+		idx = 1
+	}
+	if idx > n {
+		idx = n
+	}
+	return idx - 1
+}

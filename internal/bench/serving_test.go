@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// validServingReport is a minimal report that passes validation;
+// tests mutate copies of it to probe each rule.
+func validServingReport() ServingReport {
+	return ServingReport{
+		Schema: ServingSchema,
+		Runs: []ServingRun{{
+			Label:      "baseline",
+			GOMAXPROCS: 1,
+			Workload:   "T10I4D2K",
+			MinSup:     0.01,
+			MinConf:    0.5,
+			Baskets:    64,
+			Results: []ServingResult{{
+				Endpoint:    "recommend",
+				Concurrency: 8,
+				DurationMs:  1000,
+				Requests:    1000,
+				OK:          990,
+				Shed:        10,
+				RPS:         1000,
+				P50Micros:   150,
+				P99Micros:   900,
+			}},
+		}},
+	}
+}
+
+func TestValidateServing(t *testing.T) {
+	if err := ValidateServing(validServingReport()); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*ServingReport)
+		wantErr string
+	}{
+		{"bad schema", func(r *ServingReport) { r.Schema = 99 }, "schema"},
+		{"no runs", func(r *ServingReport) { r.Runs = nil }, "no runs"},
+		{"no label", func(r *ServingReport) { r.Runs[0].Label = "" }, "label"},
+		{"bad gomaxprocs", func(r *ServingReport) { r.Runs[0].GOMAXPROCS = 0 }, "GOMAXPROCS"},
+		{"no workload", func(r *ServingReport) { r.Runs[0].Workload = "" }, "workload"},
+		{"batching without size", func(r *ServingReport) { r.Runs[0].Batching = true }, "batch size"},
+		{"no results", func(r *ServingReport) { r.Runs[0].Results = nil }, "no results"},
+		{"no endpoint", func(r *ServingReport) { r.Runs[0].Results[0].Endpoint = "" }, "endpoint"},
+		{"bad concurrency", func(r *ServingReport) { r.Runs[0].Results[0].Concurrency = 0 }, "concurrency"},
+		{"unmeasured", func(r *ServingReport) { r.Runs[0].Results[0].Requests = 0 }, "not measured"},
+		{"sum mismatch", func(r *ServingReport) { r.Runs[0].Results[0].Shed = 0 }, "!="},
+		{"p99 below p50", func(r *ServingReport) { r.Runs[0].Results[0].P99Micros = 100 }, "percentiles"},
+		{"no rps", func(r *ServingReport) { r.Runs[0].Results[0].RPS = 0 }, "RPS"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep := validServingReport()
+			tc.mutate(&rep)
+			err := ValidateServing(rep)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ValidateServing = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestServingReportRoundTrip(t *testing.T) {
+	rep := validServingReport()
+	var buf bytes.Buffer
+	if err := WriteServingReport(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadServingReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 1 || got.Runs[0].Label != "baseline" || got.Runs[0].Results[0].P99Micros != 900 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	// Unknown fields are a schema drift signal, not silently dropped.
+	if _, err := ReadServingReport(strings.NewReader(`{"schema":1,"runs":[],"extra":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var lat []time.Duration
+	for i := 100; i >= 1; i-- {
+		lat = append(lat, time.Duration(i)*time.Millisecond)
+	}
+	p50, p99 := Percentiles(lat)
+	if p50 != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", p50)
+	}
+	if p99 != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", p99)
+	}
+	if p50, p99 = Percentiles(nil); p50 != 0 || p99 != 0 {
+		t.Errorf("empty sample percentiles = %v, %v", p50, p99)
+	}
+	if p50, p99 = Percentiles([]time.Duration{7}); p50 != 7 || p99 != 7 {
+		t.Errorf("singleton percentiles = %v, %v", p50, p99)
+	}
+}

@@ -59,7 +59,7 @@ func (b BasisSelection) withDefaults() BasisSelection {
 
 // serviceState is an immutable-after-build snapshot of everything the
 // service answers from; Swap replaces it wholesale. Only the recCache
-// stripes mutate after build, each under its own lock.
+// stripes and the cache counters mutate after build.
 type serviceState struct {
 	numTx    int
 	minConf  float64
@@ -68,20 +68,49 @@ type serviceState struct {
 	fc       *closedset.Set
 	recRules []Rule // basis rules (exact + approximate) for Recommend
 	recCache *recCache
+
+	// cacheHits and cacheMisses count Recommend cache outcomes against
+	// THIS snapshot only; they are born zero at every Swap, so their
+	// ratio describes how warm the cache serving right now actually is
+	// (the QueryService-level counters accumulate across Swaps and
+	// would conflate snapshots).
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
 }
 
 // ServiceStats is a point-in-time snapshot of a QueryService's
-// operational counters. The cache counters accumulate across Swaps
-// (the cache itself is per-snapshot and starts empty after each Swap).
+// operational counters. The CacheHits/CacheMisses pair accumulates
+// across Swaps (the lifetime totals Prometheus counters want); the
+// Snapshot* pair counts only lookups against the snapshot serving at
+// the time of the Stats call, so its ratio describes the warmth of
+// the cache answering requests right now.
 type ServiceStats struct {
-	// CacheHits counts Recommend calls answered from the cache.
+	// CacheHits counts Recommend calls answered from the cache, across
+	// every snapshot served since the service was built.
 	CacheHits uint64
-	// CacheMisses counts Recommend calls that computed a fresh ranking.
+	// CacheMisses counts Recommend calls that computed a fresh ranking,
+	// across every snapshot served since the service was built.
 	CacheMisses uint64
 	// Swaps counts successful hot reloads.
 	Swaps uint64
 	// CacheEntries is the number of rankings currently cached.
 	CacheEntries int
+	// SnapshotCacheHits counts cache hits against the current snapshot
+	// only; it resets to zero at every Swap.
+	SnapshotCacheHits uint64
+	// SnapshotCacheMisses counts cache misses against the current
+	// snapshot only; it resets to zero at every Swap.
+	SnapshotCacheMisses uint64
+}
+
+// SnapshotHitRatio is SnapshotCacheHits over all lookups against the
+// current snapshot, or 0 before the snapshot's first lookup.
+func (s ServiceStats) SnapshotHitRatio() float64 {
+	total := s.SnapshotCacheHits + s.SnapshotCacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.SnapshotCacheHits) / float64(total)
 }
 
 // NewQueryService builds a service from a mining result, serving the
@@ -203,11 +232,14 @@ func (qs *QueryService) Swap(res *Result) error {
 
 // Stats returns a snapshot of the service's operational counters.
 func (qs *QueryService) Stats() ServiceStats {
+	st := qs.st.Load()
 	return ServiceStats{
-		CacheHits:    qs.cacheHits.Load(),
-		CacheMisses:  qs.cacheMisses.Load(),
-		Swaps:        qs.swaps.Load(),
-		CacheEntries: qs.st.Load().recCache.entries(),
+		CacheHits:           qs.cacheHits.Load(),
+		CacheMisses:         qs.cacheMisses.Load(),
+		Swaps:               qs.swaps.Load(),
+		CacheEntries:        st.recCache.entries(),
+		SnapshotCacheHits:   st.cacheHits.Load(),
+		SnapshotCacheMisses: st.cacheMisses.Load(),
 	}
 }
 
@@ -355,15 +387,23 @@ func (qs *QueryService) RecommendWithN(ctx context.Context, observed Itemset, k 
 	if k <= 0 {
 		return nil, 0, fmt.Errorf("closedrules: Recommend k %d < 1", k)
 	}
-	key := observed.Key() + "#" + strconv.Itoa(k)
 	st := qs.st.Load()
+	return qs.recommendFrom(st, observed, k), st.numTx, nil
+}
+
+// recommendFrom answers one recommendation from one pinned snapshot,
+// through its cache. The returned slice is the caller's to keep.
+func (qs *QueryService) recommendFrom(st *serviceState, observed Itemset, k int) []Rule {
+	key := observed.Key() + "#" + strconv.Itoa(k)
 	if cached, hit := st.recCache.get(key); hit {
 		qs.cacheHits.Add(1)
+		st.cacheHits.Add(1)
 		// Hand out a copy: a caller re-sorting its result must not
 		// corrupt the ranking served to the next cache hit.
-		return append([]Rule(nil), cached...), st.numTx, nil
+		return append([]Rule(nil), cached...)
 	}
 	qs.cacheMisses.Add(1)
+	st.cacheMisses.Add(1)
 
 	applicable := rules.WithAntecedentSubsetOf(st.recRules, observed)
 	novel := rules.Filter(applicable, func(r Rule) bool {
@@ -375,5 +415,58 @@ func (qs *QueryService) RecommendWithN(ctx context.Context, observed Itemset, k 
 	// the old snapshot's stripes is still correct (they are keyed to
 	// that snapshot and become garbage with it).
 	st.recCache.put(key, top)
-	return append([]Rule(nil), top...), st.numTx, nil
+	return append([]Rule(nil), top...)
+}
+
+// RecommendRequest is one item of a batched recommendation read (see
+// RecommendBatch): the observed basket and the ranking size k, the
+// same parameters Recommend takes.
+type RecommendRequest struct {
+	Observed Itemset
+	K        int
+}
+
+// RecommendBatchResult is one item's answer from RecommendBatch:
+// either a ranking or that item's validation error.
+type RecommendBatchResult struct {
+	Rules []Rule
+	Err   error
+}
+
+// RecommendBatch answers many recommendation requests from a single
+// snapshot load — the batch-aware read the serving layer's request
+// coalescer flushes into. Every request in the batch is answered from
+// the same snapshot (one atomic pointer load for the whole batch, and
+// one consistent numTx for lift), and requests sharing an (observed,
+// k) key within the batch are computed once. A request with an
+// invalid k fails individually through its RecommendBatchResult.Err;
+// only a context error fails the whole batch. Returned slices are the
+// caller's to keep.
+func (qs *QueryService) RecommendBatch(ctx context.Context, reqs []RecommendRequest) ([]RecommendBatchResult, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	st := qs.st.Load()
+	out := make([]RecommendBatchResult, len(reqs))
+	// computed memoizes this batch's rankings by key so duplicates hit
+	// at most the snapshot cache once and the rule walk never repeats.
+	computed := make(map[string][]Rule, len(reqs))
+	for i, req := range reqs {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		if req.K <= 0 {
+			out[i].Err = fmt.Errorf("closedrules: Recommend k %d < 1", req.K)
+			continue
+		}
+		key := req.Observed.Key() + "#" + strconv.Itoa(req.K)
+		if prev, ok := computed[key]; ok {
+			out[i].Rules = append([]Rule(nil), prev...)
+			continue
+		}
+		recs := qs.recommendFrom(st, req.Observed, req.K)
+		computed[key] = recs
+		out[i].Rules = recs
+	}
+	return out, st.numTx, nil
 }

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// limiter is one endpoint's admission gate: a fixed pool of in-flight
+// slots held for the life of a request. Acquire never blocks — a
+// request that finds no free slot is shed immediately with 429 (and a
+// Retry-After hint) instead of queueing into collapse, so overload
+// costs each rejected client microseconds rather than a timeout and
+// the server keeps its latency bounded for the requests it admits.
+type limiter struct {
+	slots chan struct{}
+	shed  atomic.Uint64
+}
+
+// newLimiter builds a gate admitting at most n concurrent requests.
+func newLimiter(n int) *limiter {
+	return &limiter{slots: make(chan struct{}, n)}
+}
+
+// tryAcquire claims a slot, or counts and reports a shed.
+func (l *limiter) tryAcquire() bool {
+	select {
+	case l.slots <- struct{}{}:
+		return true
+	default:
+		l.shed.Add(1)
+		return false
+	}
+}
+
+// release frees a slot claimed by tryAcquire.
+func (l *limiter) release() { <-l.slots }
+
+// inFlight is the number of requests currently holding slots.
+func (l *limiter) inFlight() int { return len(l.slots) }
+
+// shedCount is the number of requests rejected so far.
+func (l *limiter) shedCount() uint64 { return l.shed.Load() }
+
+// retryAfterSeconds is the Retry-After hint on a 429: query latencies
+// are milliseconds, so by the earliest moment a client can legally
+// retry the burst that shed it has drained.
+const retryAfterSeconds = "1"
+
+// admit wraps a query handler with the endpoint's admission gate; a
+// nil limiter (admission disabled) passes the handler through as-is.
+func (s *Server) admit(l *limiter, h http.HandlerFunc) http.HandlerFunc {
+	if l == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !l.tryAcquire() {
+			w.Header().Set("Retry-After", retryAfterSeconds)
+			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+		defer l.release()
+		h(w, r)
+	}
+}

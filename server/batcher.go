@@ -1,0 +1,277 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"closedrules"
+)
+
+// DefaultBatchMaxWait is how long an under-filled recommend batch
+// waits for company before flushing when Config.BatchMaxWait is 0.
+const DefaultBatchMaxWait = 2 * time.Millisecond
+
+// errBatcherStopped answers requests the batcher accepted but could
+// not flush before shutdown; the handler maps it to 503.
+var errBatcherStopped = errors.New("server: recommend batcher stopped")
+
+// batchAnswer is one item's response from a flush: a ranking measured
+// against the batch's snapshot, or the error that ended it.
+type batchAnswer struct {
+	rules []closedrules.Rule
+	numTx int
+	err   error
+}
+
+// batchItem carries one recommend call through the batcher: the
+// request, its enqueue time (per-item end-to-end timing), and a
+// buffered response channel so a flush never blocks on a caller that
+// gave up waiting.
+type batchItem struct {
+	req      closedrules.RecommendRequest
+	enqueued time.Time
+	done     chan batchAnswer
+}
+
+// batcherStats are the batcher's operational counters, all atomics so
+// the flush loop and the metrics scraper never share a lock.
+type batcherStats struct {
+	flushes        atomic.Uint64 // batches flushed
+	items          atomic.Uint64 // items flushed (answered or errored)
+	coalesced      atomic.Uint64 // items answered by another item's lookup
+	stopErrors     atomic.Uint64 // items errored by shutdown drain
+	queueWaitNanos atomic.Uint64 // cumulative per-item enqueue→flush wait
+	filling        atomic.Uint64 // size of the batch being collected right now
+}
+
+// flushFunc is the batch read a flush runs; production wires
+// QueryService.RecommendBatch, tests inject blocking doubles.
+type flushFunc func(ctx context.Context, reqs []closedrules.RecommendRequest) ([]closedrules.RecommendBatchResult, int, error)
+
+// recommendBatcher coalesces concurrent POST /recommend calls into
+// single snapshot reads — the MerkleBatcher idiom applied to the
+// serving hot path: a bounded input channel, a single collector
+// goroutine that flushes when the batch is full or the oldest item
+// has waited maxWait, and per-item response channels. Items in one
+// flush sharing an (observed, k) key are answered by one lookup, and
+// the whole batch reads one snapshot (one atomic pointer load and one
+// cache-stripe walk instead of N).
+//
+// Shutdown is two-phase: the batch being collected when Stop lands is
+// still flushed (accepted work is finished), while items still queued
+// behind it are errored with errBatcherStopped rather than leaked —
+// every accepted item gets exactly one answer.
+type recommendBatcher struct {
+	flush   flushFunc
+	size    int           // flush when a batch reaches this many items
+	maxWait time.Duration // flush when the oldest item has waited this long
+	timeout time.Duration // per-flush deadline (0 = none)
+
+	in   chan *batchItem
+	stop chan struct{}
+	done chan struct{}
+
+	// mu fences enqueue against Stop: Do enqueues under RLock after
+	// checking stopped, Stop flips stopped under Lock, so once Stop
+	// holds the lock no new item can slip past the shutdown drain.
+	mu      sync.RWMutex
+	stopped bool
+
+	stopOnce sync.Once
+	stats    batcherStats
+}
+
+// newRecommendBatcher builds and starts a batcher flushing through fn.
+func newRecommendBatcher(fn flushFunc, size int, maxWait, timeout time.Duration) *recommendBatcher {
+	if size < 1 {
+		size = 1
+	}
+	if maxWait <= 0 {
+		maxWait = DefaultBatchMaxWait
+	}
+	queueCap := 2 * size
+	if queueCap < 16 {
+		queueCap = 16
+	}
+	b := &recommendBatcher{
+		flush:   fn,
+		size:    size,
+		maxWait: maxWait,
+		timeout: timeout,
+		in:      make(chan *batchItem, queueCap),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+// Do submits one recommend request and waits for its batch to flush.
+// The context only bounds this caller's wait (and an enqueue into a
+// full queue); the flush itself runs under the batcher's own timeout
+// so one impatient client cannot cancel a batch other clients share.
+func (b *recommendBatcher) Do(ctx context.Context, req closedrules.RecommendRequest) ([]closedrules.Rule, int, error) {
+	it := &batchItem{req: req, enqueued: time.Now(), done: make(chan batchAnswer, 1)}
+	if err := b.enqueue(ctx, it); err != nil {
+		return nil, 0, err
+	}
+	select {
+	case ans := <-it.done:
+		return ans.rules, ans.numTx, ans.err
+	case <-ctx.Done():
+		return nil, 0, ctx.Err()
+	}
+}
+
+// enqueue hands the item to the collector, failing fast once Stop has
+// begun. Holding the read lock across the send is safe: Stop cannot
+// close b.stop until every in-flight enqueue releases the lock, and
+// the collector keeps draining b.in until then, so the send always
+// makes progress.
+func (b *recommendBatcher) enqueue(ctx context.Context, it *batchItem) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.stopped {
+		return errBatcherStopped
+	}
+	select {
+	case b.in <- it:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stop shuts the batcher down: the batch being collected is flushed,
+// queued items behind it are errored, and the collector goroutine
+// exits before Stop returns. Safe to call more than once.
+func (b *recommendBatcher) Stop() {
+	b.stopOnce.Do(func() {
+		b.mu.Lock()
+		b.stopped = true
+		close(b.stop)
+		b.mu.Unlock()
+		<-b.done
+	})
+}
+
+// run is the collector loop: one goroutine owns batch assembly, so
+// batching needs no locks on the hot path.
+func (b *recommendBatcher) run() {
+	defer close(b.done)
+	for {
+		// Poll stop first so a closed stop channel wins over queued
+		// items: after Stop, backlog is drained with errors, not served.
+		select {
+		case <-b.stop:
+			b.drainErr()
+			return
+		default:
+		}
+		select {
+		case it := <-b.in:
+			b.flushBatch(b.fill(it))
+		case <-b.stop:
+			b.drainErr()
+			return
+		}
+	}
+}
+
+// fill collects items for one batch: it returns when the batch is
+// full, maxWait has elapsed since the first item, or Stop lands (the
+// partial batch is still flushed — shutdown drain).
+func (b *recommendBatcher) fill(first *batchItem) []*batchItem {
+	batch := append(make([]*batchItem, 0, b.size), first)
+	b.stats.filling.Store(1)
+	defer b.stats.filling.Store(0)
+	timer := time.NewTimer(b.maxWait)
+	defer timer.Stop()
+	for len(batch) < b.size {
+		select {
+		case it := <-b.in:
+			batch = append(batch, it)
+			b.stats.filling.Store(uint64(len(batch)))
+		case <-timer.C:
+			return batch
+		case <-b.stop:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flushBatch answers every item of one batch from one batch read,
+// deduplicating identical (observed, k) keys so coalesced items share
+// a single lookup.
+func (b *recommendBatcher) flushBatch(batch []*batchItem) {
+	start := time.Now()
+	// Group items by coalescing key; groups[i] answers from reqs[i].
+	reqs := make([]closedrules.RecommendRequest, 0, len(batch))
+	groups := make([][]*batchItem, 0, len(batch))
+	byKey := make(map[string]int, len(batch))
+	for _, it := range batch {
+		b.stats.queueWaitNanos.Add(uint64(start.Sub(it.enqueued)))
+		key := it.req.Observed.Key() + "#" + strconv.Itoa(it.req.K)
+		idx, ok := byKey[key]
+		if !ok {
+			idx = len(reqs)
+			byKey[key] = idx
+			reqs = append(reqs, it.req)
+			groups = append(groups, nil)
+		} else {
+			b.stats.coalesced.Add(1)
+		}
+		groups[idx] = append(groups[idx], it)
+	}
+
+	ctx := context.Background()
+	if b.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.timeout)
+		defer cancel()
+	}
+	results, numTx, err := b.flush(ctx, reqs)
+
+	for idx, group := range groups {
+		for n, it := range group {
+			ans := batchAnswer{err: err}
+			if err == nil {
+				res := results[idx]
+				ans = batchAnswer{rules: res.Rules, numTx: numTx, err: res.Err}
+				if n > 0 && res.Err == nil {
+					// Fan-outs past the first get their own copy so no
+					// two callers share a mutable slice.
+					ans.rules = append([]closedrules.Rule(nil), res.Rules...)
+				}
+			}
+			it.done <- ans
+		}
+	}
+	b.stats.flushes.Add(1)
+	b.stats.items.Add(uint64(len(batch)))
+}
+
+// drainErr errors every item still queued at shutdown. It runs after
+// stopped is set under the write lock, so no new enqueue can race in;
+// once the queue reads empty it stays empty.
+func (b *recommendBatcher) drainErr() {
+	for {
+		select {
+		case it := <-b.in:
+			it.done <- batchAnswer{err: errBatcherStopped}
+			b.stats.stopErrors.Add(1)
+			b.stats.items.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// queueDepth is the number of items accepted but not yet collected
+// into a batch — the metrics gauge.
+func (b *recommendBatcher) queueDepth() int { return len(b.in) }

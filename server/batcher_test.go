@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"closedrules"
+)
+
+// echoFlush answers every request with a one-rule ranking derived
+// from its k, so tests can tell answers apart without a real service.
+func echoFlush(ctx context.Context, reqs []closedrules.RecommendRequest) ([]closedrules.RecommendBatchResult, int, error) {
+	out := make([]closedrules.RecommendBatchResult, len(reqs))
+	for i, req := range reqs {
+		out[i].Rules = []closedrules.Rule{{Antecedent: req.Observed, Consequent: closedrules.Items(req.K), Support: req.K}}
+	}
+	return out, 42, nil
+}
+
+// doAsync runs Do in a goroutine and delivers its return values.
+type doResult struct {
+	rules []closedrules.Rule
+	numTx int
+	err   error
+}
+
+func doAsync(b *recommendBatcher, req closedrules.RecommendRequest) <-chan doResult {
+	ch := make(chan doResult, 1)
+	go func() {
+		rules, numTx, err := b.Do(context.Background(), req)
+		ch <- doResult{rules, numTx, err}
+	}()
+	return ch
+}
+
+func waitResult(t *testing.T, ch <-chan doResult, within time.Duration) doResult {
+	t.Helper()
+	select {
+	case r := <-ch:
+		return r
+	case <-time.After(within):
+		t.Fatal("Do did not return in time")
+		return doResult{}
+	}
+}
+
+// TestBatcherFlushOnFull pins the batch-full trigger: with a maxWait
+// far beyond the test deadline, only the size trigger can explain the
+// flush.
+func TestBatcherFlushOnFull(t *testing.T) {
+	b := newRecommendBatcher(echoFlush, 3, time.Hour, 0)
+	defer b.Stop()
+	var chs []<-chan doResult
+	for i := 1; i <= 3; i++ {
+		chs = append(chs, doAsync(b, closedrules.RecommendRequest{Observed: closedrules.Items(0), K: i}))
+	}
+	for _, ch := range chs {
+		r := waitResult(t, ch, 5*time.Second)
+		if r.err != nil || r.numTx != 42 || len(r.rules) != 1 {
+			t.Fatalf("batched Do = %v, %d, %v", r.rules, r.numTx, r.err)
+		}
+	}
+	if got := b.stats.flushes.Load(); got != 1 {
+		t.Errorf("flushes = %d, want 1", got)
+	}
+	if got := b.stats.items.Load(); got != 3 {
+		t.Errorf("items = %d, want 3", got)
+	}
+}
+
+// TestBatcherFlushOnMaxWait pins the max-wait trigger and the
+// per-item wait accounting: a lone item in a size-100 batch must be
+// answered after roughly maxWait, and its measured queue wait must
+// reflect that.
+func TestBatcherFlushOnMaxWait(t *testing.T) {
+	const maxWait = 30 * time.Millisecond
+	b := newRecommendBatcher(echoFlush, 100, maxWait, 0)
+	defer b.Stop()
+	start := time.Now()
+	r := waitResult(t, doAsync(b, closedrules.RecommendRequest{Observed: closedrules.Items(1), K: 7}), 5*time.Second)
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if elapsed := time.Since(start); elapsed < maxWait/2 {
+		t.Errorf("lone item answered after %v, want ≈%v (max-wait flush)", elapsed, maxWait)
+	}
+	// Per-item timing propagated into the batcher's wait accounting.
+	if wait := time.Duration(b.stats.queueWaitNanos.Load()); wait < maxWait/2 {
+		t.Errorf("recorded queue wait %v, want ≈%v", wait, maxWait)
+	}
+	if got := b.stats.flushes.Load(); got != 1 {
+		t.Errorf("flushes = %d, want 1", got)
+	}
+}
+
+// TestBatcherCoalescesDuplicates pins in-batch deduplication: two
+// identical requests in one flush are answered by one lookup, and the
+// fanned-out slices are independent.
+func TestBatcherCoalescesDuplicates(t *testing.T) {
+	var mu sync.Mutex
+	var flushedReqs int
+	fn := func(ctx context.Context, reqs []closedrules.RecommendRequest) ([]closedrules.RecommendBatchResult, int, error) {
+		mu.Lock()
+		flushedReqs += len(reqs)
+		mu.Unlock()
+		return echoFlush(ctx, reqs)
+	}
+	b := newRecommendBatcher(fn, 2, time.Hour, 0)
+	defer b.Stop()
+	req := closedrules.RecommendRequest{Observed: closedrules.Items(3), K: 5}
+	ch1, ch2 := doAsync(b, req), doAsync(b, req)
+	r1 := waitResult(t, ch1, 5*time.Second)
+	r2 := waitResult(t, ch2, 5*time.Second)
+	if r1.err != nil || r2.err != nil {
+		t.Fatalf("errs = %v, %v", r1.err, r2.err)
+	}
+	mu.Lock()
+	if flushedReqs != 1 {
+		t.Errorf("flush saw %d unique requests, want 1", flushedReqs)
+	}
+	mu.Unlock()
+	if got := b.stats.coalesced.Load(); got != 1 {
+		t.Errorf("coalesced = %d, want 1", got)
+	}
+	// Fan-outs must not share a mutable slice.
+	r1.rules[0] = closedrules.Rule{}
+	if r2.rules[0].Support != 5 {
+		t.Error("coalesced callers share a rules slice")
+	}
+}
+
+// TestBatcherShutdownDrainFlushes pins the shutdown-drain trigger:
+// Stop lands while a partial batch is waiting on its timer, and that
+// batch is flushed with real answers, not errors.
+func TestBatcherShutdownDrainFlushes(t *testing.T) {
+	b := newRecommendBatcher(echoFlush, 10, time.Hour, 0)
+	ch := doAsync(b, closedrules.RecommendRequest{Observed: closedrules.Items(2), K: 9})
+	// Wait until the item is in the collector's partial batch, so Stop
+	// deterministically exercises the shutdown-drain flush.
+	waitFor(t, time.Second, func() bool { return b.stats.filling.Load() == 1 })
+	done := make(chan struct{})
+	go func() { b.Stop(); close(done) }()
+	r := waitResult(t, ch, 5*time.Second)
+	if r.err != nil || len(r.rules) != 1 {
+		t.Fatalf("drained item = %v, %v; want a real answer", r.rules, r.err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not return")
+	}
+}
+
+// TestBatcherStopErrorsQueuedItems pins the Stop-mid-batch contract:
+// items queued behind a batch that is mid-flush when Stop lands are
+// errored with errBatcherStopped — answered, not leaked — and new
+// submissions after Stop fail fast.
+func TestBatcherStopErrorsQueuedItems(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	var once sync.Once
+	fn := func(ctx context.Context, reqs []closedrules.RecommendRequest) ([]closedrules.RecommendBatchResult, int, error) {
+		once.Do(func() { close(entered) })
+		<-release
+		return echoFlush(ctx, reqs)
+	}
+	b := newRecommendBatcher(fn, 1, time.Hour, 0)
+
+	chA := doAsync(b, closedrules.RecommendRequest{Observed: closedrules.Items(0), K: 1})
+	<-entered // batch [A] is now mid-flush and the collector is busy
+	chB := doAsync(b, closedrules.RecommendRequest{Observed: closedrules.Items(0), K: 2})
+	chC := doAsync(b, closedrules.RecommendRequest{Observed: closedrules.Items(0), K: 3})
+	// B and C are accepted into the queue, not yet collected.
+	waitFor(t, time.Second, func() bool { return b.queueDepth() == 2 })
+
+	stopDone := make(chan struct{})
+	go func() { b.Stop(); close(stopDone) }()
+	// Stop flips stopped before waiting for the collector, so new
+	// submissions fail fast even while the flush is still blocked.
+	waitFor(t, time.Second, func() bool {
+		b.mu.RLock()
+		defer b.mu.RUnlock()
+		return b.stopped
+	})
+	if _, _, err := b.Do(context.Background(), closedrules.RecommendRequest{Observed: closedrules.Items(0), K: 4}); !errors.Is(err, errBatcherStopped) {
+		t.Fatalf("Do after Stop = %v, want errBatcherStopped", err)
+	}
+
+	close(release) // let the in-flight flush finish
+	if r := waitResult(t, chA, 5*time.Second); r.err != nil {
+		t.Fatalf("mid-flush item errored: %v", r.err)
+	}
+	for _, ch := range []<-chan doResult{chB, chC} {
+		if r := waitResult(t, ch, 5*time.Second); !errors.Is(r.err, errBatcherStopped) {
+			t.Fatalf("queued item = %v, %v; want errBatcherStopped", r.rules, r.err)
+		}
+	}
+	select {
+	case <-stopDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop did not return — collector goroutine leaked")
+	}
+	if got := b.stats.stopErrors.Load(); got != 2 {
+		t.Errorf("stopErrors = %d, want 2", got)
+	}
+}
+
+// TestBatcherDoHonorsContext pins that a caller's context bounds its
+// wait: the flush may continue for the rest of the batch, but the
+// cancelled caller returns immediately.
+func TestBatcherDoHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	fn := func(ctx context.Context, reqs []closedrules.RecommendRequest) ([]closedrules.RecommendBatchResult, int, error) {
+		<-release
+		return echoFlush(ctx, reqs)
+	}
+	b := newRecommendBatcher(fn, 1, time.Hour, 0)
+	// Unblock the flush BEFORE Stop waits on the collector (cleanups
+	// run LIFO), or Stop would deadlock against its own flush.
+	t.Cleanup(b.Stop)
+	t.Cleanup(func() { close(release) })
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := b.Do(ctx, closedrules.RecommendRequest{Observed: closedrules.Items(0), K: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Do = %v, want DeadlineExceeded", err)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, within time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !cond() {
+		t.Fatal("condition never held")
+	}
+}

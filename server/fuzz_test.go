@@ -1,0 +1,150 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+	"testing"
+
+	"closedrules"
+)
+
+// The fuzz targets drive the HTTP parameter parsers — /support and
+// /confidence itemset lists, /rules basis + minconf, the /recommend
+// JSON body — through the real handlers and assert the error
+// contract: malformed input is 400 (unparseable) or 422 (well-formed
+// but underivable), valid input is 200, and nothing panics or leaks a
+// 5xx. `go test` runs the seed corpus; `go test -fuzz=FuzzX ./server`
+// explores further.
+
+// fuzzServer builds one shared server for all fuzz iterations (mining
+// per-iteration would drown the fuzzer in setup).
+var fuzzServer = sync.OnceValue(func() *Server {
+	tx := [][]int{{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4}}
+	d, err := closedrules.NewDataset(tx)
+	if err != nil {
+		panic(err)
+	}
+	res, err := closedrules.MineContext(context.Background(), d, closedrules.WithMinSupport(0.4))
+	if err != nil {
+		panic(err)
+	}
+	qs, err := closedrules.NewQueryService(res, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	return New(qs, Config{})
+})
+
+// fuzzGet runs one GET through the handler without a network and
+// fails the test on any status outside allowed.
+func fuzzGet(t *testing.T, path string, query url.Values, allowed ...int) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	req.URL.RawQuery = query.Encode()
+	rec := httptest.NewRecorder()
+	fuzzServer().Handler().ServeHTTP(rec, req)
+	for _, code := range allowed {
+		if rec.Code == code {
+			return
+		}
+	}
+	t.Errorf("GET %s?%s = %d, want one of %v; body: %s", path, query.Encode(), rec.Code, allowed, rec.Body.String())
+}
+
+func FuzzParseItems(f *testing.F) {
+	for _, seed := range []string{"1,2", "", "a", "-1", ",", "0", " 3 , 4 ", "1,,2", "9999999999999999999", "1\x00"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		items, err := parseItems(raw)
+		if err == nil {
+			for _, it := range items {
+				if it < 0 {
+					t.Errorf("parseItems(%q) accepted negative item %d", raw, it)
+				}
+			}
+		}
+	})
+}
+
+func FuzzSupportParams(f *testing.F) {
+	for _, seed := range []string{"1,2", "", "x", "-3", "0,1,2,4", "3", "1," + strings.Repeat("2,", 100)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, items string) {
+		q := url.Values{}
+		if items != "" {
+			q.Set("items", items)
+		}
+		fuzzGet(t, "/support", q, http.StatusOK, http.StatusBadRequest)
+	})
+}
+
+func FuzzConfidenceParams(f *testing.F) {
+	f.Add("2", "0")
+	f.Add("", "")
+	f.Add("1", "1,4")
+	f.Add("-1", "x")
+	f.Add("3", "0")
+	f.Fuzz(func(t *testing.T, antecedent, consequent string) {
+		q := url.Values{}
+		if antecedent != "" {
+			q.Set("antecedent", antecedent)
+		}
+		if consequent != "" {
+			q.Set("consequent", consequent)
+		}
+		fuzzGet(t, "/confidence", q, http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity)
+	})
+}
+
+func FuzzRulesParams(f *testing.F) {
+	f.Add("luxenburger", "0.5", "", "")
+	f.Add("", "", "2", "0")
+	f.Add("nope", "0.5", "", "")
+	f.Add("luxenburger", "NaN", "", "")
+	f.Add("luxenburger", "-0.1", "", "")
+	f.Add("duquenne-guigues", "2", "1", "4")
+	f.Add("", "", "3", "0")
+	f.Fuzz(func(t *testing.T, basis, minconf, antecedent, consequent string) {
+		q := url.Values{}
+		for k, v := range map[string]string{"basis": basis, "minconf": minconf, "antecedent": antecedent, "consequent": consequent} {
+			if v != "" {
+				q.Set(k, v)
+			}
+		}
+		fuzzGet(t, "/rules", q, http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity)
+	})
+}
+
+func FuzzRecommendBody(f *testing.F) {
+	for _, seed := range [][]byte{
+		[]byte(`{"observed":[1],"k":3}`),
+		[]byte(`{}`),
+		[]byte(``),
+		[]byte(`{"observed":[-1],"k":3}`),
+		[]byte(`{"observed":[1],"k":-3}`),
+		[]byte(`{"observed":"no"}`),
+		[]byte(`[1,2,3]`),
+		[]byte(`{"observed":[1],"k":999999999}`),
+		[]byte("{\"observed\":[1],\"k\":3}garbage"),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/recommend", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		fuzzServer().Handler().ServeHTTP(rec, req)
+		switch rec.Code {
+		case http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity:
+		default:
+			t.Errorf("POST /recommend %q = %d, want 200/400/422; body: %s", body, rec.Code, rec.Body.String())
+		}
+	})
+}

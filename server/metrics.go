@@ -81,6 +81,15 @@ func (m *metricsRegistry) writePrometheus(w io.Writer, svc closedrules.ServiceSt
 	fmt.Fprintf(w, "# HELP closedrules_cache_misses_total Recommend calls that computed a fresh ranking.\n")
 	fmt.Fprintf(w, "# TYPE closedrules_cache_misses_total counter\n")
 	fmt.Fprintf(w, "closedrules_cache_misses_total %d\n", svc.CacheMisses)
+	fmt.Fprintf(w, "# HELP closedrules_snapshot_cache_hits Cache hits against the currently served snapshot (resets at every swap).\n")
+	fmt.Fprintf(w, "# TYPE closedrules_snapshot_cache_hits gauge\n")
+	fmt.Fprintf(w, "closedrules_snapshot_cache_hits %d\n", svc.SnapshotCacheHits)
+	fmt.Fprintf(w, "# HELP closedrules_snapshot_cache_misses Cache misses against the currently served snapshot (resets at every swap).\n")
+	fmt.Fprintf(w, "# TYPE closedrules_snapshot_cache_misses gauge\n")
+	fmt.Fprintf(w, "closedrules_snapshot_cache_misses %d\n", svc.SnapshotCacheMisses)
+	fmt.Fprintf(w, "# HELP closedrules_snapshot_cache_hit_ratio Hit ratio of the currently served snapshot's cache (0 before its first lookup).\n")
+	fmt.Fprintf(w, "# TYPE closedrules_snapshot_cache_hit_ratio gauge\n")
+	fmt.Fprintf(w, "closedrules_snapshot_cache_hit_ratio %.6f\n", svc.SnapshotHitRatio())
 	fmt.Fprintf(w, "# HELP closedrules_cache_entries Rankings currently cached.\n")
 	fmt.Fprintf(w, "# TYPE closedrules_cache_entries gauge\n")
 	fmt.Fprintf(w, "closedrules_cache_entries %d\n", svc.CacheEntries)
@@ -127,4 +136,46 @@ func (m *metricsRegistry) writePrometheus(w io.Writer, svc closedrules.ServiceSt
 	fmt.Fprintf(w, "# HELP closedrules_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE closedrules_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "closedrules_uptime_seconds %.3f\n", time.Since(m.start).Seconds())
+}
+
+// writeAdmission renders the admission-control families: one shed
+// counter and one in-flight gauge per gated endpoint, plus the
+// configured cap. Only called when admission control is enabled.
+func writeAdmission(w io.Writer, maxInFlight int, endpoints []string, limiters map[string]*limiter) {
+	fmt.Fprintf(w, "# HELP closedrules_http_max_inflight Configured per-endpoint in-flight cap.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_http_max_inflight gauge\n")
+	fmt.Fprintf(w, "closedrules_http_max_inflight %d\n", maxInFlight)
+	fmt.Fprintf(w, "# HELP closedrules_http_shed_total Requests shed with 429 by admission control, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_http_shed_total counter\n")
+	for _, e := range endpoints {
+		fmt.Fprintf(w, "closedrules_http_shed_total{endpoint=%q} %d\n", e, limiters[e].shedCount())
+	}
+	fmt.Fprintf(w, "# HELP closedrules_http_inflight Requests currently holding an admission slot, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_http_inflight gauge\n")
+	for _, e := range endpoints {
+		fmt.Fprintf(w, "closedrules_http_inflight{endpoint=%q} %d\n", e, limiters[e].inFlight())
+	}
+}
+
+// writeBatcher renders the recommend batcher families. Only called
+// when batching is enabled.
+func writeBatcher(w io.Writer, b *recommendBatcher) {
+	fmt.Fprintf(w, "# HELP closedrules_batch_flushes_total Recommend batches flushed.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_batch_flushes_total counter\n")
+	fmt.Fprintf(w, "closedrules_batch_flushes_total %d\n", b.stats.flushes.Load())
+	fmt.Fprintf(w, "# HELP closedrules_batch_items_total Recommend requests that went through the batcher.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_batch_items_total counter\n")
+	fmt.Fprintf(w, "closedrules_batch_items_total %d\n", b.stats.items.Load())
+	fmt.Fprintf(w, "# HELP closedrules_batch_coalesced_total Batched requests answered by another request's lookup.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_batch_coalesced_total counter\n")
+	fmt.Fprintf(w, "closedrules_batch_coalesced_total %d\n", b.stats.coalesced.Load())
+	fmt.Fprintf(w, "# HELP closedrules_batch_stop_errors_total Batched requests errored by shutdown drain.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_batch_stop_errors_total counter\n")
+	fmt.Fprintf(w, "closedrules_batch_stop_errors_total %d\n", b.stats.stopErrors.Load())
+	fmt.Fprintf(w, "# HELP closedrules_batch_wait_seconds_total Cumulative per-item wait between enqueue and flush.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_batch_wait_seconds_total counter\n")
+	fmt.Fprintf(w, "closedrules_batch_wait_seconds_total %.9f\n", float64(b.stats.queueWaitNanos.Load())/1e9)
+	fmt.Fprintf(w, "# HELP closedrules_batch_queue_depth Recommend requests accepted but not yet collected into a batch.\n")
+	fmt.Fprintf(w, "# TYPE closedrules_batch_queue_depth gauge\n")
+	fmt.Fprintf(w, "closedrules_batch_queue_depth %d\n", b.queueDepth())
 }

@@ -31,6 +31,19 @@
 // itemset) are 422. Shutdown is graceful: cancel the context passed
 // to Serve or ListenAndServe and in-flight requests get
 // Config.ShutdownGrace to finish.
+//
+// Two serving hot-path controls harden the server under heavy
+// traffic. Admission control (Config.MaxInFlight) puts a fixed pool
+// of in-flight slots in front of every query endpoint: a request
+// over the cap is shed immediately with 429 Too Many Requests and a
+// Retry-After hint instead of queueing into collapse, and the shed
+// and in-flight counts surface in /metrics and /healthz. Request
+// coalescing (Config.BatchSize, Config.BatchMaxWait) batches
+// concurrent POST /recommend calls into single snapshot reads —
+// identical baskets in a batch share one lookup — which is exactly
+// the access pattern the paper's condensed representation makes
+// cheap. cmd/benchhttp load-tests both knobs and tracks the results
+// in BENCH_serving.json.
 package server
 
 import (
@@ -92,22 +105,51 @@ type Config struct {
 	// does not Start or Stop the refresher — its lifecycle belongs to
 	// the caller (see cmd/arserve).
 	Refresher *refresh.Refresher
+	// MaxInFlight caps concurrently executing requests per query
+	// endpoint (support, confidence, rules, recommend — each gets its
+	// own gate, so a rules storm cannot starve recommend). A request
+	// over the cap is shed immediately with 429 + Retry-After instead
+	// of queued into collapse; sheds surface in /metrics
+	// (closedrules_http_shed_total) and /healthz. 0 disables
+	// admission control. Observability endpoints are never gated.
+	MaxInFlight int
+	// BatchSize enables recommend batching: concurrent POST
+	// /recommend calls are coalesced by a collector goroutine into
+	// single snapshot reads, flushed when BatchSize items are waiting
+	// or the oldest has waited BatchMaxWait. Identical (observed, k)
+	// requests in a flush share one lookup. 0 serves each request
+	// individually.
+	BatchSize int
+	// BatchMaxWait bounds how long an under-filled batch may hold its
+	// first request. 0 means DefaultBatchMaxWait. Only meaningful
+	// with BatchSize > 0.
+	BatchMaxWait time.Duration
 }
 
 // Server serves a QueryService over HTTP. Create one with New; it is
 // safe for concurrent use and a single instance handles all traffic.
+// A Server with batching enabled owns a collector goroutine: Serve
+// and ListenAndServe release it on shutdown, while Handler-only users
+// (tests mounting the mux) should call Close themselves.
 type Server struct {
-	qs       *closedrules.QueryService
-	cfg      Config
-	metrics  *metricsRegistry
-	handler  http.Handler
-	reloadMu sync.Mutex
+	qs        *closedrules.QueryService
+	cfg       Config
+	metrics   *metricsRegistry
+	handler   http.Handler
+	reloadMu  sync.Mutex
+	limiters  map[string]*limiter // per-endpoint admission gates (nil entries when disabled)
+	batcher   *recommendBatcher   // nil when batching is disabled
+	closeOnce sync.Once
 }
 
 // endpointNames are the metric label values, in exposition order.
 var endpointNames = []string{
 	"support", "confidence", "rules", "recommend", "bases", "healthz", "metrics", "reload",
 }
+
+// queryEndpoints are the endpoints admission control gates; the
+// observability and admin endpoints stay reachable under overload.
+var queryEndpoints = []string{"support", "confidence", "rules", "recommend"}
 
 // New builds a Server around the service, applying Config defaults.
 func New(qs *closedrules.QueryService, cfg Config) *Server {
@@ -121,17 +163,45 @@ func New(qs *closedrules.QueryService, cfg Config) *Server {
 		cfg.MaxRecommend = DefaultMaxRecommend
 	}
 	s := &Server{qs: qs, cfg: cfg, metrics: newMetricsRegistry(endpointNames)}
+	s.limiters = make(map[string]*limiter, len(queryEndpoints))
+	if cfg.MaxInFlight > 0 {
+		for _, e := range queryEndpoints {
+			s.limiters[e] = newLimiter(cfg.MaxInFlight)
+		}
+	}
+	if cfg.BatchSize > 0 {
+		// The flush deadline mirrors the per-request deadline: a batch
+		// is one request's worth of work shared by many.
+		flushTimeout := cfg.RequestTimeout
+		if flushTimeout < 0 {
+			flushTimeout = 0
+		}
+		s.batcher = newRecommendBatcher(qs.RecommendBatch, cfg.BatchSize, cfg.BatchMaxWait, flushTimeout)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /support", s.instrument("support", s.handleSupport))
-	mux.HandleFunc("GET /confidence", s.instrument("confidence", s.handleConfidence))
-	mux.HandleFunc("GET /rules", s.instrument("rules", s.handleRules))
-	mux.HandleFunc("POST /recommend", s.instrument("recommend", s.handleRecommend))
+	mux.HandleFunc("GET /support", s.instrument("support", s.admit(s.limiters["support"], s.handleSupport)))
+	mux.HandleFunc("GET /confidence", s.instrument("confidence", s.admit(s.limiters["confidence"], s.handleConfidence)))
+	mux.HandleFunc("GET /rules", s.instrument("rules", s.admit(s.limiters["rules"], s.handleRules)))
+	mux.HandleFunc("POST /recommend", s.instrument("recommend", s.admit(s.limiters["recommend"], s.handleRecommend)))
 	mux.HandleFunc("GET /bases", s.instrument("bases", s.handleBases))
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("POST /admin/reload", s.instrument("reload", s.handleReload))
 	s.handler = mux
 	return s
+}
+
+// Close releases the server's background resources (the recommend
+// batcher's collector goroutine): queued recommend calls are errored
+// with 503 rather than left hanging. Serve and ListenAndServe call it
+// on the way out; Handler-only users should call it when done. Safe
+// to call more than once.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		if s.batcher != nil {
+			s.batcher.Stop()
+		}
+	})
 }
 
 // Handler returns the server's routing handler, for mounting under a
@@ -155,6 +225,7 @@ func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
 // shuts down gracefully: in-flight requests get ShutdownGrace to
 // finish. A nil error means a clean shutdown.
 func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer s.Close()
 	srv := &http.Server{
 		Handler:           s.handler,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -236,6 +307,8 @@ func writeQueryError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusServiceUnavailable, "query deadline exceeded")
 	case errors.Is(err, context.Canceled):
 		writeError(w, statusClientClosedRequest, "client closed request")
+	case errors.Is(err, errBatcherStopped):
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
 	default:
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 	}
@@ -463,7 +536,16 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	recs, numTx, err := s.qs.RecommendWithN(ctx, closedrules.Items(req.Observed...), k)
+	var (
+		recs  []closedrules.Rule
+		numTx int
+		err   error
+	)
+	if s.batcher != nil {
+		recs, numTx, err = s.batcher.Do(ctx, closedrules.RecommendRequest{Observed: closedrules.Items(req.Observed...), K: k})
+	} else {
+		recs, numTx, err = s.qs.RecommendWithN(ctx, closedrules.Items(req.Observed...), k)
+	}
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -501,13 +583,46 @@ func (s *Server) handleBases(w http.ResponseWriter, r *http.Request) {
 }
 
 type healthJSON struct {
-	Status        string       `json:"status"`
-	Transactions  int          `json:"transactions"`
-	BasisRules    int          `json:"basisRules"`
-	Serving       servingJSON  `json:"serving"`
-	MinConfidence float64      `json:"minConfidence"`
-	Swaps         uint64       `json:"swaps"`
-	Refresh       *refreshJSON `json:"refresh,omitempty"`
+	Status        string         `json:"status"`
+	Transactions  int            `json:"transactions"`
+	BasisRules    int            `json:"basisRules"`
+	Serving       servingJSON    `json:"serving"`
+	MinConfidence float64        `json:"minConfidence"`
+	Swaps         uint64         `json:"swaps"`
+	Cache         cacheJSON      `json:"cache"`
+	Admission     *admissionJSON `json:"admission,omitempty"`
+	Batching      *batchingJSON  `json:"batching,omitempty"`
+	Refresh       *refreshJSON   `json:"refresh,omitempty"`
+}
+
+// cacheJSON is the healthz view of the recommendation cache serving
+// the CURRENT snapshot: the hit/miss pair resets at every Swap, so
+// HitRatio describes how warm the cache answering requests right now
+// actually is instead of conflating every snapshot since boot.
+type cacheJSON struct {
+	Hits     uint64  `json:"hits"`
+	Misses   uint64  `json:"misses"`
+	HitRatio float64 `json:"hitRatio"`
+	Entries  int     `json:"entries"`
+}
+
+// admissionJSON is the healthz view of the per-endpoint admission
+// gates; present only when Config.MaxInFlight is set.
+type admissionJSON struct {
+	MaxInFlight int               `json:"maxInFlight"`
+	InFlight    map[string]int    `json:"inFlight"`
+	Shed        map[string]uint64 `json:"shed"`
+}
+
+// batchingJSON is the healthz view of the recommend batcher; present
+// only when Config.BatchSize is set.
+type batchingJSON struct {
+	BatchSize  int     `json:"batchSize"`
+	MaxWaitMs  float64 `json:"maxWaitMs"`
+	Flushes    uint64  `json:"flushes"`
+	Items      uint64  `json:"items"`
+	Coalesced  uint64  `json:"coalesced"`
+	QueueDepth int     `json:"queueDepth"`
 }
 
 // refreshJSON is the healthz view of the background refresher's cycle
@@ -535,13 +650,43 @@ func (s *Server) refreshStats() *refresh.Stats {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	served := s.qs.ServedBases()
+	svc := s.qs.Stats()
 	out := healthJSON{
 		Status:        "ok",
 		Transactions:  s.qs.NumTransactions(),
 		BasisRules:    s.qs.NumRules(),
 		Serving:       servingJSON{Exact: served.Exact, Approximate: served.Approximate},
 		MinConfidence: s.qs.MinConfidence(),
-		Swaps:         s.qs.Swaps(),
+		Swaps:         svc.Swaps,
+		Cache: cacheJSON{
+			Hits:     svc.SnapshotCacheHits,
+			Misses:   svc.SnapshotCacheMisses,
+			HitRatio: svc.SnapshotHitRatio(),
+			Entries:  svc.CacheEntries,
+		},
+	}
+	if s.cfg.MaxInFlight > 0 {
+		adm := &admissionJSON{
+			MaxInFlight: s.cfg.MaxInFlight,
+			InFlight:    make(map[string]int, len(queryEndpoints)),
+			Shed:        make(map[string]uint64, len(queryEndpoints)),
+		}
+		for _, e := range queryEndpoints {
+			l := s.limiters[e]
+			adm.InFlight[e] = l.inFlight()
+			adm.Shed[e] = l.shedCount()
+		}
+		out.Admission = adm
+	}
+	if b := s.batcher; b != nil {
+		out.Batching = &batchingJSON{
+			BatchSize:  b.size,
+			MaxWaitMs:  float64(b.maxWait.Microseconds()) / 1e3,
+			Flushes:    b.stats.flushes.Load(),
+			Items:      b.stats.items.Load(),
+			Coalesced:  b.stats.coalesced.Load(),
+			QueueDepth: b.queueDepth(),
+		}
 	}
 	if st := s.refreshStats(); st != nil {
 		out.Refresh = &refreshJSON{
@@ -564,6 +709,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writePrometheus(w, s.qs.Stats(), s.qs.NumTransactions(), s.qs.NumRules(), s.refreshStats())
+	if s.cfg.MaxInFlight > 0 {
+		writeAdmission(w, s.cfg.MaxInFlight, queryEndpoints, s.limiters)
+	}
+	if s.batcher != nil {
+		writeBatcher(w, s.batcher)
+	}
 }
 
 // reloadJSON is the wire form of a successful reload. Transactions
