@@ -8,6 +8,7 @@
 //	        [-algo close] [-exact-basis duquenne-guigues] [-approx-basis luxenburger]
 //	        [-table -sep , -header]
 //	        [-refresh 30s] [-refresh-timeout 1m]
+//	        [-incremental=true] [-incremental-max-ratio 0.25]
 //	        [-request-timeout 5s] [-mine-timeout 0] [-max-k 100]
 //	        [-max-inflight 0] [-batch 0] [-batch-wait 2ms]
 //
@@ -25,11 +26,18 @@
 // -refresh set, the file is watched (mtime, size, checksum) and a
 // change re-mines and hot-swaps the served snapshot with zero
 // downtime — append transactions to -in and the served rules update
-// without a restart. Without -refresh nothing polls, but POST
-// /admin/reload still runs the same cycle logic on demand. Failed
-// cycles keep the old snapshot serving and back off exponentially;
-// /healthz and /metrics report the cycle counters. SIGINT/SIGTERM
-// trigger a graceful shutdown.
+// without a restart. When the change is a pure append (the old bytes
+// are an unmodified prefix of the new file) the refresher skips the
+// re-mine entirely and updates the served closed sets in place (see
+// the incremental package); -incremental=false forces full re-mines
+// and -incremental-max-ratio bounds how large an append batch the
+// incremental path accepts relative to the served dataset. Without
+// -refresh nothing polls, but POST /admin/reload still runs the same
+// cycle logic on demand (always as a full re-mine). Failed cycles
+// keep the old snapshot serving and back off exponentially; /healthz
+// and /metrics report the cycle counters, including the
+// closedrules_refresh_incremental_* families. SIGINT/SIGTERM trigger
+// a graceful shutdown.
 package main
 
 import (
@@ -77,6 +85,8 @@ type config struct {
 	maxInflight    int
 	batch          int
 	batchWait      time.Duration
+	incremental    bool
+	incrementalMax float64
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -101,6 +111,8 @@ func parseFlags(args []string) (*config, error) {
 		maxInflight    = fs.Int("max-inflight", 0, "per-endpoint admission cap; excess requests get a fast 429 (0 = off)")
 		batch          = fs.Int("batch", 0, "coalesce concurrent /recommend calls into batches of this size (0 = off)")
 		batchWait      = fs.Duration("batch-wait", 0, "max time a /recommend call waits for its batch to fill (0 = server default)")
+		incremental    = fs.Bool("incremental", true, "update the served snapshot in place when the input file grows by appended transactions, instead of re-mining")
+		incrementalMax = fs.Float64("incremental-max-ratio", 0, "largest append batch, as a fraction of the committed transaction count, still handled incrementally (0 = default 0.25)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -114,6 +126,9 @@ func parseFlags(args []string) (*config, error) {
 	if *maxInflight < 0 || *batch < 0 || *batchWait < 0 {
 		return nil, fmt.Errorf("-max-inflight, -batch and -batch-wait must be non-negative")
 	}
+	if *incrementalMax < 0 {
+		return nil, fmt.Errorf("-incremental-max-ratio must be non-negative")
+	}
 	r := []rune(*sep)
 	if len(r) != 1 {
 		return nil, fmt.Errorf("-sep must be a single character")
@@ -125,6 +140,7 @@ func parseFlags(args []string) (*config, error) {
 		addr: *addr, reqTimeout: *reqTimeout, mineTimeout: *mineTimeout,
 		refresh: *refreshEvery, refreshTimeout: *refreshTimeout, maxK: *maxK,
 		maxInflight: *maxInflight, batch: *batch, batchWait: *batchWait,
+		incremental: *incremental, incrementalMax: *incrementalMax,
 	}
 	if cfg.refreshTimeout == 0 {
 		cfg.refreshTimeout = cfg.mineTimeout
@@ -192,10 +208,12 @@ func setup(ctx context.Context, args []string) (*server.Server, *refresh.Refresh
 	// first poll does not re-mine identical data.
 	src.Commit()
 	ref, err := refresh.New(qs, refresh.Config{
-		Source:      src,
-		Interval:    cfg.refresh,
-		MineTimeout: cfg.refreshTimeout,
-		MineOptions: cfg.mineOptions(),
+		Source:              src,
+		Interval:            cfg.refresh,
+		MineTimeout:         cfg.refreshTimeout,
+		MineOptions:         cfg.mineOptions(),
+		DisableIncremental:  !cfg.incremental,
+		IncrementalMaxRatio: cfg.incrementalMax,
 	})
 	if err != nil {
 		return nil, nil, nil, err

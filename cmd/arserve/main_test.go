@@ -317,7 +317,9 @@ func TestRefreshFlagPicksUpAppendedTransactions(t *testing.T) {
 	var h struct {
 		Transactions int `json:"transactions"`
 		Refresh      *struct {
-			Running bool `json:"running"`
+			Running              bool   `json:"running"`
+			IncrementalSuccesses uint64 `json:"incrementalSuccesses"`
+			DeltaTransactions    uint64 `json:"deltaTransactions"`
 		} `json:"refresh"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
@@ -328,6 +330,11 @@ func TestRefreshFlagPicksUpAppendedTransactions(t *testing.T) {
 	}
 	if h.Refresh == nil || !h.Refresh.Running {
 		t.Errorf("healthz refresh block = %+v, want running", h.Refresh)
+	}
+	// A one-row append onto five committed rows is well under the
+	// default batch ratio, so the pickup must have been incremental.
+	if h.Refresh != nil && (h.Refresh.IncrementalSuccesses < 1 || h.Refresh.DeltaTransactions != 1) {
+		t.Errorf("healthz incremental counters = %+v, want ≥1 success over 1 delta transaction", h.Refresh)
 	}
 }
 
@@ -408,6 +415,28 @@ func TestServingKnobFlags(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-in", "x.dat", "-batch", "-1"}); err == nil {
 		t.Error("negative -batch accepted")
+	}
+}
+
+// TestIncrementalFlags pins the incremental-refresh knobs: on by
+// default, switchable off, ratio validated.
+func TestIncrementalFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{"-in", "x.dat"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.incremental || cfg.incrementalMax != 0 {
+		t.Errorf("defaults = incremental %v max %v, want true / 0 (refresh default)", cfg.incremental, cfg.incrementalMax)
+	}
+	cfg, err = parseFlags([]string{"-in", "x.dat", "-incremental=false", "-incremental-max-ratio", "0.5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.incremental || cfg.incrementalMax != 0.5 {
+		t.Errorf("parsed = incremental %v max %v, want false / 0.5", cfg.incremental, cfg.incrementalMax)
+	}
+	if _, err := parseFlags([]string{"-in", "x.dat", "-incremental-max-ratio", "-0.1"}); err == nil {
+		t.Error("negative -incremental-max-ratio accepted")
 	}
 }
 

@@ -6,6 +6,7 @@
 //
 //	benchjson -scale small -label "quick check" -out /tmp/bench.json
 //	benchjson -scale medium -append -out BENCH_closedmining.json
+//	benchjson -scale medium -live-append -append -out BENCH_closedmining.json
 //
 // Every (workload × miner) cell records ns/op, allocs/op, bytes/op and
 // the number of itemsets mined. With -append the new run is added to
@@ -13,6 +14,15 @@
 // the file is overwritten with a single-run report. The emitted file is
 // re-read and validated before the command exits 0, which is what the
 // CI smoke step relies on: malformed output is a non-zero exit.
+//
+// -live-append switches to the incremental-maintenance campaign: each
+// workload is replayed as a committed base plus -append-batches equal
+// append batches (sized by -append-fracs), and every batch is both
+// updated in place (internal/incremental) and re-mined from scratch
+// with the -remine baseline. The two paths are checked equivalent on
+// every batch; the emitted cells have kind "update" and miners
+// "incremental" vs "remine", and the remine/incremental speedup per
+// workload is printed.
 package main
 
 import (
@@ -20,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,10 +52,15 @@ func run(args []string, w *os.File) error {
 		out      = fs.String("out", "BENCH_closedmining.json", "output report path")
 		appendF  = fs.Bool("append", false, "append the run to an existing report instead of overwriting")
 		closedF  = fs.String("closed", "close,charm,pcharm", "comma-separated closed miners to bench")
-		freqF    = fs.String("frequent", "eclat,declat,peclat", "comma-separated frequent miners to bench")
+		freqF    = fs.String("frequent", "eclat,declat,peclat,pdeclat", "comma-separated frequent miners to bench")
 		minTime  = fs.Duration("mintime", 300*time.Millisecond, "minimum measuring time per cell")
 		maxIters = fs.Int("maxiters", 20, "maximum iterations per cell")
 		timeout  = fs.Duration("timeout", 0, "abort the whole campaign after this duration (0 = no limit)")
+
+		liveAppend  = fs.Bool("live-append", false, "run the live-append campaign (incremental update vs full re-mine) instead of the miner sweep")
+		appendFracs = fs.String("append-fracs", "0.001,0.01", "comma-separated per-batch append sizes as fractions of each workload")
+		appendN     = fs.Int("append-batches", 5, "append batches per live-append schedule")
+		remineF     = fs.String("remine", "charm", "closed miner used as the full re-mine baseline in -live-append")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,22 +79,43 @@ func run(args []string, w *os.File) error {
 		*label = fmt.Sprintf("%s %s", *scaleF, time.Now().UTC().Format("2006-01-02"))
 	}
 
-	cfg := bench.RunConfig{
-		Label:          *label,
-		Scale:          scale,
-		ClosedMiners:   splitList(*closedF),
-		FrequentMiners: splitList(*freqF),
-		MinTime:        *minTime,
-		MaxIters:       *maxIters,
-	}
-	newRun, skipped, err := bench.Execute(ctx, cfg)
-	if err != nil {
-		return err
+	var newRun bench.Run
+	if *liveAppend {
+		fracs, err := splitFloats(*appendFracs)
+		if err != nil {
+			return err
+		}
+		newRun, err = bench.ExecuteAppend(ctx, bench.AppendConfig{
+			Label:       *label,
+			Scale:       scale,
+			Fractions:   fracs,
+			Batches:     *appendN,
+			RemineMiner: *remineF,
+			MinTime:     *minTime,
+			MaxIters:    *maxIters,
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		cfg := bench.RunConfig{
+			Label:          *label,
+			Scale:          scale,
+			ClosedMiners:   splitList(*closedF),
+			FrequentMiners: splitList(*freqF),
+			MinTime:        *minTime,
+			MaxIters:       *maxIters,
+		}
+		var skipped []string
+		newRun, skipped, err = bench.Execute(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		for _, s := range skipped {
+			fmt.Fprintf(os.Stderr, "benchjson: miner %q not registered, skipped\n", s)
+		}
 	}
 	newRun.Date = time.Now().UTC().Format(time.RFC3339)
-	for _, s := range skipped {
-		fmt.Fprintf(os.Stderr, "benchjson: miner %q not registered, skipped\n", s)
-	}
 
 	rep := bench.Report{Schema: bench.ReportSchema}
 	if *appendF {
@@ -120,7 +157,11 @@ func run(args []string, w *os.File) error {
 
 	fmt.Fprintf(w, "wrote %s: %d run(s), %d result(s) in run %q\n",
 		*out, len(rep.Runs), len(newRun.Results), newRun.Label)
-	for base, subject := range map[string]string{"charm": "pcharm", "eclat": "peclat"} {
+	pairs := map[string]string{"charm": "pcharm", "eclat": "peclat", "declat": "pdeclat"}
+	if *liveAppend {
+		pairs = map[string]string{"remine": "incremental"}
+	}
+	for base, subject := range pairs {
 		for workload, speedup := range bench.Speedups(newRun, base, subject) {
 			fmt.Fprintf(w, "  %s: %s/%s speedup %.2fx\n", workload, subject, base, speedup)
 		}
@@ -136,4 +177,19 @@ func splitList(s string) []string {
 		}
 	}
 	return out
+}
+
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitList(s) {
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fraction %q: %w", p, err)
+		}
+		if f <= 0 || f >= 1 {
+			return nil, fmt.Errorf("fraction %q outside (0,1)", p)
+		}
+		out = append(out, f)
+	}
+	return out, nil
 }

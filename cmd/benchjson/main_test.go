@@ -67,4 +67,43 @@ func TestBadFlags(t *testing.T) {
 		"-closed", "charm", "-frequent", "", "-mintime", "1ms", "-maxiters", "1"}, os.Stdout); err == nil {
 		t.Error("unwritable output accepted")
 	}
+	if err := run([]string{"-live-append", "-append-fracs", "nope", "-scale", "small"}, os.Stdout); err == nil {
+		t.Error("unparseable -append-fracs accepted")
+	}
+	if err := run([]string{"-live-append", "-append-fracs", "1.5", "-scale", "small"}, os.Stdout); err == nil {
+		t.Error("out-of-range -append-fracs accepted")
+	}
+}
+
+func TestLiveAppendMode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	args := []string{
+		"-scale", "small", "-label", "live", "-out", out, "-live-append",
+		"-append-fracs", "0.01", "-append-batches", "2",
+		"-mintime", "1ms", "-maxiters", "1",
+	}
+	if err := run(args, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bench.ReadReport(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 1 {
+		t.Fatalf("runs = %d, want 1", len(rep.Runs))
+	}
+	// 4 workloads × (incremental + remine), all kind "update".
+	if got := len(rep.Runs[0].Results); got != 8 {
+		t.Fatalf("results = %d, want 8", got)
+	}
+	for _, r := range rep.Runs[0].Results {
+		if r.Kind != "update" {
+			t.Errorf("%s/%s kind = %q, want update", r.Workload, r.Miner, r.Kind)
+		}
+	}
 }

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/incremental"
+	"closedrules/internal/miner"
+)
+
+// The live-append benchmark: the experimental backbone of the
+// incremental-maintenance claim. Each cell replays an append schedule —
+// a workload split into a committed base plus a fixed number of equal
+// append batches — and measures, per batch, updating the closed-set
+// family in place (internal/incremental) against re-mining the grown
+// prefix from scratch. Both paths run on identical state inside the
+// same replay, and every batch's incremental result is checked
+// Set.Equal against the re-mine before it is trusted as the next
+// step's base, so a cell that reports a speedup has also proved
+// equivalence on its whole schedule.
+
+// AppendConfig configures one live-append campaign.
+type AppendConfig struct {
+	Label string
+	Scale Scale
+	// Fractions are the per-batch append sizes as fractions of the
+	// workload's transaction count (default 0.001 and 0.01).
+	Fractions []float64
+	// Batches is how many append batches each schedule replays
+	// (default 5).
+	Batches int
+	// RemineMiner is the registry name of the full re-mine baseline
+	// (default "charm" — the strongest sequential closed miner, so the
+	// reported speedup is against the toughest honest opponent).
+	RemineMiner string
+	// MinTime is the minimum measuring time per cell (default 300ms).
+	MinTime time.Duration
+	// MaxIters caps the schedule replays per cell (default 20).
+	MaxIters int
+}
+
+// ExecuteAppend runs the live-append campaign and returns one Run
+// whose cells have Kind "update": for every workload × fraction, a
+// Miner "incremental" cell (ns per in-place update) and a Miner
+// "remine" cell (ns per from-scratch re-mine of the same prefix).
+// Workload names carry the batch fraction, e.g. "MUSHROOMS*+1.0%".
+func ExecuteAppend(ctx context.Context, cfg AppendConfig) (Run, error) {
+	if len(cfg.Fractions) == 0 {
+		cfg.Fractions = []float64{0.001, 0.01}
+	}
+	if cfg.Batches <= 0 {
+		cfg.Batches = 5
+	}
+	if cfg.RemineMiner == "" {
+		cfg.RemineMiner = "charm"
+	}
+	if cfg.MinTime <= 0 {
+		cfg.MinTime = 300 * time.Millisecond
+	}
+	if cfg.MaxIters <= 0 {
+		cfg.MaxIters = 20
+	}
+	run := Run{Label: cfg.Label, Scale: scaleName(cfg.Scale), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	m, err := miner.LookupClosed(cfg.RemineMiner)
+	if err != nil {
+		return run, err
+	}
+	ws, err := Workloads(cfg.Scale)
+	if err != nil {
+		return run, err
+	}
+	for _, w := range ws {
+		for _, frac := range cfg.Fractions {
+			inc, rem, err := measureAppend(ctx, cfg, m, w, frac)
+			if err != nil {
+				return run, fmt.Errorf("bench: live-append %s at %.3f%%: %w", w.Name, frac*100, err)
+			}
+			run.Results = append(run.Results, inc, rem)
+		}
+	}
+	return run, nil
+}
+
+// measureAppend replays one append schedule until the time budget is
+// spent and returns the incremental and re-mine cells for it.
+func measureAppend(ctx context.Context, cfg AppendConfig, m miner.ClosedMiner, w Workload, frac float64) (inc, rem MinerResult, err error) {
+	n := w.D.NumTransactions()
+	batch := int(float64(n) * frac)
+	if batch < 1 {
+		batch = 1
+	}
+	base := n - cfg.Batches*batch
+	abs := w.D.AbsoluteSupport(w.RuleMinSup)
+	if base < 1 || abs > base {
+		return inc, rem, fmt.Errorf("schedule infeasible: base %d, batch %d, abs support %d", base, batch, abs)
+	}
+
+	// Untimed setup: the committed base family plus every grown prefix,
+	// each with its binary context warmed so neither path pays it.
+	baseDS, err := w.D.Slice(0, base)
+	if err != nil {
+		return inc, rem, err
+	}
+	baseDS.Context()
+	baseClosed, err := m.MineClosed(ctx, baseDS, abs)
+	if err != nil {
+		return inc, rem, err
+	}
+	baseSet := closedset.FromSlice(baseClosed)
+	prefixes := make([]*dataset.Dataset, cfg.Batches)
+	for i := range prefixes {
+		if prefixes[i], err = w.D.Slice(0, base+(i+1)*batch); err != nil {
+			return inc, rem, err
+		}
+		prefixes[i].Context()
+	}
+
+	var incNs, remNs int64
+	var sets, iters int
+	start := time.Now()
+	for iters == 0 || (time.Since(start) < cfg.MinTime && iters < cfg.MaxIters) {
+		if err := ctx.Err(); err != nil {
+			return inc, rem, err
+		}
+		prev, prevTx := baseSet, base
+		for i, full := range prefixes {
+			t0 := time.Now()
+			upd, err := incremental.Update(ctx, prev, abs, full, prevTx, abs)
+			incNs += time.Since(t0).Nanoseconds()
+			if err != nil {
+				return inc, rem, fmt.Errorf("incremental batch %d: %w", i, err)
+			}
+			t1 := time.Now()
+			remined, err := m.MineClosed(ctx, full, abs)
+			remNs += time.Since(t1).Nanoseconds()
+			if err != nil {
+				return inc, rem, fmt.Errorf("re-mine batch %d: %w", i, err)
+			}
+			// Equivalence is part of the benchmark contract: a fast wrong
+			// answer must fail the campaign, not enter the report.
+			if want := closedset.FromSlice(remined); !upd.Equal(want) || !want.Equal(upd) {
+				return inc, rem, fmt.Errorf("batch %d: incremental family differs from re-mine (%d vs %d closed sets)", i, upd.Len(), want.Len())
+			}
+			sets = upd.Len()
+			prev, prevTx = upd, full.NumTransactions()
+		}
+		iters++
+	}
+
+	name := fmt.Sprintf("%s+%.1f%%", w.Name, frac*100)
+	ops := int64(iters * cfg.Batches)
+	inc = MinerResult{
+		Workload: name, MinSup: w.RuleMinSup, Miner: "incremental", Kind: "update",
+		NsPerOp: incNs / ops, Sets: sets, Iterations: iters,
+	}
+	rem = MinerResult{
+		Workload: name, MinSup: w.RuleMinSup, Miner: "remine", Kind: "update",
+		NsPerOp: remNs / ops, Sets: sets, Iterations: iters,
+	}
+	return inc, rem, nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExecuteAppendMeasuresEveryCell(t *testing.T) {
+	run, err := ExecuteAppend(context.Background(), AppendConfig{
+		Label:     "append-test",
+		Scale:     Small,
+		Fractions: []float64{0.01},
+		Batches:   3,
+		MinTime:   time.Millisecond,
+		MaxIters:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 workloads × 1 fraction × (incremental + remine).
+	if len(run.Results) != 8 {
+		t.Fatalf("%d results, want 8", len(run.Results))
+	}
+	sets := map[string]int{}
+	for _, r := range run.Results {
+		if r.Kind != "update" {
+			t.Errorf("%s/%s kind = %q, want update", r.Workload, r.Miner, r.Kind)
+		}
+		if r.NsPerOp <= 0 || r.Iterations < 1 || r.Sets < 1 {
+			t.Errorf("unmeasured cell: %+v", r)
+		}
+		if !strings.HasSuffix(r.Workload, "+1.0%") {
+			t.Errorf("workload %q missing the batch-fraction suffix", r.Workload)
+		}
+		if prev, seen := sets[r.Workload]; seen && prev != r.Sets {
+			t.Errorf("%s: incremental and remine report different set counts (%d vs %d)", r.Workload, prev, r.Sets)
+		}
+		sets[r.Workload] = r.Sets
+	}
+	if got := Speedups(run, "remine", "incremental"); len(got) != 4 {
+		t.Errorf("Speedups paired %d workloads, want 4", len(got))
+	}
+	// An update run must round-trip the report pipeline.
+	rep := Report{Schema: ReportSchema, Runs: []Run{run}}
+	var sb strings.Builder
+	if err := WriteReport(&sb, rep); err != nil {
+		t.Fatalf("WriteReport: %v", err)
+	}
+	if _, err := ReadReport(strings.NewReader(sb.String())); err != nil {
+		t.Fatalf("ReadReport: %v", err)
+	}
+}
+
+func TestExecuteAppendValidation(t *testing.T) {
+	if _, err := ExecuteAppend(context.Background(), AppendConfig{
+		Label: "bad", Scale: Small, RemineMiner: "nosuchminer",
+	}); err == nil {
+		t.Error("unknown remine miner accepted")
+	}
+	// A batch fraction that consumes the whole dataset leaves no base.
+	if _, err := ExecuteAppend(context.Background(), AppendConfig{
+		Label: "bad", Scale: Small, Fractions: []float64{0.25}, Batches: 4,
+		MinTime: time.Millisecond, MaxIters: 1,
+	}); err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Errorf("err = %v, want schedule infeasible", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ExecuteAppend(ctx, AppendConfig{
+		Label: "cancelled", Scale: Small, Fractions: []float64{0.01},
+		MinTime: time.Millisecond, MaxIters: 1,
+	}); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}

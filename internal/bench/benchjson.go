@@ -30,7 +30,7 @@ type MinerResult struct {
 	Workload    string  `json:"workload"`
 	MinSup      float64 `json:"minsup"` // relative support used
 	Miner       string  `json:"miner"`  // registry name
-	Kind        string  `json:"kind"`   // "closed" or "frequent"
+	Kind        string  `json:"kind"`   // "closed", "frequent" or "update" (live-append)
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -201,7 +201,7 @@ func Validate(r Report) error {
 			if res.Workload == "" || res.Miner == "" {
 				return fmt.Errorf("bench: run %q has a result without workload or miner", run.Label)
 			}
-			if res.Kind != "closed" && res.Kind != "frequent" {
+			if res.Kind != "closed" && res.Kind != "frequent" && res.Kind != "update" {
 				return fmt.Errorf("bench: run %q: result %s/%s has kind %q", run.Label, res.Workload, res.Miner, res.Kind)
 			}
 			if res.NsPerOp <= 0 || res.Iterations <= 0 {

@@ -173,6 +173,42 @@ func (s Set) IntersectionCount(t Set) int {
 	return n
 }
 
+// IntersectionAtLeast reports whether |s ∩ t| ≥ k, returning as soon
+// as the partial popcount reaches k. It is the thresholded variant of
+// IntersectionCount for minimum-support pruning, where a surviving
+// extension never needs the exact cardinality: probes that pass exit
+// after a prefix of the words, and only failing probes pay the full
+// scan.
+//
+//ar:noalloc
+func (s Set) IntersectionAtLeast(t Set, k int) bool {
+	s.sameWidth(t)
+	if k <= 0 {
+		return true
+	}
+	// Popcount in branch-free blocks of 8 words and only then test the
+	// threshold: a per-word test would stall the popcount pipeline on
+	// the (common) failing probes that must scan everything anyway.
+	n, i := 0, 0
+	for ; i+8 <= len(s.words); i += 8 {
+		n += bits.OnesCount64(s.words[i]&t.words[i]) +
+			bits.OnesCount64(s.words[i+1]&t.words[i+1]) +
+			bits.OnesCount64(s.words[i+2]&t.words[i+2]) +
+			bits.OnesCount64(s.words[i+3]&t.words[i+3]) +
+			bits.OnesCount64(s.words[i+4]&t.words[i+4]) +
+			bits.OnesCount64(s.words[i+5]&t.words[i+5]) +
+			bits.OnesCount64(s.words[i+6]&t.words[i+6]) +
+			bits.OnesCount64(s.words[i+7]&t.words[i+7])
+		if n >= k {
+			return true
+		}
+	}
+	for ; i < len(s.words); i++ {
+		n += bits.OnesCount64(s.words[i] & t.words[i])
+	}
+	return n >= k
+}
+
 // AndInto sets dst = a ∩ b without allocating. All three sets must
 // share one width, and dst must not alias a or b: the implementation
 // reserves the right to reorder or vectorize the word loop, which is

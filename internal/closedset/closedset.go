@@ -125,6 +125,18 @@ func (s *Set) ensureSorted() []int {
 	return s.sorted
 }
 
+// Each calls fn for every closed itemset in unspecified order,
+// stopping early when fn returns false. Unlike All it neither sorts
+// nor copies, so hot paths that only need to see every element — not
+// canonical order — pay nothing per call.
+func (s *Set) Each(fn func(Closed) bool) {
+	for _, c := range s.list {
+		if !fn(c) {
+			return
+		}
+	}
+}
+
 // All returns the closed itemsets in canonical (size, lex) order.
 func (s *Set) All() []Closed {
 	sorted := s.ensureSorted()

@@ -150,6 +150,46 @@ func (d *Dataset) ItemSupports() []int {
 	return sup
 }
 
+// Slice returns the dataset restricted to the transactions [lo, hi),
+// sharing their itemset slices with the parent. The item universe and
+// name table are kept — a slice is the same context minus some
+// objects, not a re-numbered projection — which is what makes slices
+// composable with Concat: d.Slice(0, k) followed by the tail yields d
+// back, transaction for transaction.
+func (d *Dataset) Slice(lo, hi int) (*Dataset, error) {
+	if lo < 0 || hi < lo || hi > len(d.tx) {
+		return nil, fmt.Errorf("dataset: slice [%d,%d) outside [0,%d]", lo, hi, len(d.tx))
+	}
+	return &Dataset{tx: d.tx[lo:hi], numItems: d.numItems, names: d.names, ctxc: &ctxCache{}}, nil
+}
+
+// Concat returns the dataset holding a's transactions followed by b's —
+// the append composition the incremental refresh path builds its new
+// snapshot from. Transaction slices are shared with both parents. The
+// item universe is the larger of the two; the name table is taken from
+// whichever parent names that whole universe (preferring b, whose
+// names include any items first seen in the appended batch), or
+// dropped when neither does.
+func Concat(a, b *Dataset) (*Dataset, error) {
+	if a == nil || b == nil {
+		return nil, fmt.Errorf("dataset: Concat with nil dataset")
+	}
+	d := &Dataset{numItems: a.numItems, ctxc: &ctxCache{}}
+	if b.numItems > d.numItems {
+		d.numItems = b.numItems
+	}
+	d.tx = make([]itemset.Itemset, 0, len(a.tx)+len(b.tx))
+	d.tx = append(d.tx, a.tx...)
+	d.tx = append(d.tx, b.tx...)
+	switch {
+	case b.names != nil && len(b.names) >= d.numItems:
+		d.names = b.names
+	case a.names != nil && len(a.names) >= d.numItems:
+		d.names = a.names
+	}
+	return d, nil
+}
+
 // Context is the binary-matrix view of a dataset: Rows[o] is the intent
 // bitset of object o (over items), Cols[i] the extent bitset (tidset)
 // of item i (over objects).

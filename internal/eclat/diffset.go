@@ -34,59 +34,73 @@ func MineDiffsetContext(ctx context.Context, d *dataset.Dataset, minSup int) (*i
 	// Root level: keep plain tidsets; children switch to diffsets.
 	roots := frontier(c, minSup)
 
-	// node carries the diffset relative to its parent and its support.
-	type node struct {
-		item    int
-		diff    bitset.Set // parentTids ∖ tids(item within subtree)
-		support int
-	}
-
-	var recurse func(prefix itemset.Itemset, ext []node) error
-	recurse = func(prefix itemset.Itemset, ext []node) error {
-		for i, e := range ext {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			p := prefix.With(e.item)
-			fam.Add(p, e.support)
-			var next []node
-			for _, f := range ext[i+1:] {
-				// diffset(P∪{e,f}) = diff(f) ∖ diff(e); support drops by
-				// the size of that new diffset. Probe the size with a
-				// popcount-only pass and materialize survivors only.
-				sup := e.support - f.diff.AndNotCount(e.diff)
-				if sup >= minSup {
-					next = append(next, node{item: f.item, diff: f.diff.Difference(e.diff), support: sup})
-				}
-			}
-			if len(next) > 0 {
-				if err := recurse(p, next); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-
-	for i, e := range roots {
-		if err := ctx.Err(); err != nil {
+	for i := range roots {
+		if err := mineDiffClass(ctx, minSup, roots, i, fam.Add); err != nil {
 			return nil, err
-		}
-		p := itemset.Of(e.item)
-		fam.Add(p, e.sup)
-		var children []node
-		for _, f := range roots[i+1:] {
-			// First diffset level: d(e,f) = tids(e) ∖ tids(f).
-			sup := e.sup - e.tids.AndNotCount(f.tids)
-			if sup >= minSup {
-				children = append(children, node{item: f.item, diff: e.tids.Difference(f.tids), support: sup})
-			}
-		}
-		if len(children) > 0 {
-			if err := recurse(p, children); err != nil {
-				return nil, err
-			}
 		}
 	}
 	return fam, nil
+}
+
+// dnode carries the diffset relative to its parent and its support —
+// the dEclat analogue of entry.
+type dnode struct {
+	item    int
+	diff    bitset.Set // parentTids ∖ tids(item within subtree)
+	support int
+}
+
+// mineDiff walks the diffset subtree below prefix, reporting every
+// frequent itemset through add. Shared by the sequential and parallel
+// dEclat variants; add must be cheap and need not be thread-safe (each
+// caller owns its own sink).
+func mineDiff(ctx context.Context, minSup int, ext []dnode, prefix itemset.Itemset, add func(itemset.Itemset, int)) error {
+	for i, e := range ext {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		p := prefix.With(e.item)
+		add(p, e.support)
+		var next []dnode
+		for _, f := range ext[i+1:] {
+			// diffset(P∪{e,f}) = diff(f) ∖ diff(e); support drops by
+			// the size of that new diffset. Probe the size with a
+			// popcount-only pass and materialize survivors only.
+			sup := e.support - f.diff.AndNotCount(e.diff)
+			if sup >= minSup {
+				next = append(next, dnode{item: f.item, diff: f.diff.Difference(e.diff), support: sup})
+			}
+		}
+		if len(next) > 0 {
+			if err := mineDiff(ctx, minSup, next, p, add); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mineDiffClass mines the complete diffset subtree of root i — the
+// root itself plus every extension by later roots — reporting through
+// add. The wide root-level tidset differences happen here, so a
+// parallel caller pays them inside the worker.
+func mineDiffClass(ctx context.Context, minSup int, roots []entry, i int, add func(itemset.Itemset, int)) error {
+	e := roots[i]
+	p := itemset.Of(e.item)
+	add(p, e.sup)
+	var children []dnode
+	for _, f := range roots[i+1:] {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		// First diffset level: d(e,f) = tids(e) ∖ tids(f).
+		sup := e.sup - e.tids.AndNotCount(f.tids)
+		if sup >= minSup {
+			children = append(children, dnode{item: f.item, diff: e.tids.Difference(f.tids), support: sup})
+		}
+	}
+	if len(children) > 0 {
+		return mineDiff(ctx, minSup, children, p, add)
+	}
+	return nil
 }

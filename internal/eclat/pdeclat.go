@@ -1,0 +1,64 @@
+package eclat
+
+import (
+	"context"
+	"fmt"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/miner"
+)
+
+// Parallel dEclat: the same first-level-class decomposition as
+// MineParallel (peclat.go), but each worker walks its subtree with
+// diffset propagation instead of tidset intersection. Classes stay
+// independent — every itemset of class i has minimum item roots[i] —
+// so per-worker slices merged single-threaded reproduce the sequential
+// miner byte-for-byte.
+
+// MineDiffsetParallel mines all frequent itemsets with diffsets and
+// the given number of workers (≤ 0 means one); the result is identical
+// to MineDiffset.
+func MineDiffsetParallel(d *dataset.Dataset, minSup, workers int) (*itemset.Family, error) {
+	return MineDiffsetParallelContext(context.Background(), d, minSup, workers)
+}
+
+// MineDiffsetParallelContext is MineDiffsetParallel with cancellation,
+// checked by every worker at each prefix extension of its subtree.
+func MineDiffsetParallelContext(ctx context.Context, d *dataset.Dataset, minSup, workers int) (*itemset.Family, error) {
+	if minSup < 1 {
+		return nil, fmt.Errorf("eclat: minSup %d < 1", minSup)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	c := d.Context()
+	roots := frontier(c, minSup)
+	results := make([][]itemset.Counted, len(roots))
+
+	err := miner.RunPool(len(roots), workers, func(i int) error {
+		var local []itemset.Counted
+		add := func(p itemset.Itemset, sup int) {
+			local = append(local, itemset.Counted{Items: p, Support: sup})
+		}
+		if err := mineDiffClass(ctx, minSup, roots, i, add); err != nil {
+			return err
+		}
+		results[i] = local
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fam := itemset.NewFamily()
+	for _, local := range results {
+		for _, f := range local {
+			fam.Add(f.Items, f.Support)
+		}
+	}
+	return fam, nil
+}

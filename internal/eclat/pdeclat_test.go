@@ -1,0 +1,86 @@
+package eclat
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/testgen"
+)
+
+// TestMineDiffsetParallelByteIdentical checks that All() returns the
+// same itemsets, in the same order, with the same supports as the
+// sequential diffset miner, across worker counts.
+func TestMineDiffsetParallelByteIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(167))
+	for iter := 0; iter < 60; iter++ {
+		d := testgen.Random(r, 30, 12, 0.4)
+		minSup := 1 + r.Intn(4)
+		workers := 1 + r.Intn(6)
+		seq, err := MineDiffset(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := MineDiffsetParallel(d, minSup, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa, pa := seq.All(), par.All()
+		if len(sa) != len(pa) {
+			t.Fatalf("iter %d (workers %d): parallel %d itemsets, sequential %d", iter, workers, len(pa), len(sa))
+		}
+		for i := range sa {
+			if !sa[i].Items.Equal(pa[i].Items) || sa[i].Support != pa[i].Support {
+				t.Fatalf("iter %d (workers %d): element %d differs", iter, workers, i)
+			}
+		}
+	}
+}
+
+// TestMineDiffsetParallelMatchesEclat cross-checks the representations:
+// parallel diffsets against sequential tidset Eclat.
+func TestMineDiffsetParallelMatchesEclat(t *testing.T) {
+	r := rand.New(rand.NewSource(173))
+	for iter := 0; iter < 20; iter++ {
+		d := testgen.Correlated(r, 60, 5, 3, 0.15)
+		minSup := 2 + r.Intn(6)
+		want, err := Mine(d, minSup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := MineDiffsetParallel(d, minSup, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("iter %d: parallel diffset %d itemsets, eclat %d", iter, got.Len(), want.Len())
+		}
+	}
+}
+
+func TestMineDiffsetParallelCancelledMidMine(t *testing.T) {
+	r := rand.New(rand.NewSource(179))
+	d := testgen.Correlated(r, 200, 6, 3, 0.2)
+	ctx := &countdownCtx{Context: context.Background(), n: 40}
+	if _, err := MineDiffsetParallelContext(ctx, d, 2, 4); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMineDiffsetParallelEmptyAndValidation(t *testing.T) {
+	d, err := dataset.FromTransactions(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fam, err := MineDiffsetParallel(d, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fam.Len() != 0 {
+		t.Errorf("|FI| = %d on empty dataset", fam.Len())
+	}
+	if _, err := MineDiffsetParallel(d, 0, 2); err == nil {
+		t.Error("minSup 0 accepted")
+	}
+}

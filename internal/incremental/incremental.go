@@ -1,0 +1,368 @@
+// Package incremental maintains a mined family of frequent closed
+// itemsets under appended transactions, so the refresh layer can update
+// the served lattice instead of re-mining the whole dataset (the
+// simultaneous lattice-construction idea of Hamrouni et al., applied as
+// delta maintenance).
+//
+// The engine is exact, not approximate. For a pure append D' = D ∪ Δ
+// three facts make a delta algorithm complete:
+//
+//  1. Every itemset closed in D stays closed in D': appending objects
+//     only shrinks extents per-itemset intersection-wise, and the
+//     closure h_D'(A) ⊆ h_D(A) = A while A ⊆ h_D'(A) always, so the
+//     resident closed sets survive verbatim. Only their supports move,
+//     by exactly their support within Δ.
+//
+//  2. Every itemset newly closed in D' has a non-empty extent inside Δ
+//     (otherwise its D'-extent equals its D-extent and it would have
+//     been closed in D already), hence it is a subset of some appended
+//     transaction.
+//
+//  3. With a relative threshold the absolute minimum support is
+//     non-decreasing under appends, so an itemset frequent in D' that
+//     does not occur in Δ was already frequent in D — the resident
+//     family plus the subsets of appended rows cover all of FC(D').
+//
+// Update therefore (a) re-counts resident supports against a small
+// vertical Δ-context, and (b) runs a Close-by-One enumeration of the
+// closed sets of D' restricted to the items of each (maximal, distinct)
+// appended transaction, keeping candidates that are closed in the full
+// context and not already resident. Generators are not maintained —
+// minimality of a generator is a global property that an append can
+// break anywhere in the lattice — so callers that serve generator-based
+// bases must fall back to a full re-mine.
+package incremental
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"closedrules/internal/bitset"
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+)
+
+// pollEvery is the stride of context polls in the flat (non-recursive)
+// passes; the recursive enumeration checks on every extension instead.
+const pollEvery = 1024
+
+// Update derives FC(full, minSup) from prev = FC(D, prevMinSup), where
+// D is the prefix of full holding its first prevTx transactions. It
+// returns a fresh Set — prev is never mutated — whose closed itemsets
+// and supports are identical to what a full mine of full at minSup
+// would produce; generators are not carried over.
+//
+// The thresholds are absolute counts. minSup must be ≥ prevMinSup:
+// a lowered threshold can admit itemsets that were closed and
+// infrequent in D but absent from Δ, which no delta scan can recover;
+// Update refuses and the caller should re-mine. Likewise it refuses
+// when nothing was appended.
+func Update(ctx context.Context, prev *closedset.Set, prevMinSup int, full *dataset.Dataset, prevTx, minSup int) (*closedset.Set, error) {
+	if prev == nil || full == nil {
+		return nil, fmt.Errorf("incremental: nil previous set or dataset")
+	}
+	n := full.NumTransactions()
+	deltaN := n - prevTx
+	if prevTx < 1 || deltaN <= 0 {
+		return nil, fmt.Errorf("incremental: need a non-empty base and a non-empty delta (base %d, appended %d)", prevTx, deltaN)
+	}
+	if prevMinSup < 1 {
+		return nil, fmt.Errorf("incremental: previous minimum support %d < 1", prevMinSup)
+	}
+	if minSup < prevMinSup {
+		return nil, fmt.Errorf("incremental: minimum support lowered (%d -> %d); completeness requires a full re-mine", prevMinSup, minSup)
+	}
+	if minSup > n {
+		return nil, fmt.Errorf("incremental: minimum support %d exceeds %d transactions", minSup, n)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	u := &updater{
+		full:   full,
+		c:      full.Context(),
+		prev:   prev,
+		minSup: minSup,
+		out:    closedset.New(),
+	}
+
+	// Pass 1: vertical Δ-context. One bitset column of width |Δ| per
+	// item is enough to re-count every resident closed set by popcount
+	// of column intersections.
+	dcols := make([]bitset.Set, full.NumItems())
+	for i := range dcols {
+		dcols[i] = bitset.New(deltaN)
+	}
+	for o := prevTx; o < n; o++ {
+		for _, x := range full.Transaction(o) {
+			dcols[x].Add(o - prevTx)
+		}
+	}
+
+	// Pass 2: resident closed sets survive with support + Δ-support;
+	// the ones falling below the (possibly raised) threshold drop out.
+	// Iteration order is irrelevant here — Each skips the canonical
+	// sort-and-copy All would pay on every update of a refresh chain.
+	scratch := bitset.New(deltaN)
+	i := 0
+	prev.Each(func(cl closedset.Closed) bool {
+		if i++; i%pollEvery == 0 && ctx.Err() != nil {
+			return false
+		}
+		if sup := cl.Support + deltaSupport(dcols, deltaN, scratch, cl.Items); sup >= minSup {
+			u.out.Add(cl.Items, sup)
+		}
+		return true
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Pass 3: enumerate candidates among subsets of appended rows. Any
+	// closed set new to D' lies inside some appended transaction, hence
+	// inside a maximal one — deduplicate and drop dominated rows first,
+	// then run one Close-by-One over the full context pruned to the
+	// subsets of those rows.
+	if err := newEnum(u, maximalRows(full, prevTx)).run(ctx); err != nil {
+		return nil, err
+	}
+	return u.out, nil
+}
+
+// deltaSupport counts the appended transactions containing items, by
+// intersecting their Δ-columns. scratch must have width deltaN.
+func deltaSupport(dcols []bitset.Set, deltaN int, scratch bitset.Set, items itemset.Itemset) int {
+	switch len(items) {
+	case 0:
+		return deltaN
+	case 1:
+		return dcols[items[0]].Count()
+	case 2:
+		return dcols[items[0]].IntersectionCount(dcols[items[1]])
+	}
+	scratch.Copy(dcols[items[0]])
+	for _, x := range items[1 : len(items)-1] {
+		scratch.And(dcols[x])
+	}
+	return scratch.IntersectionCount(dcols[items[len(items)-1]])
+}
+
+// maximalRows returns the ⊆-maximal distinct transactions among the
+// appended suffix full[prevTx:]. Restricting the enumeration to them is
+// lossless: a subset of an appended row is a subset of a maximal one.
+func maximalRows(full *dataset.Dataset, prevTx int) []itemset.Itemset {
+	distinct := make([]itemset.Itemset, 0, full.NumTransactions()-prevTx)
+	seen := map[string]struct{}{}
+	for o := prevTx; o < full.NumTransactions(); o++ {
+		t := full.Transaction(o)
+		k := t.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		seen[k] = struct{}{}
+		distinct = append(distinct, t)
+	}
+	// Longest first, so a kept row can only be dominated by an earlier
+	// kept row.
+	sort.SliceStable(distinct, func(i, j int) bool { return len(distinct[i]) > len(distinct[j]) })
+	maximal := make([]itemset.Itemset, 0, len(distinct))
+outer:
+	for _, t := range distinct {
+		for _, m := range maximal {
+			if m.ContainsAll(t) {
+				continue outer
+			}
+		}
+		maximal = append(maximal, t)
+	}
+	return maximal
+}
+
+// updater carries the per-Update state shared by the passes.
+type updater struct {
+	full   *dataset.Dataset
+	c      *dataset.Context
+	prev   *closedset.Set
+	minSup int
+	out    *closedset.Set
+}
+
+// enum is one Close-by-One enumeration of the closed sets of the full
+// context, pruned to subsets of the appended maximal rows. Each node
+// tracks the rows that still contain its closure as a small bitmask;
+// when the mask empties the whole branch is abandoned, since descendant
+// closures are supersets. Compared to enumerating each row's projection
+// separately, prefixes shared between overlapping rows are visited once
+// — the difference between linear and constant in the number of
+// appended copies of a dense row — and canonicity makes every closed
+// set appear exactly once, so no seen-set or closedness re-check is
+// needed.
+type enum struct {
+	u        *updater
+	rows     []itemset.Itemset
+	rowsWith []bitset.Set // item -> rows whose transaction contains it
+	rowItems []bitset.Set // row -> its items, over the item universe
+	sup      []int        // item -> support in the full context
+	ext      []bitset.Set // per-depth extent scratch (object universe)
+	mask     []bitset.Set // per-depth row-mask scratch
+	allowed  []bitset.Set // per-depth allowed-item scratch (item universe)
+}
+
+// newEnum builds the shared state of a Pass-3 enumeration: vertical row
+// masks, per-item supports, and per-depth scratch buffers. Tree depth
+// is bounded by the longest row, because closures grow by at least one
+// item per level and must stay inside some row.
+func newEnum(u *updater, rows []itemset.Itemset) *enum {
+	e := &enum{u: u, rows: rows}
+	e.rowsWith = make([]bitset.Set, u.c.NumItems)
+	for i := range e.rowsWith {
+		e.rowsWith[i] = bitset.New(len(rows))
+	}
+	e.rowItems = make([]bitset.Set, len(rows))
+	maxLen := 0
+	for ri, row := range rows {
+		e.rowItems[ri] = bitset.New(u.c.NumItems)
+		for _, i := range row {
+			e.rowsWith[i].Add(ri)
+			e.rowItems[ri].Add(i)
+		}
+		if len(row) > maxLen {
+			maxLen = len(row)
+		}
+	}
+	e.sup = make([]int, u.c.NumItems)
+	for i, col := range u.c.Cols {
+		e.sup[i] = col.Count()
+	}
+	depth := maxLen + 2
+	e.ext = make([]bitset.Set, depth)
+	e.mask = make([]bitset.Set, depth)
+	e.allowed = make([]bitset.Set, depth)
+	for d := range e.ext {
+		e.ext[d] = bitset.New(u.c.NumObjects)
+		e.mask[d] = bitset.New(len(rows))
+		e.allowed[d] = bitset.New(u.c.NumItems)
+	}
+	return e
+}
+
+// run starts the enumeration at the closure of the full object set. Its
+// items occur in every transaction — in particular in every appended
+// row — so the root row mask stays full.
+func (e *enum) run(ctx context.Context) error {
+	if len(e.rows) == 0 {
+		return nil
+	}
+	root := bitset.Full(e.u.c.NumObjects)
+	var closure itemset.Itemset
+	if o := root.Next(0); o >= 0 {
+		for _, i := range e.u.full.Transaction(o) {
+			if root.IsSubsetOf(e.u.c.Cols[i]) {
+				closure = append(closure, i)
+			}
+		}
+	}
+	return e.visit(ctx, root, closure, bitset.Full(len(e.rows)), 0, 0)
+}
+
+// visit is one Close-by-One node: closure is closed in the full context
+// with the given extent, mask holds the rows containing it, and
+// extensions are tried with items ≥ start.
+func (e *enum) visit(ctx context.Context, extent bitset.Set, closure itemset.Itemset, mask bitset.Set, start, depth int) error {
+	e.emit(closure, extent)
+	allowed := e.allowedItems(mask, depth)
+	for j := allowed.Next(start); j >= 0; j = allowed.Next(j + 1) {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if e.sup[j] < e.u.minSup || closure.Contains(j) {
+			continue
+		}
+		col := e.u.c.Cols[j]
+		if !extent.IntersectionAtLeast(col, e.u.minSup) {
+			continue
+		}
+		ext := e.ext[depth].AndInto(extent, col)
+		next, m := e.close(ext, mask, closure, j, depth)
+		if next == nil {
+			continue
+		}
+		if !canonical(closure, next, j) {
+			continue
+		}
+		if err := e.visit(ctx, ext, next, m, j+1, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// close computes the full-context closure of ext — the extent of
+// closure extended by item j — together with the rows still containing
+// that closure. The closure is contained in every member transaction,
+// so scanning a single member bounds the candidate items. It returns a
+// nil itemset as soon as no appended row contains the closure.
+func (e *enum) close(ext, mask bitset.Set, closure itemset.Itemset, j, depth int) (itemset.Itemset, bitset.Set) {
+	m := e.mask[depth].AndInto(mask, e.rowsWith[j])
+	if m.IsEmpty() {
+		return nil, m
+	}
+	o := ext.Next(0)
+	if o < 0 {
+		return nil, m // unreachable: extents here have count ≥ minSup ≥ 1
+	}
+	t := e.u.full.Transaction(o)
+	out := make(itemset.Itemset, 0, len(t))
+	for _, i := range t {
+		switch {
+		case i == j || closure.Contains(i):
+			out = append(out, i)
+		case ext.IsSubsetOf(e.u.c.Cols[i]):
+			out = append(out, i)
+			m.And(e.rowsWith[i])
+			if m.IsEmpty() {
+				return nil, m
+			}
+		}
+	}
+	return out, m
+}
+
+// allowedItems returns the union of the items of the rows in mask: only
+// they can extend the closure without leaving every appended row.
+func (e *enum) allowedItems(mask bitset.Set, depth int) bitset.Set {
+	buf := e.allowed[depth]
+	buf.Clear()
+	mask.ForEach(func(ri int) bool {
+		buf.Or(e.rowItems[ri])
+		return true
+	})
+	return buf
+}
+
+// canonical is the Close-by-One test: extending closure with j is
+// canonical iff the resulting closure adds no item smaller than j —
+// otherwise the same closed set is generated from that smaller item.
+func canonical(closure, next itemset.Itemset, j int) bool {
+	for _, i := range next {
+		if i >= j {
+			return true
+		}
+		if !closure.Contains(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// emit settles one closed set: residents were already carried over with
+// their recounted supports in pass 2; anything else is new to D'.
+func (e *enum) emit(closure itemset.Itemset, extent bitset.Set) {
+	if e.u.prev.Contains(closure) {
+		return
+	}
+	e.u.out.Add(closure, extent.Count())
+}

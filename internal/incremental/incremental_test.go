@@ -1,0 +1,290 @@
+package incremental
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"closedrules/internal/bitset"
+	"closedrules/internal/charm"
+	"closedrules/internal/closedset"
+	"closedrules/internal/dataset"
+	"closedrules/internal/itemset"
+	"closedrules/internal/testgen"
+)
+
+// fullMine is the reference: an ordinary mine of the whole dataset.
+func fullMine(t *testing.T, d *dataset.Dataset, minSup int) *closedset.Set {
+	t.Helper()
+	fc, err := charm.MineContext(context.Background(), d, minSup)
+	if err != nil {
+		t.Fatalf("charm mine: %v", err)
+	}
+	return fc
+}
+
+// requireEqual asserts the two sets hold the same itemsets and supports.
+func requireEqual(t *testing.T, got, want *closedset.Set, label string) {
+	t.Helper()
+	if got.Equal(want) && want.Equal(got) {
+		return
+	}
+	t.Fatalf("%s: incremental FC differs from full mine\n got %d closed sets: %v\nwant %d closed sets: %v",
+		label, got.Len(), got.All(), want.Len(), want.All())
+}
+
+// randomDataset draws a dataset with at least min transactions.
+func randomDataset(r *rand.Rand, min int) *dataset.Dataset {
+	for {
+		d := testgen.Random(r, 60, 10, 0.35)
+		if d.NumTransactions() >= min {
+			return d
+		}
+	}
+}
+
+// TestUpdateMatchesFullMineRandom replays random append schedules over
+// random datasets and checks each incremental step against a full mine
+// of the same prefix at the same (relative, hence non-decreasing
+// absolute) threshold.
+func TestUpdateMatchesFullMineRandom(t *testing.T) {
+	ctx := context.Background()
+	for seed := 0; seed < 10; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)*7919 + 1))
+		d := randomDataset(r, 12)
+		n := d.NumTransactions()
+		rel := 0.1 + 0.2*r.Float64()
+
+		cur := 4 + r.Intn(n/2)
+		base, err := d.Slice(0, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevMin := base.AbsoluteSupport(rel)
+		fc := fullMine(t, base, prevMin)
+		for cur < n {
+			hi := cur + 1 + r.Intn(5)
+			if hi > n {
+				hi = n
+			}
+			full, err := d.Slice(0, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			minSup := full.AbsoluteSupport(rel)
+			got, err := Update(ctx, fc, prevMin, full, cur, minSup)
+			if err != nil {
+				t.Fatalf("seed %d: Update(%d->%d): %v", seed, cur, hi, err)
+			}
+			requireEqual(t, got, fullMine(t, full, minSup), "random schedule")
+			fc, prevMin, cur = got, minSup, hi
+		}
+	}
+}
+
+// TestUpdateMatchesFullMineCorrelated repeats the schedule check in the
+// correlated regime (many equal-support itemsets, dense rows).
+func TestUpdateMatchesFullMineCorrelated(t *testing.T) {
+	ctx := context.Background()
+	for seed := 0; seed < 4; seed++ {
+		r := rand.New(rand.NewSource(int64(seed)*104729 + 3))
+		d := testgen.Correlated(r, 40, 5, 3, 0.2)
+		n := d.NumTransactions()
+		cur := n / 2
+		base, err := d.Slice(0, cur)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevMin := base.AbsoluteSupport(0.25)
+		fc := fullMine(t, base, prevMin)
+		for cur < n {
+			hi := cur + 1 + r.Intn(4)
+			if hi > n {
+				hi = n
+			}
+			full, err := d.Slice(0, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			minSup := full.AbsoluteSupport(0.25)
+			got, err := Update(ctx, fc, prevMin, full, cur, minSup)
+			if err != nil {
+				t.Fatalf("seed %d: Update: %v", seed, err)
+			}
+			requireEqual(t, got, fullMine(t, full, minSup), "correlated schedule")
+			fc, prevMin, cur = got, minSup, hi
+		}
+	}
+}
+
+// TestUpdateGrowsItemUniverse appends transactions that mention items
+// the base dataset has never seen; the concatenated universe is wider
+// than the one the resident family was mined in.
+func TestUpdateGrowsItemUniverse(t *testing.T) {
+	base, err := dataset.FromTransactions([][]int{
+		{0, 1, 2}, {0, 2}, {1, 2}, {0, 1}, {2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended, err := dataset.FromTransactions([][]int{
+		{0, 2, 7}, {1, 7, 9}, {7, 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := dataset.Concat(base, appended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumItems() != 10 {
+		t.Fatalf("concat universe = %d, want 10", full.NumItems())
+	}
+	fc := fullMine(t, base, 1)
+	got, err := Update(context.Background(), fc, 1, full, base.NumTransactions(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, got, fullMine(t, full, 2), "grown universe")
+}
+
+// TestUpdateEmptyAndDuplicateRows exercises appended batches containing
+// empty transactions and exact duplicates of base rows.
+func TestUpdateEmptyAndDuplicateRows(t *testing.T) {
+	d, err := dataset.FromTransactions([][]int{
+		{0, 1, 2}, {0, 2}, {1, 2}, {0, 1, 2}, // base
+		{}, {0, 2}, {0, 1, 2}, {}, // appended
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Slice(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fullMine(t, base, 1)
+	got, err := Update(context.Background(), fc, 1, d, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireEqual(t, got, fullMine(t, d, 2), "empty and duplicate rows")
+}
+
+// TestUpdateRefusals covers the inputs Update must reject: lowered
+// thresholds, empty deltas, empty bases, thresholds above |O|.
+func TestUpdateRefusals(t *testing.T) {
+	d, err := dataset.FromTransactions([][]int{{0, 1}, {0}, {1}, {0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Slice(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fullMine(t, base, 2)
+	ctx := context.Background()
+	cases := []struct {
+		name            string
+		prevTx          int
+		prevMin, minSup int
+	}{
+		{"lowered threshold", 2, 2, 1},
+		{"empty delta", 4, 2, 2},
+		{"empty base", 0, 2, 2},
+		{"threshold above n", 2, 2, 5},
+		{"bad prev threshold", 2, 0, 2},
+	}
+	for _, tc := range cases {
+		if _, err := Update(ctx, fc, tc.prevMin, d, tc.prevTx, tc.minSup); err == nil {
+			t.Errorf("%s: Update accepted, want error", tc.name)
+		}
+	}
+	if _, err := Update(ctx, nil, 2, d, 2, 2); err == nil {
+		t.Error("nil previous set accepted")
+	}
+}
+
+// TestUpdateCancellation: a cancelled context aborts the update.
+func TestUpdateCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	d := randomDataset(r, 20)
+	base, err := d.Slice(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fullMine(t, base, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Update(ctx, fc, 2, d, 10, 2); err != context.Canceled {
+		t.Fatalf("Update on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestUpdateDoesNotMutatePrev: the resident family must be reusable for
+// retries (the refresher falls back to a full mine on error).
+func TestUpdateDoesNotMutatePrev(t *testing.T) {
+	d, err := dataset.FromTransactions([][]int{
+		{0, 1, 2}, {0, 2}, {1, 2}, {0, 1, 2}, {0, 1}, {2}, {0, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := d.Slice(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := fullMine(t, base, 1)
+	before := fc.All()
+	if _, err := Update(context.Background(), fc, 1, d, 4, 2); err != nil {
+		t.Fatal(err)
+	}
+	after := fc.All()
+	if len(before) != len(after) {
+		t.Fatalf("prev mutated: %d -> %d closed sets", len(before), len(after))
+	}
+	for i := range before {
+		if !before[i].Items.Equal(after[i].Items) || before[i].Support != after[i].Support {
+			t.Fatalf("prev mutated at %d: %v/%d -> %v/%d",
+				i, before[i].Items, before[i].Support, after[i].Items, after[i].Support)
+		}
+	}
+}
+
+// TestDeltaSupport checks the vertical Δ-count helper directly.
+func TestDeltaSupport(t *testing.T) {
+	d, err := dataset.FromTransactions([][]int{
+		{0, 1, 2}, {0, 2}, {1, 2}, {2}, {0, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Δ = last 3 rows; build the Δ-columns exactly as Update does.
+	n, prevTx := d.NumTransactions(), 2
+	deltaN := n - prevTx
+	dc := make([]bitset.Set, d.NumItems())
+	for i := range dc {
+		dc[i] = bitset.New(deltaN)
+	}
+	for o := prevTx; o < n; o++ {
+		for _, x := range d.Transaction(o) {
+			dc[x].Add(o - prevTx)
+		}
+	}
+	scratch := bitset.New(deltaN)
+	cases := []struct {
+		items itemset.Itemset
+		want  int
+	}{
+		{itemset.Of(), 3},
+		{itemset.Of(2), 3},
+		{itemset.Of(0), 1},
+		{itemset.Of(0, 1), 1},
+		{itemset.Of(0, 1, 2), 1},
+		{itemset.Of(1, 2), 2},
+	}
+	for _, tc := range cases {
+		if got := deltaSupport(dc, deltaN, scratch, tc.items); got != tc.want {
+			t.Errorf("deltaSupport(%v) = %d, want %d", tc.items, got, tc.want)
+		}
+	}
+}

@@ -68,6 +68,19 @@ func TestParallelMinersMatchSequentialOnGeneratorWorkloads(t *testing.T) {
 				t.Fatalf("%s: frequent itemset %d differs", w.name, i)
 			}
 		}
+
+		parDI, err := MineFrequentContext(ctx, w.ds, WithMinSupport(w.minSup), WithAlgorithm("pdeclat"), WithParallelism(4))
+		if err != nil {
+			t.Fatalf("%s pdeclat: %v", w.name, err)
+		}
+		if len(seqFI) != len(parDI) {
+			t.Fatalf("%s: pdeclat %d itemsets, eclat %d", w.name, len(parDI), len(seqFI))
+		}
+		for i := range seqFI {
+			if !seqFI[i].Items.Equal(parDI[i].Items) || seqFI[i].Support != parDI[i].Support {
+				t.Fatalf("%s: pdeclat frequent itemset %d differs", w.name, i)
+			}
+		}
 	}
 }
 
@@ -84,7 +97,7 @@ func TestParallelMinersHonorDeadlineMidMine(t *testing.T) {
 	if _, err := MineContext(context.Background(), ds, WithAbsoluteMinSupport(ds.NumTransactions()/2), WithAlgorithm("pcharm")); err != nil {
 		t.Fatal(err)
 	}
-	for _, algo := range []string{"pcharm", "peclat"} {
+	for _, algo := range []string{"pcharm", "peclat", "pdeclat"} {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
 		var mineErr error
 		if algo == "pcharm" {

@@ -259,6 +259,15 @@ func (qs *QueryService) MinConfidence() float64 {
 	return qs.st.Load().minConf
 }
 
+// ServedResult returns the mining Result backing the current snapshot,
+// or nil for a collection-backed service. It is the anchor of the
+// incremental refresh path: UpdateAppend extends the served result with
+// an appended batch, and Swap installs its replacement. The result is
+// shared with the serving path — treat it as read-only.
+func (qs *QueryService) ServedResult() *Result {
+	return qs.st.Load().res
+}
+
 // ServedBases returns the basis pair the current snapshot serves
 // Recommend from. For a collection-backed service without generators
 // the Exact slot is empty (no exact basis is derivable).

@@ -15,6 +15,16 @@
 // exposes the cycle counters the serving layer publishes on /healthz
 // and /metrics (see the server package).
 //
+// Sources that can classify a change as a pure append (DeltaSource —
+// FileSource does, by prefix checksum) get an incremental fast path on
+// polled cycles: the Refresher extends the served snapshot with just
+// the appended transactions via closedrules.UpdateAppend, which
+// updates the resident closed-set lattice instead of re-mining, and
+// swaps the result exactly like a full cycle. Oversized batches
+// (Config.IncrementalMaxRatio), threshold changes, and bases that need
+// generators all fall back to the full re-mine; manual Refresh always
+// re-mines in full.
+//
 // Two Source implementations are built in: FileSource watches a
 // transaction file via mtime, size and checksum, and SourceFunc wraps
 // any func(ctx) (*Dataset, error) callback. Anything else — a
@@ -62,7 +72,22 @@ type Config struct {
 	BackoffBase time.Duration
 	// BackoffMax caps the failure backoff. 0 means 16× BackoffBase.
 	BackoffMax time.Duration
+	// DisableIncremental forces every cycle down the full re-mine
+	// path even when Source implements DeltaSource.
+	DisableIncremental bool
+	// IncrementalMaxRatio is the incremental-vs-full crossover knob:
+	// an append batch larger than this fraction of the served
+	// dataset's transactions is re-mined from scratch rather than
+	// applied incrementally (the delta enumeration loses to a fresh
+	// mine well before the batch reaches dataset size). 0 means the
+	// default 0.25; negative values are rejected by New.
+	IncrementalMaxRatio float64
 }
+
+// DefaultIncrementalMaxRatio is the append-batch size, as a fraction
+// of the served dataset, above which a cycle re-mines in full instead
+// of updating the lattice incrementally.
+const DefaultIncrementalMaxRatio = 0.25
 
 // Stats is a point-in-time snapshot of a Refresher's cycle counters —
 // what the serving layer reports on /healthz and /metrics.
@@ -86,8 +111,25 @@ type Stats struct {
 	// the first).
 	LastSwap time.Time
 	// LastMineDuration is how long the last successful cycle spent
-	// mining (zero until the first success).
+	// building its snapshot — a full mine or an incremental update,
+	// whichever the cycle took (zero until the first success).
 	LastMineDuration time.Duration
+	// IncrementalSuccesses counts successful cycles that applied an
+	// append delta to the served lattice instead of re-mining — a
+	// subset of Successes.
+	IncrementalSuccesses uint64
+	// IncrementalFallbacks counts cycles that saw an append delta but
+	// re-mined in full anyway: the batch exceeded
+	// IncrementalMaxRatio, or the update engine refused (lowered
+	// threshold, no served result).
+	IncrementalFallbacks uint64
+	// DeltaTransactions is the total number of appended transactions
+	// applied through the incremental path.
+	DeltaTransactions uint64
+	// LastIncrementalDuration is how long the last successful
+	// incremental cycle spent updating the lattice (zero until the
+	// first incremental success).
+	LastIncrementalDuration time.Duration
 	// Running reports whether the background poll loop is active.
 	Running bool
 }
@@ -114,10 +156,14 @@ type Refresher struct {
 	successes   uint64
 	skips       uint64
 	failures    uint64
+	incSucc     uint64
+	incFallback uint64
+	deltaTx     uint64
 	failStreak  int
 	lastError   string
 	lastSwap    time.Time
 	lastMineDur time.Duration
+	lastIncDur  time.Duration
 }
 
 // New builds a Refresher that feeds qs from cfg.Source. The
@@ -133,6 +179,12 @@ func New(qs *closedrules.QueryService, cfg Config) (*Refresher, error) {
 	}
 	if cfg.Interval < 0 || cfg.MineTimeout < 0 || cfg.BackoffBase < 0 || cfg.BackoffMax < 0 {
 		return nil, fmt.Errorf("refresh: negative duration in Config")
+	}
+	if cfg.IncrementalMaxRatio < 0 {
+		return nil, fmt.Errorf("refresh: negative Config.IncrementalMaxRatio")
+	}
+	if cfg.IncrementalMaxRatio == 0 {
+		cfg.IncrementalMaxRatio = DefaultIncrementalMaxRatio
 	}
 	if cfg.BackoffBase == 0 {
 		if cfg.Interval > 0 {
@@ -254,6 +306,19 @@ func (r *Refresher) cycle(ctx context.Context, force bool) error {
 		}
 	}
 
+	// Incremental path: on a polled cycle whose source classifies the
+	// change as a pure append, extend the served snapshot with just the
+	// appended transactions instead of re-mining everything. Forced
+	// refreshes (POST /admin/reload) keep their documented semantics —
+	// an unconditional full re-mine.
+	if !force && !r.cfg.DisableIncremental {
+		if ds, ok := r.cfg.Source.(DeltaSource); ok {
+			if handled, err := r.incremental(ctx, ds); handled {
+				return err
+			}
+		}
+	}
+
 	d, err := r.cfg.Source.Load(ctx)
 	if err != nil {
 		return r.fail(fmt.Errorf("refresh: load: %w", err))
@@ -282,6 +347,99 @@ func (r *Refresher) cycle(ctx context.Context, force bool) error {
 	r.lastMineDur = mineDur
 	r.mu.Unlock()
 	return nil
+}
+
+// incremental attempts one append-delta cycle. handled=true means the
+// cycle is settled (success, skip, or failure) and err is its outcome;
+// handled=false sends the caller down the full load→mine→swap path —
+// either the change was not a pure append, or the incremental engine
+// declined (oversized batch, changed thresholds), which is a fallback,
+// not a failure.
+func (r *Refresher) incremental(ctx context.Context, ds DeltaSource) (bool, error) {
+	prev := r.qs.ServedResult()
+	if prev == nil || servedBasesNeedGenerators(r.qs) {
+		// No resident lattice to extend, or the served bases need the
+		// minimal generators an incremental result cannot maintain.
+		return false, nil
+	}
+	delta, ok, err := ds.Deltas(ctx)
+	if err != nil {
+		return true, r.fail(fmt.Errorf("refresh: delta check: %w", err))
+	}
+	if !ok {
+		return false, nil
+	}
+	dn := delta.NumTransactions()
+	if dn == 0 {
+		// Append-shaped change with no new transactions (trailing
+		// comments, whitespace): nothing to mine. Commit so change
+		// detection re-anchors, and record the cycle as a skip.
+		if c, ok := r.cfg.Source.(Committer); ok {
+			c.Commit()
+		}
+		r.mu.Lock()
+		r.skips++
+		r.failStreak = 0
+		r.lastError = ""
+		r.mu.Unlock()
+		return true, nil
+	}
+	if n := prev.Dataset().NumTransactions(); n == 0 || float64(dn) > r.cfg.IncrementalMaxRatio*float64(n) {
+		// Oversized batch: past the crossover a fresh mine is cheaper
+		// than enumerating the delta's projections.
+		r.mu.Lock()
+		r.incFallback++
+		r.mu.Unlock()
+		return false, nil
+	}
+	start := time.Now()
+	res, err := closedrules.UpdateAppend(ctx, prev, delta, r.cfg.MineOptions...)
+	if err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return true, r.fail(fmt.Errorf("refresh: incremental update: %w", err))
+		}
+		// The engine refused (lowered threshold, bad options): re-mine
+		// in full within this same cycle.
+		r.mu.Lock()
+		r.incFallback++
+		r.mu.Unlock()
+		return false, nil
+	}
+	dur := time.Since(start)
+	if err := r.qs.Swap(res); err != nil {
+		return true, r.fail(fmt.Errorf("refresh: swap: %w", err))
+	}
+	if c, ok := r.cfg.Source.(Committer); ok {
+		c.Commit()
+	}
+	r.mu.Lock()
+	r.successes++
+	r.incSucc++
+	r.deltaTx += uint64(dn)
+	r.failStreak = 0
+	r.lastError = ""
+	r.lastSwap = time.Now()
+	r.lastMineDur = dur
+	r.lastIncDur = dur
+	r.mu.Unlock()
+	return true, nil
+}
+
+// servedBasesNeedGenerators reports whether either served basis
+// declares a Generators requirement. Incremental results do not carry
+// generators, so such a service must be fed by full re-mines.
+func servedBasesNeedGenerators(qs *closedrules.QueryService) bool {
+	sel := qs.ServedBases()
+	for _, name := range []string{sel.Exact, sel.Approximate} {
+		if name == "" {
+			continue
+		}
+		b, err := closedrules.LookupBasis(name)
+		if err != nil || b.Requirements().Generators {
+			return true
+		}
+	}
+	return false
 }
 
 // fail records a cycle failure and returns err. A cancellation from
@@ -333,14 +491,18 @@ func (r *Refresher) Stats() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return Stats{
-		Cycles:              r.cycles,
-		Successes:           r.successes,
-		Skips:               r.skips,
-		Failures:            r.failures,
-		ConsecutiveFailures: r.failStreak,
-		LastError:           r.lastError,
-		LastSwap:            r.lastSwap,
-		LastMineDuration:    r.lastMineDur,
-		Running:             running,
+		Cycles:                  r.cycles,
+		Successes:               r.successes,
+		Skips:                   r.skips,
+		Failures:                r.failures,
+		ConsecutiveFailures:     r.failStreak,
+		LastError:               r.lastError,
+		LastSwap:                r.lastSwap,
+		LastMineDuration:        r.lastMineDur,
+		IncrementalSuccesses:    r.incSucc,
+		IncrementalFallbacks:    r.incFallback,
+		DeltaTransactions:       r.deltaTx,
+		LastIncrementalDuration: r.lastIncDur,
+		Running:                 running,
 	}
 }

@@ -52,6 +52,28 @@ type Committer interface {
 	Commit()
 }
 
+// DeltaSource is the optional Source extension behind the incremental
+// refresh path. After a positive Changed probe, a polling Refresher
+// asks Deltas whether the change is a pure append to the committed
+// data; when it is, the Refresher extends the served snapshot with
+// just the appended transactions (closedrules.UpdateAppend) instead of
+// re-mining everything Load would return.
+//
+// The contract mirrors Load's snapshot semantics shifted to the delta:
+// the returned dataset must hold exactly the transactions appended
+// since the last committed Load, numbered in the same item universe as
+// the committed data (the universe may grow). ok=false means the
+// change is not a pure append — a rewrite, a truncation, an
+// uncommitted source — and the Refresher falls back to Load. As with
+// Load, a subsequent Commit acknowledges that (committed + delta) is
+// now being served.
+type DeltaSource interface {
+	// Deltas returns the transactions appended since the last
+	// committed Load. ok=false (with nil error) requests the full
+	// Load path; an error fails the cycle.
+	Deltas(ctx context.Context) (appended *closedrules.Dataset, ok bool, err error)
+}
+
 // SourceFunc adapts a plain dataset-producing function into a Source —
 // the callback source for data that lives behind an API, a database
 // query, or a generator rather than a file. It has no change
@@ -64,11 +86,14 @@ type SourceFunc func(ctx context.Context) (*closedrules.Dataset, error)
 func (f SourceFunc) Load(ctx context.Context) (*closedrules.Dataset, error) { return f(ctx) }
 
 // fingerprint identifies one observed file state. mtime and size are
-// the cheap probe; sum is the content identity.
+// the cheap probe; sum is the content identity; tx is the transaction
+// count the content parsed to (0 until a Load or Deltas parses it),
+// which anchors where the next append's delta starts.
 type fingerprint struct {
 	mtime time.Time
 	size  int64
 	sum   [sha256.Size]byte
+	tx    int
 }
 
 // FileSource loads a transaction file from disk and detects changes
@@ -79,6 +104,13 @@ type fingerprint struct {
 // job, a touch(1)) does not trigger a re-mine. The bytes read by a
 // positive Changed probe are handed to the following Load, so a real
 // change costs one read and one hash, not two.
+//
+// A detected change is further classified by Deltas (see DeltaSource):
+// when the committed content survives as an unmodified prefix of the
+// new content — the shape of an append-only transaction log — Deltas
+// hands out just the appended transactions, and the Refresher updates
+// the served lattice incrementally instead of re-mining. A rewrite
+// takes the full Load path as before.
 //
 // Limitation inherent to the cheap probe: a rewrite that preserves
 // both byte length and modification time (e.g. an equal-length
@@ -184,6 +216,24 @@ func (s *FileSource) Load(ctx context.Context) (*closedrules.Dataset, error) {
 		}
 		s.pending = &fingerprint{mtime: fi.ModTime(), size: fi.Size(), sum: sha256.Sum256(data)}
 	}
+	d, err := s.parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if s.pending != nil {
+		s.pending.tx = d.NumTransactions()
+	}
+	return d, nil
+}
+
+// parse decodes file bytes in the source's configured format. Parsing
+// is prefix-stable in both formats: re-parsing a file whose old content
+// is a byte prefix (on a line boundary) yields the old transactions
+// verbatim, followed by the appended ones, in one item universe — .dat
+// items are literal ids, and table items are numbered in
+// first-occurrence order. That property is what lets Deltas hand out a
+// tail of the re-parsed file as the appended batch.
+func (s *FileSource) parse(data []byte) (*closedrules.Dataset, error) {
 	var d *closedrules.Dataset
 	var err error
 	if s.table {
@@ -195,6 +245,69 @@ func (s *FileSource) Load(ctx context.Context) (*closedrules.Dataset, error) {
 		return nil, fmt.Errorf("refresh: parse %s: %w", s.path, err)
 	}
 	return d, nil
+}
+
+// Deltas implements DeltaSource: it reports whether the pending change
+// is a pure append to the committed content — the committed bytes are
+// an unmodified prefix of the new bytes, with the append starting on a
+// line boundary — and, when it is, parses the new content and returns
+// only the transactions past the committed count. Anything else (a
+// rewrite, a truncation, an edit of the final unterminated line, a
+// source never committed through a Load) returns ok=false, telling the
+// Refresher to take the full Load path; the staged bytes are kept so
+// that Load does not re-read the file.
+func (s *FileSource) Deltas(ctx context.Context) (*closedrules.Dataset, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if !s.committed || s.cur.tx <= 0 {
+		return nil, false, nil
+	}
+	data := s.readAhead
+	if data == nil {
+		// No staged probe (a caller using Deltas without Changed):
+		// read and stage, so a fallback Load reuses the bytes.
+		fi, err := os.Stat(s.path)
+		if err != nil {
+			return nil, false, fmt.Errorf("refresh: stat %s: %w", s.path, err)
+		}
+		data, err = os.ReadFile(s.path)
+		if err != nil {
+			return nil, false, fmt.Errorf("refresh: read %s: %w", s.path, err)
+		}
+		s.pending = &fingerprint{mtime: fi.ModTime(), size: fi.Size(), sum: sha256.Sum256(data)}
+		s.readAhead = data
+	}
+	prefix := s.cur.size
+	if int64(len(data)) <= prefix {
+		return nil, false, nil // shrunk or unchanged: not an append
+	}
+	if sha256.Sum256(data[:prefix]) != s.cur.sum {
+		return nil, false, nil // prefix rewritten
+	}
+	if prefix > 0 && data[prefix-1] != '\n' && data[prefix] != '\n' {
+		// The committed content's final unterminated line gained bytes:
+		// its transaction changed, so this is an edit, not an append.
+		return nil, false, nil
+	}
+	d, err := s.parse(data)
+	if err != nil {
+		return nil, false, err
+	}
+	if d.NumTransactions() < s.cur.tx {
+		return nil, false, nil // defensive: parse disagrees with the epoch
+	}
+	tail, err := d.Slice(s.cur.tx, d.NumTransactions())
+	if err != nil {
+		return nil, false, err
+	}
+	if s.pending != nil {
+		s.pending.tx = d.NumTransactions()
+	}
+	s.readAhead = nil
+	return tail, true, nil
 }
 
 // Commit implements Committer: the dataset from the most recent Load

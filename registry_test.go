@@ -13,7 +13,7 @@ func TestRegistryHasAllBuiltins(t *testing.T) {
 	if got := ClosedMiners(); !reflect.DeepEqual(got, wantClosed) {
 		t.Errorf("ClosedMiners() = %v, want %v", got, wantClosed)
 	}
-	wantFrequent := []string{"apriori", "declat", "eclat", "fpgrowth", "pascal", "peclat"}
+	wantFrequent := []string{"apriori", "declat", "eclat", "fpgrowth", "pascal", "pdeclat", "peclat"}
 	if got := FrequentMiners(); !reflect.DeepEqual(got, wantFrequent) {
 		t.Errorf("FrequentMiners() = %v, want %v", got, wantFrequent)
 	}

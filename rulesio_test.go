@@ -161,7 +161,7 @@ func TestMineFrequentAllBaselinesAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"eclat", "declat", "peclat", "fpgrowth", "pascal"} {
+	for _, name := range []string{"eclat", "declat", "peclat", "pdeclat", "fpgrowth", "pascal"} {
 		got, err := MineFrequentContext(ctx, d, WithMinSupport(0.4), WithAlgorithm(name))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)

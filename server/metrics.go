@@ -115,6 +115,18 @@ func (m *metricsRegistry) writePrometheus(w io.Writer, svc closedrules.ServiceSt
 		fmt.Fprintf(w, "# HELP closedrules_refresh_failures_total Refresh cycles that failed (source, mine, or swap error).\n")
 		fmt.Fprintf(w, "# TYPE closedrules_refresh_failures_total counter\n")
 		fmt.Fprintf(w, "closedrules_refresh_failures_total %d\n", ref.Failures)
+		fmt.Fprintf(w, "# HELP closedrules_refresh_incremental_successes_total Refresh cycles that applied an append delta to the served lattice instead of re-mining.\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_incremental_successes_total counter\n")
+		fmt.Fprintf(w, "closedrules_refresh_incremental_successes_total %d\n", ref.IncrementalSuccesses)
+		fmt.Fprintf(w, "# HELP closedrules_refresh_incremental_fallbacks_total Refresh cycles that saw an append delta but re-mined in full (oversized batch or engine refusal).\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_incremental_fallbacks_total counter\n")
+		fmt.Fprintf(w, "closedrules_refresh_incremental_fallbacks_total %d\n", ref.IncrementalFallbacks)
+		fmt.Fprintf(w, "# HELP closedrules_refresh_incremental_transactions_total Appended transactions applied through the incremental path.\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_incremental_transactions_total counter\n")
+		fmt.Fprintf(w, "closedrules_refresh_incremental_transactions_total %d\n", ref.DeltaTransactions)
+		fmt.Fprintf(w, "# HELP closedrules_refresh_incremental_last_update_seconds Lattice-update duration of the last successful incremental cycle.\n")
+		fmt.Fprintf(w, "# TYPE closedrules_refresh_incremental_last_update_seconds gauge\n")
+		fmt.Fprintf(w, "closedrules_refresh_incremental_last_update_seconds %.9f\n", ref.LastIncrementalDuration.Seconds())
 		fmt.Fprintf(w, "# HELP closedrules_refresh_last_mine_seconds Mining duration of the last successful refresh cycle.\n")
 		fmt.Fprintf(w, "# TYPE closedrules_refresh_last_mine_seconds gauge\n")
 		fmt.Fprintf(w, "closedrules_refresh_last_mine_seconds %.9f\n", ref.LastMineDuration.Seconds())

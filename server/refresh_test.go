@@ -96,15 +96,21 @@ func TestHealthzReportsRefresher(t *testing.T) {
 	var h struct {
 		Transactions int `json:"transactions"`
 		Refresh      *struct {
-			Running   bool   `json:"running"`
-			Cycles    uint64 `json:"cycles"`
-			Successes uint64 `json:"successes"`
-			LastSwap  string `json:"lastSwap"`
+			Running              bool   `json:"running"`
+			Cycles               uint64 `json:"cycles"`
+			Successes            uint64 `json:"successes"`
+			LastSwap             string `json:"lastSwap"`
+			IncrementalSuccesses uint64 `json:"incrementalSuccesses"`
+			IncrementalFallbacks uint64 `json:"incrementalFallbacks"`
+			DeltaTransactions    uint64 `json:"deltaTransactions"`
 		} `json:"refresh"`
 	}
 	getJSON(t, ts.URL+"/healthz", http.StatusOK, &h)
 	if h.Refresh == nil {
 		t.Fatal("healthz has no refresh block with a Refresher configured")
+	}
+	if h.Refresh.IncrementalSuccesses != 0 || h.Refresh.IncrementalFallbacks != 0 || h.Refresh.DeltaTransactions != 0 {
+		t.Fatalf("healthz incremental counters after a forced reload = %+v, want zeros", h.Refresh)
 	}
 	if h.Refresh.Cycles != 1 || h.Refresh.Successes != 1 || h.Refresh.LastSwap == "" {
 		t.Fatalf("healthz refresh = %+v", h.Refresh)
@@ -144,6 +150,10 @@ func TestMetricsRefreshFamilies(t *testing.T) {
 		"closedrules_refresh_successes_total 1",
 		"closedrules_refresh_skips_total 0",
 		"closedrules_refresh_failures_total 0",
+		"closedrules_refresh_incremental_successes_total 0",
+		"closedrules_refresh_incremental_fallbacks_total 0",
+		"closedrules_refresh_incremental_transactions_total 0",
+		"closedrules_refresh_incremental_last_update_seconds ",
 		"closedrules_refresh_last_mine_seconds ",
 		"closedrules_refresh_last_swap_timestamp_seconds ",
 		"closedrules_refresh_running 0",

@@ -637,6 +637,14 @@ type refreshJSON struct {
 	LastError           string `json:"lastError,omitempty"`
 	LastSwap            string `json:"lastSwap,omitempty"`
 	LastMineMs          int64  `json:"lastMineMs"`
+	// Incremental-path counters: successful delta applications (a
+	// subset of successes), cycles that fell back to a full re-mine,
+	// total appended transactions applied, and the lattice-update
+	// duration of the last incremental cycle.
+	IncrementalSuccesses uint64 `json:"incrementalSuccesses"`
+	IncrementalFallbacks uint64 `json:"incrementalFallbacks"`
+	DeltaTransactions    uint64 `json:"deltaTransactions"`
+	LastIncrementalMs    int64  `json:"lastIncrementalMs"`
 }
 
 // refreshStats snapshots the configured refresher's counters, or nil.
@@ -690,14 +698,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if st := s.refreshStats(); st != nil {
 		out.Refresh = &refreshJSON{
-			Running:             st.Running,
-			Cycles:              st.Cycles,
-			Successes:           st.Successes,
-			Skips:               st.Skips,
-			Failures:            st.Failures,
-			ConsecutiveFailures: st.ConsecutiveFailures,
-			LastError:           st.LastError,
-			LastMineMs:          st.LastMineDuration.Milliseconds(),
+			Running:              st.Running,
+			Cycles:               st.Cycles,
+			Successes:            st.Successes,
+			Skips:                st.Skips,
+			Failures:             st.Failures,
+			ConsecutiveFailures:  st.ConsecutiveFailures,
+			LastError:            st.LastError,
+			LastMineMs:           st.LastMineDuration.Milliseconds(),
+			IncrementalSuccesses: st.IncrementalSuccesses,
+			IncrementalFallbacks: st.IncrementalFallbacks,
+			DeltaTransactions:    st.DeltaTransactions,
+			LastIncrementalMs:    st.LastIncrementalDuration.Milliseconds(),
 		}
 		if !st.LastSwap.IsZero() {
 			out.Refresh.LastSwap = st.LastSwap.UTC().Format(time.RFC3339)
