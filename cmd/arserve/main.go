@@ -11,6 +11,8 @@
 //	        [-incremental=true] [-incremental-max-ratio 0.25]
 //	        [-request-timeout 5s] [-mine-timeout 0] [-max-k 100]
 //	        [-max-inflight 0] [-batch 0] [-batch-wait 2ms]
+//	        [-multi-tenant] [-max-tenants 64]
+//	        [-tenant-memory-budget 268435456] [-mine-workers 2]
 //
 // Endpoints (see the server package for wire formats):
 //
@@ -21,6 +23,17 @@
 //	GET  /healthz
 //	GET  /metrics          Prometheus text format
 //	POST /admin/reload     force one refresh cycle now
+//
+// With -multi-tenant the server additionally exposes the dataset
+// registry and per-tenant routes: POST/GET /datasets,
+// GET/DELETE /datasets/{id}, async re-mines via
+// POST /datasets/{id}/mine + GET /jobs/{id}, and the query family
+// under /datasets/{id}/... The -in dataset becomes the pinned
+// "default" tenant, so the legacy routes above keep answering from
+// it. Tenant services live in an LRU pool bounded by
+// -tenant-memory-budget: cold tenants are evicted past the budget and
+// transparently re-mined on their next query. -mine-workers bounds
+// concurrent async mine jobs; each runs under -mine-timeout.
 //
 // Data freshness is a refresh.Refresher over the input file: with
 // -refresh set, the file is watched (mtime, size, checksum) and a
@@ -87,6 +100,10 @@ type config struct {
 	batchWait      time.Duration
 	incremental    bool
 	incrementalMax float64
+	multiTenant    bool
+	maxTenants     int
+	tenantBudget   int64
+	mineWorkers    int
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -113,6 +130,10 @@ func parseFlags(args []string) (*config, error) {
 		batchWait      = fs.Duration("batch-wait", 0, "max time a /recommend call waits for its batch to fill (0 = server default)")
 		incremental    = fs.Bool("incremental", true, "update the served snapshot in place when the input file grows by appended transactions, instead of re-mining")
 		incrementalMax = fs.Float64("incremental-max-ratio", 0, "largest append batch, as a fraction of the committed transaction count, still handled incrementally (0 = default 0.25)")
+		multiTenant    = fs.Bool("multi-tenant", false, "serve the dataset registry and per-tenant routes (/datasets, /jobs); -in becomes the pinned default tenant")
+		maxTenants     = fs.Int("max-tenants", 0, "cap on registered datasets in multi-tenant mode (0 = server default)")
+		tenantBudget   = fs.Int64("tenant-memory-budget", 0, "total resident-bytes budget across tenant services; least-recently-used tenants are evicted past it (0 = server default)")
+		mineWorkers    = fs.Int("mine-workers", 0, "async mine job worker count (0 = server default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -141,6 +162,8 @@ func parseFlags(args []string) (*config, error) {
 		refresh: *refreshEvery, refreshTimeout: *refreshTimeout, maxK: *maxK,
 		maxInflight: *maxInflight, batch: *batch, batchWait: *batchWait,
 		incremental: *incremental, incrementalMax: *incrementalMax,
+		multiTenant: *multiTenant, maxTenants: *maxTenants,
+		tenantBudget: *tenantBudget, mineWorkers: *mineWorkers,
 	}
 	if cfg.refreshTimeout == 0 {
 		cfg.refreshTimeout = cfg.mineTimeout
@@ -218,14 +241,22 @@ func setup(ctx context.Context, args []string) (*server.Server, *refresh.Refresh
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	srv := server.New(qs, server.Config{
-		RequestTimeout: cfg.reqTimeout,
-		MaxRecommend:   cfg.maxK,
-		Refresher:      ref,
-		MaxInFlight:    cfg.maxInflight,
-		BatchSize:      cfg.batch,
-		BatchMaxWait:   cfg.batchWait,
+	srv, err := server.New(qs, server.Config{
+		RequestTimeout:     cfg.reqTimeout,
+		MaxRecommend:       cfg.maxK,
+		Refresher:          ref,
+		MaxInFlight:        cfg.maxInflight,
+		BatchSize:          cfg.batch,
+		BatchMaxWait:       cfg.batchWait,
+		MultiTenant:        cfg.multiTenant,
+		MaxTenants:         cfg.maxTenants,
+		TenantMemoryBudget: cfg.tenantBudget,
+		MineWorkers:        cfg.mineWorkers,
+		MineTimeout:        cfg.mineTimeout,
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	return srv, ref, cfg, nil
 }
 

@@ -22,6 +22,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -65,6 +66,7 @@ type config struct {
 	label       string
 	out         string
 	appendRun   bool
+	tenants     int
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -85,6 +87,7 @@ func parseFlags(args []string) (*config, error) {
 		label       = fs.String("label", "", "run label recorded in the report (default: knobs + date)")
 		out         = fs.String("out", "BENCH_serving.json", "output report path")
 		appendF     = fs.Bool("append", false, "append the run to an existing report instead of overwriting")
+		tenants     = fs.Int("tenants", 0, "register this many datasets and drive the /datasets/{id} routes round-robin instead of the legacy single-tenant path")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -94,10 +97,13 @@ func parseFlags(args []string) (*config, error) {
 		concurrency: *concurrency, duration: *duration, warmup: *warmup,
 		k: *k, baskets: *baskets,
 		batch: *batch, batchWait: *batchWait, maxInflight: *maxInflight,
-		label: *label, out: *out, appendRun: *appendF,
+		label: *label, out: *out, appendRun: *appendF, tenants: *tenants,
 	}
 	if cfg.concurrency < 1 {
 		return nil, fmt.Errorf("-c must be at least 1")
+	}
+	if cfg.tenants < 0 {
+		return nil, fmt.Errorf("-tenants must be non-negative")
 	}
 	if cfg.duration <= 0 {
 		return nil, fmt.Errorf("-duration must be positive")
@@ -131,6 +137,9 @@ func parseFlags(args []string) (*config, error) {
 		mode := "plain"
 		if cfg.batch > 0 || cfg.maxInflight > 0 {
 			mode = fmt.Sprintf("batch=%d inflight=%d", cfg.batch, cfg.maxInflight)
+		}
+		if cfg.tenants > 0 {
+			mode += fmt.Sprintf(" tenants=%d", cfg.tenants)
 		}
 		cfg.label = fmt.Sprintf("%s c=%d %s %s", cfg.scale, cfg.concurrency, mode, time.Now().UTC().Format("2006-01-02"))
 	}
@@ -167,13 +176,94 @@ func buildServer(ctx context.Context, cfg *config) (*server.Server, string, erro
 	if err != nil {
 		return nil, "", err
 	}
-	srv := server.New(qs, server.Config{
+	srv, err := server.New(qs, server.Config{
 		MaxInFlight:  cfg.maxInflight,
 		BatchSize:    cfg.batch,
 		BatchMaxWait: cfg.batchWait,
 		MaxRecommend: cfg.k,
+		MultiTenant:  cfg.tenants > 0,
 	})
+	if err != nil {
+		return nil, "", err
+	}
 	return srv, name, nil
+}
+
+// registerTenants uploads n distinct datasets through the real POST
+// /datasets route — the registration cost is part of what the mode
+// measures being possible at all — and pre-materializes each with one
+// query so the measured window drives resident tenants, not first-
+// touch mining.
+func registerTenants(baseURL string, cfg *config) ([]string, error) {
+	numTx, numItems, _, err := workloadDims(cfg.scale)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	ids := make([]string, 0, cfg.tenants)
+	for t := 0; t < cfg.tenants; t++ {
+		// Distinct seeds per tenant: different datasets, so isolation
+		// bugs would surface as wrong answers rather than cancel out.
+		d, err := gen.Quest(gen.T10I4(numTx, numItems, int64(t)+2))
+		if err != nil {
+			return nil, err
+		}
+		txs := make([][]int, d.NumTransactions())
+		for i := range txs {
+			txs[i] = append([]int{}, d.Transaction(i)...)
+		}
+		body, err := json.Marshal(map[string]any{
+			"id":           fmt.Sprintf("bench-%d", t),
+			"transactions": txs,
+			"params": map[string]any{
+				"minSupport":    cfg.minsup,
+				"minConfidence": cfg.minconf,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Post(baseURL+"/datasets", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			return nil, fmt.Errorf("register tenant %d: %d %s", t, resp.StatusCode, raw)
+		}
+		var reg struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(raw, &reg); err != nil {
+			return nil, fmt.Errorf("register tenant %d: %w", t, err)
+		}
+		ids = append(ids, reg.ID)
+	}
+	// First touch mines; retry while the shared flight outlasts one
+	// request deadline.
+	for _, id := range ids {
+		var last string
+		ok := false
+		for attempt := 0; attempt < 60 && !ok; attempt++ {
+			resp, err := client.Get(baseURL + "/datasets/" + id + "/support?items=0")
+			if err != nil {
+				return nil, err
+			}
+			raw, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				ok = true
+				break
+			}
+			last = fmt.Sprintf("%d %s", resp.StatusCode, raw)
+			time.Sleep(100 * time.Millisecond)
+		}
+		if !ok {
+			return nil, fmt.Errorf("materialize tenant %s: %s", id, last)
+		}
+	}
+	return ids, nil
 }
 
 // basketPool derives the request pool from the mined representation:
@@ -218,8 +308,10 @@ type cellCounters struct {
 }
 
 // driveCell runs one (endpoint × concurrency) load test against the
-// live server and returns the measured cell.
-func driveCell(baseURL, endpoint string, cfg *config, pool [][]int) (bench.ServingResult, error) {
+// live server and returns the measured cell. With tenant IDs the
+// requests spread round-robin over the /datasets/{id} routes instead
+// of the legacy path.
+func driveCell(baseURL, endpoint string, cfg *config, pool [][]int, tenantIDs []string) (bench.ServingResult, error) {
 	client := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConns:        cfg.concurrency * 2,
@@ -229,21 +321,31 @@ func driveCell(baseURL, endpoint string, cfg *config, pool [][]int) (bench.Servi
 	}
 	defer client.CloseIdleConnections()
 
-	// Pre-render the request pool once: workers must spend their time
-	// on the wire, not in encoding/json.
-	bodies := make([][]byte, len(pool))
-	urls := make([]string, len(pool))
-	for i, basket := range pool {
-		items := make([]string, len(basket))
-		for j, it := range basket {
-			items[j] = fmt.Sprint(it)
+	// Pre-render the request pool once (per tenant prefix): workers
+	// must spend their time on the wire, not in encoding/json.
+	prefixes := []string{""}
+	if len(tenantIDs) > 0 {
+		prefixes = make([]string, len(tenantIDs))
+		for i, id := range tenantIDs {
+			prefixes[i] = "/datasets/" + id
 		}
-		switch endpoint {
-		case "recommend":
-			bodies[i] = []byte(fmt.Sprintf(`{"observed":[%s],"k":%d}`, strings.Join(items, ","), cfg.k))
-			urls[i] = baseURL + "/recommend"
-		case "support":
-			urls[i] = baseURL + "/support?items=" + strings.Join(items, ",")
+	}
+	bodies := make([][]byte, 0, len(prefixes)*len(pool))
+	urls := make([]string, 0, len(prefixes)*len(pool))
+	for _, prefix := range prefixes {
+		for _, basket := range pool {
+			items := make([]string, len(basket))
+			for j, it := range basket {
+				items[j] = fmt.Sprint(it)
+			}
+			switch endpoint {
+			case "recommend":
+				bodies = append(bodies, []byte(fmt.Sprintf(`{"observed":[%s],"k":%d}`, strings.Join(items, ","), cfg.k)))
+				urls = append(urls, baseURL+prefix+"/recommend")
+			case "support":
+				bodies = append(bodies, nil)
+				urls = append(urls, baseURL+prefix+"/support?items="+strings.Join(items, ","))
+			}
 		}
 	}
 	fire := func(i int) (int, error) {
@@ -266,7 +368,7 @@ func driveCell(baseURL, endpoint string, cfg *config, pool [][]int) (bench.Servi
 	// way a steady-state deployment would see it.
 	warmEnd := time.Now().Add(cfg.warmup)
 	for i := 0; time.Now().Before(warmEnd); i++ {
-		if _, err := fire(i % len(pool)); err != nil {
+		if _, err := fire(i % len(urls)); err != nil {
 			return bench.ServingResult{}, fmt.Errorf("warmup: %w", err)
 		}
 	}
@@ -283,7 +385,7 @@ func driveCell(baseURL, endpoint string, cfg *config, pool [][]int) (bench.Servi
 			c := &counters[w]
 			<-start
 			for time.Now().Before(deadline) {
-				i := rng.Intn(len(pool))
+				i := rng.Intn(len(urls))
 				began := time.Now()
 				code, err := fire(i)
 				took := time.Since(began)
@@ -353,6 +455,15 @@ func run(args []string, w io.Writer) error {
 	fmt.Fprintf(w, "benchhttp: serving %s on %s (batch=%d wait=%s max-inflight=%d)\n",
 		workload, baseURL, cfg.batch, cfg.batchWait, cfg.maxInflight)
 
+	var tenantIDs []string
+	if cfg.tenants > 0 {
+		tenantIDs, err = registerTenants(baseURL, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchhttp: registered and materialized %d tenants\n", len(tenantIDs))
+	}
+
 	pool := basketPool(srv, cfg.baskets, 1)
 	newRun := bench.ServingRun{
 		Label:       cfg.label,
@@ -364,6 +475,7 @@ func run(args []string, w io.Writer) error {
 		Batching:    cfg.batch > 0,
 		MaxInFlight: cfg.maxInflight,
 		Baskets:     cfg.baskets,
+		Tenants:     cfg.tenants,
 	}
 	if cfg.batch > 0 {
 		newRun.BatchSize = cfg.batch
@@ -378,7 +490,7 @@ func run(args []string, w io.Writer) error {
 	sorted := append([]string(nil), cfg.endpoints...)
 	sort.Strings(sorted)
 	for _, endpoint := range sorted {
-		cell, err := driveCell(baseURL, endpoint, cfg, pool)
+		cell, err := driveCell(baseURL, endpoint, cfg, pool, tenantIDs)
 		if err != nil {
 			return err
 		}

@@ -63,7 +63,11 @@ type ServingRun struct {
 	MaxInFlight int `json:"max_inflight,omitempty"`
 	// Baskets is the size of the request pool the workers drew from —
 	// smaller pools mean warmer caches and more coalescing.
-	Baskets int             `json:"baskets"`
+	Baskets int `json:"baskets"`
+	// Tenants is how many registered datasets the run drove
+	// round-robin through the /datasets/{id} routes (0 = the
+	// single-tenant legacy path).
+	Tenants int             `json:"tenants,omitempty"`
 	Results []ServingResult `json:"results"`
 }
 

@@ -248,6 +248,54 @@ func (qs *QueryService) Stats() ServiceStats {
 // across every stripe. Suited to hot paths like liveness probes.
 func (qs *QueryService) Swaps() uint64 { return qs.swaps.Load() }
 
+// Per-entry overheads of the MemoryEstimate model, in bytes. They
+// stand in for Go runtime costs the library cannot observe directly:
+// slice headers, map buckets, interned key strings.
+const (
+	estPerTransaction = 24  // slice header + allocator slack per transaction
+	estPerClosed      = 96  // Closed struct + map entry + interned key
+	estPerGenerator   = 24  // slice header per recorded generator
+	estPerRule        = 112 // Rule struct + two itemset headers
+	estPerCacheEntry  = 256 // cache key + ranking slice + stripe entry
+	estPerItem        = 8   // one int item
+)
+
+// MemoryEstimate approximates the resident bytes of the currently
+// served snapshot: the dataset's transactions, the frequent closed
+// itemsets with their generators, the basis rules behind Recommend,
+// and the recommendation cache. It is a model, not an accounting — Go
+// gives no per-object sizes — but it is monotone in the quantities
+// that actually dominate a snapshot's footprint, which is what a
+// serving layer needs to budget many resident services against each
+// other (see internal/tenant). The lazily built structures a Result
+// may grow later (the full frequent family, the lattice) are not
+// counted.
+func (qs *QueryService) MemoryEstimate() int64 {
+	st := qs.st.Load()
+	var b int64
+	if st.res != nil {
+		d := st.res.Dataset()
+		for _, tx := range d.Transactions() {
+			b += int64(tx.Len())*estPerItem + estPerTransaction
+		}
+		for _, name := range d.Names() {
+			b += int64(len(name)) + 16
+		}
+	}
+	st.fc.Each(func(c closedset.Closed) bool {
+		b += int64(c.Items.Len())*2*estPerItem + estPerClosed // items + interned key
+		for _, g := range c.Generators {
+			b += int64(g.Len())*estPerItem + estPerGenerator
+		}
+		return true
+	})
+	for _, r := range st.recRules {
+		b += int64(r.Antecedent.Len()+r.Consequent.Len())*estPerItem + estPerRule
+	}
+	b += int64(st.recCache.entries()) * estPerCacheEntry
+	return b
+}
+
 // NumTransactions returns |O| of the currently served dataset.
 func (qs *QueryService) NumTransactions() int {
 	return qs.st.Load().numTx

@@ -493,3 +493,42 @@ func TestRecommendBatchCancelled(t *testing.T) {
 		t.Errorf("RecommendBatch err = %v, want context.Canceled", err)
 	}
 }
+
+func TestMemoryEstimate(t *testing.T) {
+	qs := classicService(t)
+	base := qs.MemoryEstimate()
+	if base <= 0 {
+		t.Fatalf("MemoryEstimate() = %d, want > 0", base)
+	}
+	// Warming the recommendation cache grows the estimate: the cache
+	// entries are part of the resident footprint the tenant pool
+	// budgets against.
+	if _, err := qs.Recommend(context.Background(), Items(0), 3); err != nil {
+		t.Fatal(err)
+	}
+	warmed := qs.MemoryEstimate()
+	if warmed <= base {
+		t.Errorf("estimate after cache warm = %d, want > %d", warmed, base)
+	}
+	// A strictly larger dataset mined at the same threshold estimates
+	// strictly larger (more transactions, at least as many closed sets).
+	var tx [][]int
+	for i := 0; i < 50; i++ {
+		tx = append(tx, [][]int{{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4}}...)
+	}
+	d, err := NewDataset(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineContext(context.Background(), d, WithMinSupport(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewQueryService(res, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := big.MemoryEstimate(); got <= base {
+		t.Errorf("50x dataset estimate = %d, want > %d", got, base)
+	}
+}

@@ -97,7 +97,10 @@ func TestServerWithExplicitBasisPair(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(qs, Config{})
+	s, err := New(qs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	var out basesJSON

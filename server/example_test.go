@@ -21,7 +21,8 @@ func serveClassic() (string, func()) {
 	})
 	res, _ := closedrules.MineContext(ctx, ds, closedrules.WithMinSupport(0.4))
 	qs, _ := closedrules.NewQueryService(res, 0.5)
-	ts := httptest.NewServer(server.New(qs, server.Config{}).Handler())
+	srv, _ := server.New(qs, server.Config{})
+	ts := httptest.NewServer(srv.Handler())
 	return ts.URL, ts.Close
 }
 

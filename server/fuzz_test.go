@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -37,7 +38,11 @@ var fuzzServer = sync.OnceValue(func() *Server {
 	if err != nil {
 		panic(err)
 	}
-	return New(qs, Config{})
+	s, err := New(qs, Config{})
+	if err != nil {
+		panic(err)
+	}
+	return s
 })
 
 // fuzzGet runs one GET through the handler without a network and
@@ -145,6 +150,107 @@ func FuzzRecommendBody(f *testing.F) {
 		case http.StatusOK, http.StatusBadRequest, http.StatusUnprocessableEntity:
 		default:
 			t.Errorf("POST /recommend %q = %d, want 200/400/422; body: %s", body, rec.Code, rec.Body.String())
+		}
+	})
+}
+
+// fuzzTenantServer is the shared multi-tenant server behind the
+// registry/job fuzz targets.
+var fuzzTenantServer = sync.OnceValue(func() *Server {
+	tx := [][]int{{0, 2, 3}, {1, 2, 4}, {0, 1, 2, 4}, {1, 4}, {0, 1, 2, 4}}
+	d, err := closedrules.NewDataset(tx)
+	if err != nil {
+		panic(err)
+	}
+	res, err := closedrules.MineContext(context.Background(), d, closedrules.WithMinSupport(0.4))
+	if err != nil {
+		panic(err)
+	}
+	qs, err := closedrules.NewQueryService(res, 0.5)
+	if err != nil {
+		panic(err)
+	}
+	s, err := New(qs, Config{MultiTenant: true})
+	if err != nil {
+		panic(err)
+	}
+	return s
+})
+
+// FuzzRegisterBody drives the POST /datasets upload parser with
+// arbitrary bytes: the contract is 2xx/4xx only — no panic, no 5xx.
+// Successfully minted tenants are deleted again so the pool does not
+// fill up across iterations.
+func FuzzRegisterBody(f *testing.F) {
+	for _, seed := range [][]byte{
+		[]byte(`{"transactions":[[0,1],[1,2]]}`),
+		[]byte(`{"id":"t1","transactions":[[0]]}`),
+		[]byte(`{"dat":"0 1\n1 2\n"}`),
+		[]byte(`{"path":"/no/such/file"}`),
+		[]byte(`{"transactions":[[0]],"dat":"0"}`),
+		[]byte(`{}`),
+		[]byte(``),
+		[]byte(`{"transactions":[[0]],"params":{"minSupport":2}}`),
+		[]byte(`{"transactions":[[0]],"refresh":"-1s"}`),
+		[]byte(`{"transactions":[[-1]]}`),
+		[]byte(`{"id":"../../etc","transactions":[[0]]}`),
+		[]byte(`{"transactions":[[0]],"mine":true}`),
+		[]byte(`not json`),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req := httptest.NewRequest(http.MethodPost, "/datasets", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h := fuzzTenantServer().Handler()
+		h.ServeHTTP(rec, req)
+		if rec.Code < 200 || rec.Code >= 500 || (rec.Code >= 300 && rec.Code < 400) {
+			t.Fatalf("POST /datasets %q = %d, want 2xx/4xx; body: %s", body, rec.Code, rec.Body.String())
+		}
+		if rec.Code == http.StatusCreated {
+			var resp struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp.ID == "" {
+				t.Fatalf("201 with unusable body %q: %v", rec.Body.String(), err)
+			}
+			del := httptest.NewRequest(http.MethodDelete, "/datasets/"+url.PathEscape(resp.ID), nil)
+			drec := httptest.NewRecorder()
+			h.ServeHTTP(drec, del)
+			if drec.Code != http.StatusOK {
+				t.Fatalf("cleanup DELETE %s = %d", resp.ID, drec.Code)
+			}
+		}
+	})
+}
+
+// FuzzTenantPaths drives arbitrary IDs through the {id} routes — the
+// tenant-id and job-id path parsers. Escaping the fuzz input means
+// arbitrary decoded strings reach PathValue; the mux itself may still
+// answer an unclean path with its canonical 301 before the handler
+// runs, which is part of the routing contract, not an error.
+func FuzzTenantPaths(f *testing.F) {
+	for _, seed := range []string{"default", "", "..", "a/b", "j-00", "t-ffffffffffffffff",
+		strings.Repeat("x", 200), "%2e%2e", "id with space", "\x00", "ид"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, id string) {
+		h := fuzzTenantServer().Handler()
+		for _, path := range []string{
+			"/datasets/" + url.PathEscape(id),
+			"/datasets/" + url.PathEscape(id) + "/support?items=2",
+			"/jobs/" + url.PathEscape(id),
+		} {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			ok := (rec.Code >= 200 && rec.Code < 300) ||
+				(rec.Code >= 400 && rec.Code < 500) ||
+				rec.Code == http.StatusMovedPermanently
+			if !ok {
+				t.Fatalf("GET %s = %d; body: %s", path, rec.Code, rec.Body.String())
+			}
 		}
 	})
 }

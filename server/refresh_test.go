@@ -28,7 +28,10 @@ func newRefreshedServer(t *testing.T, src refresh.Source) (*refresh.Refresher, *
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(qs, Config{Refresher: r})
+	s, err := New(qs, Config{Refresher: r})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return r, ts

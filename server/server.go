@@ -59,14 +59,22 @@ import (
 	"time"
 
 	"closedrules"
+	"closedrules/internal/tenant"
 	"closedrules/refresh"
 )
 
-// Default configuration values applied by New.
+// Default configuration values applied by Config.validate.
 const (
 	DefaultRequestTimeout = 5 * time.Second
 	DefaultShutdownGrace  = 5 * time.Second
 	DefaultMaxRecommend   = 100
+	// DefaultMaxTenants caps registered datasets in multi-tenant mode.
+	DefaultMaxTenants = 64
+	// DefaultTenantMemoryBudget bounds the summed resident-bytes
+	// estimate of materialized tenants (256 MiB).
+	DefaultTenantMemoryBudget = 256 << 20
+	// DefaultMineWorkers runs async mine jobs.
+	DefaultMineWorkers = 2
 )
 
 // maxBodyBytes bounds request bodies; recommend observations are tiny.
@@ -124,6 +132,88 @@ type Config struct {
 	// first request. 0 means DefaultBatchMaxWait. Only meaningful
 	// with BatchSize > 0.
 	BatchMaxWait time.Duration
+	// MultiTenant turns the server into a mining service: the dataset
+	// registry routes (POST/GET /datasets, DELETE /datasets/{id}),
+	// async mine jobs (POST /datasets/{id}/mine, GET /jobs/{id}) and
+	// per-tenant query routes (/datasets/{id}/support|confidence|
+	// rules|bases, POST /datasets/{id}/recommend) are mounted, backed
+	// by a tenant pool with LRU eviction under TenantMemoryBudget. The
+	// legacy single-dataset routes stay up, served by a pinned
+	// "default" tenant wrapping the qs passed to New.
+	MultiTenant bool
+	// MaxTenants caps registered datasets in multi-tenant mode. 0
+	// means DefaultMaxTenants; negative is a validation error.
+	MaxTenants int
+	// TenantMemoryBudget bounds the summed MemoryEstimate of resident
+	// tenant services, in bytes; least-recently-queried tenants are
+	// evicted past it and transparently re-mined on their next query.
+	// 0 means DefaultTenantMemoryBudget; negative is a validation
+	// error.
+	TenantMemoryBudget int64
+	// MineWorkers is the async mine job worker count. 0 means
+	// DefaultMineWorkers; negative is a validation error.
+	MineWorkers int
+	// MineTimeout bounds one tenant materialization or mine job. 0
+	// means no deadline; negative is a validation error.
+	MineTimeout time.Duration
+}
+
+// validate applies defaults and rejects configurations no server
+// should run with. New calls it; the explicit errors (rather than
+// silent clamping) are what let arserve report a bad flag instead of
+// starting with a surprise value. Tenant knobs are validated even
+// when MultiTenant is off, so a negative budget cannot hide behind a
+// disabled mode flag.
+func (c *Config) validate() error {
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.ShutdownGrace < 0 {
+		return fmt.Errorf("server: negative ShutdownGrace %v", c.ShutdownGrace)
+	}
+	if c.ShutdownGrace == 0 {
+		c.ShutdownGrace = DefaultShutdownGrace
+	}
+	if c.ReloadTimeout < 0 {
+		return fmt.Errorf("server: negative ReloadTimeout %v", c.ReloadTimeout)
+	}
+	if c.MaxRecommend < 0 {
+		return fmt.Errorf("server: negative MaxRecommend %d", c.MaxRecommend)
+	}
+	if c.MaxRecommend == 0 {
+		c.MaxRecommend = DefaultMaxRecommend
+	}
+	if c.MaxInFlight < 0 {
+		return fmt.Errorf("server: negative MaxInFlight %d", c.MaxInFlight)
+	}
+	if c.BatchSize < 0 {
+		return fmt.Errorf("server: negative BatchSize %d", c.BatchSize)
+	}
+	if c.BatchMaxWait < 0 {
+		return fmt.Errorf("server: negative BatchMaxWait %v", c.BatchMaxWait)
+	}
+	if c.MaxTenants < 0 {
+		return fmt.Errorf("server: negative MaxTenants %d", c.MaxTenants)
+	}
+	if c.MaxTenants == 0 {
+		c.MaxTenants = DefaultMaxTenants
+	}
+	if c.TenantMemoryBudget < 0 {
+		return fmt.Errorf("server: negative TenantMemoryBudget %d", c.TenantMemoryBudget)
+	}
+	if c.TenantMemoryBudget == 0 {
+		c.TenantMemoryBudget = DefaultTenantMemoryBudget
+	}
+	if c.MineWorkers < 0 {
+		return fmt.Errorf("server: negative MineWorkers %d", c.MineWorkers)
+	}
+	if c.MineWorkers == 0 {
+		c.MineWorkers = DefaultMineWorkers
+	}
+	if c.MineTimeout < 0 {
+		return fmt.Errorf("server: negative MineTimeout %v", c.MineTimeout)
+	}
+	return nil
 }
 
 // Server serves a QueryService over HTTP. Create one with New; it is
@@ -135,6 +225,8 @@ type Server struct {
 	qs        *closedrules.QueryService
 	cfg       Config
 	metrics   *metricsRegistry
+	pool      *tenant.Pool   // nil unless Config.MultiTenant
+	tmetrics  *tenantMetrics // nil unless Config.MultiTenant
 	handler   http.Handler
 	reloadMu  sync.Mutex
 	limiters  map[string]*limiter // per-endpoint admission gates (nil entries when disabled)
@@ -143,24 +235,27 @@ type Server struct {
 }
 
 // endpointNames are the metric label values, in exposition order.
+// datasets and jobs only receive traffic in multi-tenant mode; their
+// series sit at zero otherwise.
 var endpointNames = []string{
 	"support", "confidence", "rules", "recommend", "bases", "healthz", "metrics", "reload",
+	"datasets", "jobs",
 }
 
 // queryEndpoints are the endpoints admission control gates; the
 // observability and admin endpoints stay reachable under overload.
+// Tenant query routes share these gates under the same endpoint name,
+// so the cap bounds total load per verb across all tenants.
 var queryEndpoints = []string{"support", "confidence", "rules", "recommend"}
 
-// New builds a Server around the service, applying Config defaults.
-func New(qs *closedrules.QueryService, cfg Config) *Server {
-	if cfg.RequestTimeout == 0 {
-		cfg.RequestTimeout = DefaultRequestTimeout
-	}
-	if cfg.ShutdownGrace == 0 {
-		cfg.ShutdownGrace = DefaultShutdownGrace
-	}
-	if cfg.MaxRecommend == 0 {
-		cfg.MaxRecommend = DefaultMaxRecommend
+// New builds a Server around the service, validating and defaulting
+// the Config (see Config.validate). With Config.MultiTenant the qs
+// becomes the pinned "default" tenant of a tenant pool and the
+// /datasets and /jobs route families are mounted alongside the legacy
+// single-dataset routes.
+func New(qs *closedrules.QueryService, cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	s := &Server{qs: qs, cfg: cfg, metrics: newMetricsRegistry(endpointNames)}
 	s.limiters = make(map[string]*limiter, len(queryEndpoints))
@@ -187,19 +282,49 @@ func New(qs *closedrules.QueryService, cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
 	mux.HandleFunc("POST /admin/reload", s.instrument("reload", s.handleReload))
+	if cfg.MultiTenant {
+		pool, err := tenant.NewPool(tenant.Config{
+			MaxTenants:   cfg.MaxTenants,
+			MemoryBudget: cfg.TenantMemoryBudget,
+			MineWorkers:  cfg.MineWorkers,
+			MineTimeout:  cfg.MineTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		// The qs handed to New becomes the pinned default tenant: the
+		// legacy routes and /datasets/default serve the same snapshots,
+		// and being pinned it is never evicted or deletable.
+		if _, err := pool.Register(tenant.Spec{
+			ID:      DefaultTenantID,
+			Pinned:  true,
+			Service: qs,
+			Params:  tenant.Params{MinConfidence: qs.MinConfidence()},
+		}); err != nil {
+			pool.Close()
+			return nil, err
+		}
+		s.pool = pool
+		s.tmetrics = newTenantMetrics()
+		s.registerTenantRoutes(mux)
+	}
 	s.handler = mux
-	return s
+	return s, nil
 }
 
-// Close releases the server's background resources (the recommend
-// batcher's collector goroutine): queued recommend calls are errored
-// with 503 rather than left hanging. Serve and ListenAndServe call it
-// on the way out; Handler-only users should call it when done. Safe
-// to call more than once.
+// Close releases the server's background resources: the recommend
+// batcher's collector goroutine (queued recommend calls are errored
+// with 503 rather than left hanging) and, in multi-tenant mode, the
+// tenant pool's mine workers and per-tenant refreshers. Serve and
+// ListenAndServe call it on the way out; Handler-only users should
+// call it when done. Safe to call more than once.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		if s.batcher != nil {
 			s.batcher.Stop()
+		}
+		if s.pool != nil {
+			s.pool.Close()
 		}
 	})
 }
@@ -386,13 +511,19 @@ type supportJSON struct {
 }
 
 func (s *Server) handleSupport(w http.ResponseWriter, r *http.Request) {
+	s.serveSupport(s.qs, w, r)
+}
+
+// serveSupport is the qs-parametric core shared by the legacy route
+// and /datasets/{id}/support.
+func (s *Server) serveSupport(qs *closedrules.QueryService, w http.ResponseWriter, r *http.Request) {
 	items, ok := itemsParam(w, r, "items")
 	if !ok {
 		return
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	sup, frequent, err := s.qs.Support(ctx, items)
+	sup, frequent, err := qs.Support(ctx, items)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -407,6 +538,10 @@ type confidenceJSON struct {
 }
 
 func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
+	s.serveConfidence(s.qs, w, r)
+}
+
+func (s *Server) serveConfidence(qs *closedrules.QueryService, w http.ResponseWriter, r *http.Request) {
 	ant, ok := itemsParam(w, r, "antecedent")
 	if !ok {
 		return
@@ -417,7 +552,7 @@ func (s *Server) handleConfidence(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	conf, err := s.qs.Confidence(ctx, ant, cons)
+	conf, err := qs.Confidence(ctx, ant, cons)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -437,16 +572,16 @@ type basisRulesJSON struct {
 	Rules         []ruleJSON `json:"rules"`
 }
 
-// handleBasisRules answers /rules?basis=NAME[&minconf=C]: the complete
+// serveBasisRules answers /rules?basis=NAME[&minconf=C]: the complete
 // rule list of the named basis, built from the served snapshot.
 // minconf defaults to the service's confidence threshold.
-func (s *Server) handleBasisRules(w http.ResponseWriter, r *http.Request) {
+func (s *Server) serveBasisRules(qs *closedrules.QueryService, w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("basis")
 	if _, err := closedrules.LookupBasis(name); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	minConf := s.qs.MinConfidence()
+	minConf := qs.MinConfidence()
 	if raw := r.URL.Query().Get("minconf"); raw != "" {
 		c, err := strconv.ParseFloat(raw, 64)
 		// The negated-AND form also rejects NaN ("minconf=NaN" parses
@@ -459,7 +594,7 @@ func (s *Server) handleBasisRules(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	rs, numTx, err := s.qs.BasisRulesWithN(ctx, name, minConf)
+	rs, numTx, err := qs.BasisRulesWithN(ctx, name, minConf)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -477,8 +612,12 @@ func (s *Server) handleBasisRules(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	s.serveRules(s.qs, w, r)
+}
+
+func (s *Server) serveRules(qs *closedrules.QueryService, w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Has("basis") {
-		s.handleBasisRules(w, r)
+		s.serveBasisRules(qs, w, r)
 		return
 	}
 	ant, ok := itemsParam(w, r, "antecedent")
@@ -491,7 +630,7 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.queryCtx(r)
 	defer cancel()
-	rule, numTx, err := s.qs.RuleWithN(ctx, ant, cons)
+	rule, numTx, err := qs.RuleWithN(ctx, ant, cons)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -511,6 +650,15 @@ type recommendJSON struct {
 }
 
 func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
+	s.serveRecommend(s.qs, true, w, r)
+}
+
+// serveRecommend is the recommend core. useBatcher routes the call
+// through the coalescing batcher when one is configured; only the
+// legacy route sets it — the batcher is bound to the default
+// service's RecommendBatch, so tenant routes always query their own
+// service directly.
+func (s *Server) serveRecommend(qs *closedrules.QueryService, useBatcher bool, w http.ResponseWriter, r *http.Request) {
 	var req recommendRequest
 	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
@@ -541,10 +689,10 @@ func (s *Server) handleRecommend(w http.ResponseWriter, r *http.Request) {
 		numTx int
 		err   error
 	)
-	if s.batcher != nil {
+	if useBatcher && s.batcher != nil {
 		recs, numTx, err = s.batcher.Do(ctx, closedrules.RecommendRequest{Observed: closedrules.Items(req.Observed...), K: k})
 	} else {
-		recs, numTx, err = s.qs.RecommendWithN(ctx, closedrules.Items(req.Observed...), k)
+		recs, numTx, err = qs.RecommendWithN(ctx, closedrules.Items(req.Observed...), k)
 	}
 	if err != nil {
 		writeQueryError(w, err)
@@ -574,11 +722,15 @@ type basesJSON struct {
 // handleBases answers GET /bases with the registered basis names and
 // the pair the current snapshot serves Recommend from.
 func (s *Server) handleBases(w http.ResponseWriter, r *http.Request) {
-	served := s.qs.ServedBases()
+	s.serveBases(s.qs, w, r)
+}
+
+func (s *Server) serveBases(qs *closedrules.QueryService, w http.ResponseWriter, r *http.Request) {
+	served := qs.ServedBases()
 	writeJSON(w, http.StatusOK, basesJSON{
 		Registered:    closedrules.Bases(),
 		Serving:       servingJSON{Exact: served.Exact, Approximate: served.Approximate},
-		MinConfidence: s.qs.MinConfidence(),
+		MinConfidence: qs.MinConfidence(),
 	})
 }
 
@@ -593,6 +745,27 @@ type healthJSON struct {
 	Admission     *admissionJSON `json:"admission,omitempty"`
 	Batching      *batchingJSON  `json:"batching,omitempty"`
 	Refresh       *refreshJSON   `json:"refresh,omitempty"`
+	Tenants       *tenantsJSON   `json:"tenants,omitempty"`
+}
+
+// tenantsJSON is the healthz view of the tenant pool; present only in
+// multi-tenant mode.
+type tenantsJSON struct {
+	Registered  int          `json:"registered"`
+	Resident    int          `json:"resident"`
+	MaxTenants  int          `json:"maxTenants"`
+	BudgetBytes int64        `json:"budgetBytes"`
+	PoolBytes   int64        `json:"poolBytes"`
+	Evictions   uint64       `json:"evictions"`
+	Mines       uint64       `json:"mines"`
+	Jobs        jobStatsJSON `json:"jobs"`
+}
+
+type jobStatsJSON struct {
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Done    uint64 `json:"done"`
+	Failed  uint64 `json:"failed"`
 }
 
 // cacheJSON is the healthz view of the recommendation cache serving
@@ -656,6 +829,29 @@ func (s *Server) refreshStats() *refresh.Stats {
 	return &st
 }
 
+// refreshToJSON renders refresher counters for healthz and the
+// per-dataset registry views.
+func refreshToJSON(st *refresh.Stats) *refreshJSON {
+	out := &refreshJSON{
+		Running:              st.Running,
+		Cycles:               st.Cycles,
+		Successes:            st.Successes,
+		Skips:                st.Skips,
+		Failures:             st.Failures,
+		ConsecutiveFailures:  st.ConsecutiveFailures,
+		LastError:            st.LastError,
+		LastMineMs:           st.LastMineDuration.Milliseconds(),
+		IncrementalSuccesses: st.IncrementalSuccesses,
+		IncrementalFallbacks: st.IncrementalFallbacks,
+		DeltaTransactions:    st.DeltaTransactions,
+		LastIncrementalMs:    st.LastIncrementalDuration.Milliseconds(),
+	}
+	if !st.LastSwap.IsZero() {
+		out.LastSwap = st.LastSwap.UTC().Format(time.RFC3339)
+	}
+	return out
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	served := s.qs.ServedBases()
 	svc := s.qs.Stats()
@@ -697,22 +893,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if st := s.refreshStats(); st != nil {
-		out.Refresh = &refreshJSON{
-			Running:              st.Running,
-			Cycles:               st.Cycles,
-			Successes:            st.Successes,
-			Skips:                st.Skips,
-			Failures:             st.Failures,
-			ConsecutiveFailures:  st.ConsecutiveFailures,
-			LastError:            st.LastError,
-			LastMineMs:           st.LastMineDuration.Milliseconds(),
-			IncrementalSuccesses: st.IncrementalSuccesses,
-			IncrementalFallbacks: st.IncrementalFallbacks,
-			DeltaTransactions:    st.DeltaTransactions,
-			LastIncrementalMs:    st.LastIncrementalDuration.Milliseconds(),
-		}
-		if !st.LastSwap.IsZero() {
-			out.Refresh.LastSwap = st.LastSwap.UTC().Format(time.RFC3339)
+		out.Refresh = refreshToJSON(st)
+	}
+	if s.pool != nil {
+		st := s.pool.Stats()
+		out.Tenants = &tenantsJSON{
+			Registered:  st.Registered,
+			Resident:    st.Resident,
+			MaxTenants:  st.MaxTenants,
+			BudgetBytes: st.BudgetBytes,
+			PoolBytes:   st.Bytes,
+			Evictions:   st.Evictions,
+			Mines:       st.Mines,
+			Jobs: jobStatsJSON{
+				Queued:  st.Jobs.Queued,
+				Running: st.Jobs.Running,
+				Done:    st.Jobs.Done,
+				Failed:  st.Jobs.Failed,
+			},
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -726,6 +924,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.batcher != nil {
 		writeBatcher(w, s.batcher)
+	}
+	if s.pool != nil {
+		writeTenantMetrics(w, s.pool.Stats(), s.tmetrics)
 	}
 }
 

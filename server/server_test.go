@@ -46,9 +46,13 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(qs, cfg)
+	s, err := New(qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 
@@ -273,7 +277,7 @@ func TestReloadEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	calls := 0
-	s := New(qs, Config{
+	s, err := New(qs, Config{
 		Reload: func(ctx context.Context) (*closedrules.Result, error) {
 			calls++
 			if calls > 1 {
@@ -282,6 +286,9 @@ func TestReloadEndpoint(t *testing.T) {
 			return mineClassic(t, 2), nil
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -351,12 +358,15 @@ func TestSwapUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	repeat := 1
-	s := New(qs, Config{
+	s, err := New(qs, Config{
 		Reload: func(ctx context.Context) (*closedrules.Result, error) {
 			repeat++ // serialized by the server's reload lock
 			return mineClassic(t, 1+repeat%2), nil
 		},
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -429,7 +439,10 @@ func TestServeGracefulShutdown(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(qs, Config{})
+	s, err := New(qs, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
