@@ -13,6 +13,7 @@
 //	        [-max-inflight 0] [-batch 0] [-batch-wait 2ms]
 //	        [-multi-tenant] [-max-tenants 64]
 //	        [-tenant-memory-budget 268435456] [-mine-workers 2]
+//	        [-tenant-data-dir /srv/datasets]
 //
 // Endpoints (see the server package for wire formats):
 //
@@ -34,6 +35,9 @@
 // -tenant-memory-budget: cold tenants are evicted past the budget and
 // transparently re-mined on their next query. -mine-workers bounds
 // concurrent async mine jobs; each runs under -mine-timeout.
+// Registrations by server-side "path" are disabled unless
+// -tenant-data-dir names a directory; paths then resolve inside it
+// and nothing outside is ever readable through the registry.
 //
 // Data freshness is a refresh.Refresher over the input file: with
 // -refresh set, the file is watched (mtime, size, checksum) and a
@@ -104,6 +108,7 @@ type config struct {
 	maxTenants     int
 	tenantBudget   int64
 	mineWorkers    int
+	tenantDataDir  string
 }
 
 func parseFlags(args []string) (*config, error) {
@@ -134,6 +139,7 @@ func parseFlags(args []string) (*config, error) {
 		maxTenants     = fs.Int("max-tenants", 0, "cap on registered datasets in multi-tenant mode (0 = server default)")
 		tenantBudget   = fs.Int64("tenant-memory-budget", 0, "total resident-bytes budget across tenant services; least-recently-used tenants are evicted past it (0 = server default)")
 		mineWorkers    = fs.Int("mine-workers", 0, "async mine job worker count (0 = server default)")
+		tenantDataDir  = fs.String("tenant-data-dir", "", "directory POST /datasets \"path\" registrations may read from (empty = path registrations disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -164,6 +170,7 @@ func parseFlags(args []string) (*config, error) {
 		incremental: *incremental, incrementalMax: *incrementalMax,
 		multiTenant: *multiTenant, maxTenants: *maxTenants,
 		tenantBudget: *tenantBudget, mineWorkers: *mineWorkers,
+		tenantDataDir: *tenantDataDir,
 	}
 	if cfg.refreshTimeout == 0 {
 		cfg.refreshTimeout = cfg.mineTimeout
@@ -253,6 +260,7 @@ func setup(ctx context.Context, args []string) (*server.Server, *refresh.Refresh
 		TenantMemoryBudget: cfg.tenantBudget,
 		MineWorkers:        cfg.mineWorkers,
 		MineTimeout:        cfg.mineTimeout,
+		TenantDataDir:      cfg.tenantDataDir,
 	})
 	if err != nil {
 		return nil, nil, nil, err

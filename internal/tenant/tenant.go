@@ -486,6 +486,13 @@ func (p *Pool) get(id string) (*entry, error) {
 	return t, nil
 }
 
+// Has reports whether a tenant with this ID is registered. One shard
+// read-lock — cheap enough for per-request metric-label decisions.
+func (p *Pool) Has(id string) bool {
+	_, err := p.get(id)
+	return err == nil
+}
+
 // Get returns one tenant's Info.
 func (p *Pool) Get(id string) (Info, error) {
 	t, err := p.get(id)
@@ -707,6 +714,15 @@ func (p *Pool) installLocked(t *entry, svc *closedrules.QueryService, bytes int6
 // Start only spawns the poll goroutine, so holding the lock is safe.
 func (p *Pool) startRefresherLocked(t *entry, svc *closedrules.QueryService, params Params) {
 	if t.refresh <= 0 || t.src == nil {
+		return
+	}
+	// A mine that finishes just before Close cancels p.ctx can install
+	// after Close's refresher-stop sweep already passed this entry,
+	// which would leak a running refresher past pool shutdown. The
+	// check is ordered by t.mu: if the cancel has not happened by now,
+	// the sweep is still ahead of us and will stop whatever starts here
+	// once we release the lock.
+	if p.ctx.Err() != nil {
 		return
 	}
 	src, ok := t.src.(refresh.Source)

@@ -5,12 +5,15 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"closedrules"
+	"closedrules/refresh"
 )
 
 // classicTx is the paper's running example context.
@@ -247,6 +250,46 @@ func TestPinnedTenant(t *testing.T) {
 	supportOf(t, p, "b", 2)
 	if svc, err := p.Service(context.Background(), "default"); err != nil || svc != qs {
 		t.Errorf("pinned tenant displaced: svc=%p err=%v", svc, err)
+	}
+}
+
+// TestNoRefresherStartAfterClose pins the shutdown race fix: a mine
+// that lands after Close cancelled the pool context must not start a
+// refresher — Close's stop sweep has already passed the entry, so the
+// refresher would run forever with nothing left to Stop it.
+func TestNoRefresherStartAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "d.dat")
+	if err := os.WriteFile(path, []byte("0 2 3\n1 2 4\n0 1 2 4\n1 4\n0 1 2 4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p := newTestPool(t, 1<<30)
+	if _, err := p.Register(Spec{ID: "r", Source: refresh.NewFileSource(path), Params: classicParams(), Refresh: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+	svc, err := p.Service(context.Background(), "r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := p.get("r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.mu.Lock()
+	if e.refresher == nil {
+		e.mu.Unlock()
+		t.Fatal("materialization did not attach a refresher")
+	}
+	e.mu.Unlock()
+	p.Close()
+	// Replay the racing install: the mine finished before the cancel
+	// but publishes after the sweep.
+	e.mu.Lock()
+	p.installLocked(e, svc, 1, e.params)
+	started := e.refresher != nil
+	e.mu.Unlock()
+	if started {
+		t.Error("installLocked started a refresher after Close")
 	}
 }
 

@@ -53,6 +53,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -156,6 +158,14 @@ type Config struct {
 	// MineTimeout bounds one tenant materialization or mine job. 0
 	// means no deadline; negative is a validation error.
 	MineTimeout time.Duration
+	// TenantDataDir, when set, allows POST /datasets registrations by
+	// server-side "path": paths are resolved inside this directory
+	// (symlinks cannot tunnel out) and anything else is rejected.
+	// Empty — the default — disables path registrations entirely, so an
+	// untrusted HTTP client can never point the miner at arbitrary
+	// server-readable files. validate requires an existing directory
+	// and stores the absolute form.
+	TenantDataDir string
 }
 
 // validate applies defaults and rejects configurations no server
@@ -212,6 +222,20 @@ func (c *Config) validate() error {
 	}
 	if c.MineTimeout < 0 {
 		return fmt.Errorf("server: negative MineTimeout %v", c.MineTimeout)
+	}
+	if c.TenantDataDir != "" {
+		abs, err := filepath.Abs(c.TenantDataDir)
+		if err != nil {
+			return fmt.Errorf("server: TenantDataDir: %w", err)
+		}
+		fi, err := os.Stat(abs)
+		if err != nil {
+			return fmt.Errorf("server: TenantDataDir: %w", err)
+		}
+		if !fi.IsDir() {
+			return fmt.Errorf("server: TenantDataDir %s is not a directory", abs)
+		}
+		c.TenantDataDir = abs
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -168,8 +169,8 @@ func paramsToJSON(p tenant.Params) paramsJSON {
 
 // registerRequest is the POST /datasets body. Exactly one of
 // Transactions (inline itemset lists), Dat (inline .dat text) or Path
-// (a server-side file, the operator-trusted escape hatch arserve -in
-// already provides) must be set.
+// (a server-side file inside Config.TenantDataDir; rejected with 403
+// when the operator has not configured one) must be set.
 type registerRequest struct {
 	ID           string     `json:"id"`
 	Name         string     `json:"name"`
@@ -257,7 +258,7 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 		}
 		refreshIval = d
 	}
-	src, ok := registerSource(w, &req)
+	src, ok := s.registerSource(w, &req)
 	if !ok {
 		return
 	}
@@ -275,7 +276,10 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := registerResponse{datasetJSON: datasetToJSON(info)}
 	if req.Mine {
-		job, err := s.pool.Enqueue(info.ID, tenant.Params{})
+		// The registered params (defaults already applied) drive the
+		// initial mine, so the tenant serves exactly what the 201 body
+		// reported — a zero Params here would re-default everything.
+		job, err := s.pool.Enqueue(info.ID, info.Params)
 		if err != nil {
 			resp.JobError = err.Error()
 		} else {
@@ -286,8 +290,13 @@ func (s *Server) handleRegisterDataset(w http.ResponseWriter, r *http.Request) {
 }
 
 // registerSource builds the tenant's Source from whichever upload
-// form the body used, answering 400 itself on malformed input.
-func registerSource(w http.ResponseWriter, req *registerRequest) (tenant.Source, bool) {
+// form the body used, answering 400 itself on malformed input. Path
+// registrations name server-side files, so they are only honored when
+// the operator opted in with Config.TenantDataDir (403 otherwise) and
+// never outside that directory — without the gate any HTTP client
+// could register arbitrary server-readable files and leak their
+// contents through the query routes.
+func (s *Server) registerSource(w http.ResponseWriter, req *registerRequest) (tenant.Source, bool) {
 	switch {
 	case req.Transactions != nil:
 		d, err := closedrules.NewDataset(req.Transactions)
@@ -304,8 +313,21 @@ func registerSource(w http.ResponseWriter, req *registerRequest) (tenant.Source,
 		}
 		return tenant.NewInlineSource(d), true
 	default:
-		if _, err := os.Stat(req.Path); err != nil {
+		if s.cfg.TenantDataDir == "" {
+			writeError(w, http.StatusForbidden,
+				"path: server-side path registrations are disabled; start the server with a tenant data directory (arserve -tenant-data-dir)")
+			return nil, false
+		}
+		path, err := resolveUnder(s.cfg.TenantDataDir, req.Path)
+		if err != nil {
 			writeError(w, http.StatusBadRequest, "path: "+err.Error())
+			return nil, false
+		}
+		if fi, err := os.Stat(path); err != nil {
+			writeError(w, http.StatusBadRequest, "path: "+err.Error())
+			return nil, false
+		} else if fi.IsDir() {
+			writeError(w, http.StatusBadRequest, "path: is a directory")
 			return nil, false
 		}
 		if req.Table {
@@ -318,10 +340,44 @@ func registerSource(w http.ResponseWriter, req *registerRequest) (tenant.Source,
 				writeError(w, http.StatusBadRequest, "sep: want a single character")
 				return nil, false
 			}
-			return refresh.NewTableFileSource(req.Path, runes[0], req.Header), true
+			return refresh.NewTableFileSource(path, runes[0], req.Header), true
 		}
-		return refresh.NewFileSource(req.Path), true
+		return refresh.NewFileSource(path), true
 	}
+}
+
+// resolveUnder maps a client-supplied path into dir: relative paths
+// are joined onto it, absolute ones must already point inside it, and
+// the result — after symlink resolution, so a link cannot tunnel out —
+// must not escape. dir is absolute (Config.validate made it so).
+func resolveUnder(dir, raw string) (string, error) {
+	joined := raw
+	if !filepath.IsAbs(raw) {
+		joined = filepath.Join(dir, raw)
+	}
+	if !within(dir, joined) {
+		return "", errors.New("escapes the tenant data directory")
+	}
+	// EvalSymlinks also fails on a missing file, which double-checks
+	// existence before the containment re-check.
+	resolved, err := filepath.EvalSymlinks(joined)
+	if err != nil {
+		return "", err
+	}
+	resolvedDir, err := filepath.EvalSymlinks(dir)
+	if err != nil {
+		return "", err
+	}
+	if !within(resolvedDir, resolved) {
+		return "", errors.New("escapes the tenant data directory")
+	}
+	return resolved, nil
+}
+
+// within reports whether path (cleaned) sits at or below dir.
+func within(dir, path string) bool {
+	rel, err := filepath.Rel(dir, filepath.Clean(path))
+	return err == nil && rel != ".." && !strings.HasPrefix(rel, ".."+string(filepath.Separator))
 }
 
 // listJSON is the GET /datasets body.
@@ -438,16 +494,18 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 
 // instrumentTenant wraps a tenant query route with the shared
 // per-endpoint accounting plus a tenant-labeled request/error count.
-// Unknown tenants (404) are not labeled — a scanner probing random
-// IDs must not mint unbounded metric series.
+// The label is only minted for IDs actually in the registry — keying
+// off the response status is not enough, because admission-control
+// 429s fire before tenant resolution, so a scanner probing random IDs
+// during overload would otherwise mint unbounded metric series.
 func (s *Server) instrumentTenant(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		h(rec, r)
 		s.metrics.observe(name, rec.code, time.Since(start))
-		if rec.code != http.StatusNotFound {
-			s.tmetrics.observe(r.PathValue("id"), name, rec.code)
+		if id := r.PathValue("id"); s.pool.Has(id) {
+			s.tmetrics.observe(id, name, rec.code)
 		}
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -199,7 +201,7 @@ func TestTenantRegisterRejections(t *testing.T) {
 		{"bad id", map[string]any{"id": "../etc", "transactions": classicTx}, http.StatusBadRequest},
 		{"bad refresh", map[string]any{"transactions": classicTx, "refresh": "nope"}, http.StatusBadRequest},
 		{"refresh without path", map[string]any{"transactions": classicTx, "refresh": "30s"}, http.StatusBadRequest},
-		{"missing path", map[string]any{"path": "/no/such/file.dat"}, http.StatusBadRequest},
+		{"path without data dir", map[string]any{"path": "/no/such/file.dat"}, http.StatusForbidden},
 		{"support out of range", map[string]any{"transactions": classicTx,
 			"params": map[string]any{"minSupport": 1.5}}, http.StatusUnprocessableEntity},
 		{"unknown algorithm", map[string]any{"transactions": classicTx,
@@ -209,6 +211,129 @@ func TestTenantRegisterRejections(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			postJSON(t, ts.URL+"/datasets", tc.body, tc.want, nil)
 		})
+	}
+}
+
+// TestTenantPathRegistration pins the -tenant-data-dir gate: with a
+// data directory configured, only files inside it are registrable —
+// relative paths resolve under it, absolute paths must already point
+// into it, and neither ".." nor a symlink can tunnel out.
+func TestTenantPathRegistration(t *testing.T) {
+	dir := t.TempDir()
+	datBody := []byte("0 2 3\n1 2 4\n0 1 2 4\n1 4\n0 1 2 4\n")
+	if err := os.WriteFile(filepath.Join(dir, "ok.dat"), datBody, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outside := filepath.Join(t.TempDir(), "outside.dat")
+	if err := os.WriteFile(outside, datBody, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Symlink(outside, filepath.Join(dir, "link.dat")); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTenantServer(t, Config{TenantDataDir: dir})
+	cases := []struct {
+		name, path string
+		want       int
+	}{
+		{"relative inside", "ok.dat", http.StatusCreated},
+		{"absolute inside", filepath.Join(dir, "ok.dat"), http.StatusCreated},
+		{"dotdot escape", "../outside.dat", http.StatusBadRequest},
+		{"absolute outside", outside, http.StatusBadRequest},
+		{"symlink escape", "link.dat", http.StatusBadRequest},
+		{"missing file", "nope.dat", http.StatusBadRequest},
+		{"directory", ".", http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			postJSON(t, ts.URL+"/datasets", map[string]any{"path": tc.path}, tc.want, nil)
+		})
+	}
+}
+
+// waitJobDone polls GET /jobs/{id} until the job lands, failing the
+// test on job failure or timeout, and returns the terminal record.
+func waitJobDone(t *testing.T, baseURL, jobID string) jobJSON {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var got jobJSON
+		getJSON(t, baseURL+"/jobs/"+jobID, http.StatusOK, &got)
+		switch got.State {
+		case string(tenant.JobDone):
+			return got
+		case string(tenant.JobFailed):
+			t.Fatalf("job failed: %s", got.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestRegisterWithInitialMine pins the initial-mine params fix:
+// "mine": true must enqueue the job with the registered parameters —
+// a zero Params would silently re-default the thresholds the 201
+// response just reported.
+func TestRegisterWithInitialMine(t *testing.T) {
+	_, ts := newTenantServer(t, Config{})
+	var out struct {
+		ID  string `json:"id"`
+		Job string `json:"job"`
+	}
+	postJSON(t, ts.URL+"/datasets", map[string]any{
+		"id":           "eager",
+		"transactions": classicTx,
+		"mine":         true,
+		"params":       map[string]any{"minSupport": 0.4, "minConfidence": 0.7},
+	}, http.StatusCreated, &out)
+	if out.Job == "" {
+		t.Fatal("mine:true returned no job id")
+	}
+	job := waitJobDone(t, ts.URL, out.Job)
+	if job.Params.MinSupport != 0.4 || job.Params.MinConfidence == nil || *job.Params.MinConfidence != 0.7 {
+		t.Errorf("initial job params = %+v, want the registered 0.4/0.7", job.Params)
+	}
+	var ds datasetJSON
+	getJSON(t, ts.URL+"/datasets/eager", http.StatusOK, &ds)
+	if !ds.Resident || ds.Params.MinSupport != 0.4 || *ds.Params.MinConfidence != 0.7 {
+		t.Errorf("dataset after initial mine = %+v, want resident at 0.4/0.7", ds)
+	}
+	// At minsup 0.4 the one-object itemset {0,2,3} is infrequent; had
+	// the job re-defaulted to 0.1 it would be served as frequent.
+	var sup supportJSON
+	getJSON(t, ts.URL+"/datasets/eager/support?items=0,2,3", http.StatusOK, &sup)
+	if sup.Frequent {
+		t.Errorf("supp({0,2,3}) = %+v: served snapshot ignored the registered threshold", sup)
+	}
+}
+
+// TestTenantMetricsUnknownIDNotMinted: IDs absent from the registry
+// never mint tenant-labeled series, whatever the response status —
+// admission-control 429s in particular are written before tenant
+// resolution, so status-based filtering alone would let a scanner
+// grow the exposition without bound during overload.
+func TestTenantMetricsUnknownIDNotMinted(t *testing.T) {
+	s, _ := newTenantServer(t, Config{})
+	shed := s.instrumentTenant("support", func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusTooManyRequests, "shed")
+	})
+	probe := func(id string) {
+		req := httptest.NewRequest(http.MethodGet, "/datasets/"+id+"/support", nil)
+		req.SetPathValue("id", id)
+		shed(httptest.NewRecorder(), req)
+	}
+	probe("ghost")
+	if got := s.tmetrics.snapshot(); len(got) != 0 {
+		t.Errorf("unknown tenant minted series: %+v", got)
+	}
+	// A registered tenant's 429 is still labeled: the series set is
+	// bounded by the registry, not by what scanners probe.
+	probe(DefaultTenantID)
+	got := s.tmetrics.snapshot()
+	if len(got) != 1 || got[0].tenant != DefaultTenantID || got[0].errors != 1 {
+		t.Errorf("registered tenant series = %+v, want one default-tenant error", got)
 	}
 }
 
@@ -237,23 +362,8 @@ func TestTenantMineJob(t *testing.T) {
 		t.Fatalf("202 body = %+v", job)
 	}
 
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		var got jobJSON
-		getJSON(t, ts.URL+"/jobs/"+job.Job, http.StatusOK, &got)
-		if got.State == string(tenant.JobDone) {
-			if got.FinishedAt == "" {
-				t.Errorf("done job missing finishedAt: %+v", got)
-			}
-			break
-		}
-		if got.State == string(tenant.JobFailed) {
-			t.Fatalf("job failed: %s", got.Error)
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("job stuck in %s", got.State)
-		}
-		time.Sleep(5 * time.Millisecond)
+	if done := waitJobDone(t, ts.URL, job.Job); done.FinishedAt == "" {
+		t.Errorf("done job missing finishedAt: %+v", done)
 	}
 
 	// The new thresholds are now the served configuration: at minsup
@@ -373,6 +483,7 @@ func TestConfigValidate(t *testing.T) {
 		// Tenant knobs are validated even with MultiTenant off, so a
 		// typo does not surface only when the mode is later enabled.
 		{"negative budget single-tenant", Config{MultiTenant: false, TenantMemoryBudget: -5}},
+		{"tenant data dir missing", Config{TenantDataDir: "/no/such/closedrules-data-dir"}},
 	}
 	for _, tc := range bad {
 		t.Run(tc.name, func(t *testing.T) {
@@ -394,6 +505,25 @@ func TestConfigValidate(t *testing.T) {
 		cfg.TenantMemoryBudget != DefaultTenantMemoryBudget ||
 		cfg.MineWorkers != DefaultMineWorkers {
 		t.Errorf("defaults not applied: %+v", cfg)
+	}
+
+	// TenantDataDir must name an existing directory; a regular file is
+	// rejected and a relative path is stored absolute.
+	dir := t.TempDir()
+	file := filepath.Join(dir, "f")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fileCfg := Config{TenantDataDir: file}
+	if err := fileCfg.validate(); err == nil {
+		t.Error("TenantDataDir pointing at a file accepted")
+	}
+	dirCfg := Config{TenantDataDir: dir}
+	if err := dirCfg.validate(); err != nil {
+		t.Fatalf("TenantDataDir %s rejected: %v", dir, err)
+	}
+	if !filepath.IsAbs(dirCfg.TenantDataDir) {
+		t.Errorf("TenantDataDir not stored absolute: %s", dirCfg.TenantDataDir)
 	}
 }
 
