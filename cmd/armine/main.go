@@ -22,7 +22,10 @@
 //
 // Algorithms are resolved through the miner registry: `-algo list`
 // prints every registered name. Closed modes default to "close",
-// frequent mode to "apriori". Rule bases are resolved through the
+// frequent mode to "apriori". The generator-requiring modes (closed,
+// generic) accept any generator-tracking miner: the level-wise close,
+// a-close and titanic, or genclose/pgenclose, which mine the closed
+// sets and their minimal generators in one vertical traversal. Rule bases are resolved through the
 // basis registry: `-basis list` prints every registered basis, and
 // `-basis NAME` mines and prints that single basis at -minconf
 // (overriding -mode; -full selects the unreduced variant where one

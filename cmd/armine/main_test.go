@@ -44,7 +44,7 @@ func TestFrequentMode(t *testing.T) {
 }
 
 func TestClosedModeAllAlgorithms(t *testing.T) {
-	for _, algo := range []string{"close", "aclose", "charm", "titanic"} {
+	for _, algo := range []string{"close", "aclose", "charm", "titanic", "genclose", "pgenclose"} {
 		out := runCLI(t, "-in", writeClassic(t), "-minsup", "0.4", "-mode", "closed", "-algo", algo)
 		if !strings.Contains(out, "# 6 frequent closed itemsets") {
 			t.Errorf("algo %s output:\n%s", algo, out)
@@ -54,7 +54,7 @@ func TestClosedModeAllAlgorithms(t *testing.T) {
 
 func TestAlgoList(t *testing.T) {
 	out := runCLI(t, "-algo", "list")
-	for _, name := range []string{"close", "aclose", "charm", "titanic", "apriori", "eclat", "declat", "fpgrowth", "pascal"} {
+	for _, name := range []string{"close", "aclose", "charm", "titanic", "genclose", "pgenclose", "apriori", "eclat", "declat", "fpgrowth", "pascal"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-algo list missing %q:\n%s", name, out)
 		}

@@ -15,6 +15,12 @@
 // re-read and validated before the command exits 0, which is what the
 // CI smoke step relies on: malformed output is a non-zero exit.
 //
+// -basis-e2e switches to the end-to-end dataset→basis campaign: each
+// (miner × basis) pipeline is mined and built from scratch per
+// iteration, so the cells (kind "basis") compare what serving a basis
+// costs per miner — in particular the two-pass a-close path against
+// the one-pass genclose path for the generator-requiring bases.
+//
 // -live-append switches to the incremental-maintenance campaign: each
 // workload is replayed as a committed base plus -append-batches equal
 // append batches (sized by -append-fracs), and every batch is both
@@ -51,11 +57,15 @@ func run(args []string, w *os.File) error {
 		label    = fs.String("label", "", "run label recorded in the report (default: scale + date)")
 		out      = fs.String("out", "BENCH_closedmining.json", "output report path")
 		appendF  = fs.Bool("append", false, "append the run to an existing report instead of overwriting")
-		closedF  = fs.String("closed", "close,charm,pcharm", "comma-separated closed miners to bench")
+		closedF  = fs.String("closed", "close,charm,pcharm,genclose,pgenclose", "comma-separated closed miners to bench")
 		freqF    = fs.String("frequent", "eclat,declat,peclat,pdeclat", "comma-separated frequent miners to bench")
 		minTime  = fs.Duration("mintime", 300*time.Millisecond, "minimum measuring time per cell")
 		maxIters = fs.Int("maxiters", 20, "maximum iterations per cell")
 		timeout  = fs.Duration("timeout", 0, "abort the whole campaign after this duration (0 = no limit)")
+
+		basisE2E    = fs.Bool("basis-e2e", false, "run the end-to-end dataset→basis campaign (mine + build per iteration) instead of the miner sweep")
+		basisMiners = fs.String("basis-miners", "aclose,genclose", "comma-separated closed miners pipelined in -basis-e2e (must satisfy the bases' requirements)")
+		basisBases  = fs.String("basis-bases", "duquenne-guigues,generic", "comma-separated bases built in -basis-e2e")
 
 		liveAppend  = fs.Bool("live-append", false, "run the live-append campaign (incremental update vs full re-mine) instead of the miner sweep")
 		appendFracs = fs.String("append-fracs", "0.001,0.01", "comma-separated per-batch append sizes as fractions of each workload")
@@ -80,7 +90,19 @@ func run(args []string, w *os.File) error {
 	}
 
 	var newRun bench.Run
-	if *liveAppend {
+	if *basisE2E {
+		newRun, err = bench.ExecuteBasis(ctx, bench.BasisConfig{
+			Label:    *label,
+			Scale:    scale,
+			Miners:   splitList(*basisMiners),
+			Bases:    splitList(*basisBases),
+			MinTime:  *minTime,
+			MaxIters: *maxIters,
+		})
+		if err != nil {
+			return err
+		}
+	} else if *liveAppend {
 		fracs, err := splitFloats(*appendFracs)
 		if err != nil {
 			return err
@@ -157,9 +179,14 @@ func run(args []string, w *os.File) error {
 
 	fmt.Fprintf(w, "wrote %s: %d run(s), %d result(s) in run %q\n",
 		*out, len(rep.Runs), len(newRun.Results), newRun.Label)
-	pairs := map[string]string{"charm": "pcharm", "eclat": "peclat", "declat": "pdeclat"}
+	pairs := map[string]string{"charm": "pcharm", "eclat": "peclat", "declat": "pdeclat", "genclose": "pgenclose"}
 	if *liveAppend {
 		pairs = map[string]string{"remine": "incremental"}
+	}
+	if *basisE2E {
+		// The headline comparison: two-pass a-close vs one-pass genclose
+		// on the same dataset→basis pipeline.
+		pairs = map[string]string{"aclose": "genclose"}
 	}
 	for base, subject := range pairs {
 		for workload, speedup := range bench.Speedups(newRun, base, subject) {

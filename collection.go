@@ -56,6 +56,12 @@ func ReadClosedCollection(r io.Reader) (*ClosedCollection, error) {
 // Len returns |FC|.
 func (c *ClosedCollection) Len() int { return c.set.Len() }
 
+// HasGenerators reports whether every closed itemset in the collection
+// carries at least one minimal generator — true when the collection
+// was saved from a generator-tracking mining run (close, a-close,
+// titanic, genclose). The generic and informative bases require it.
+func (c *ClosedCollection) HasGenerators() bool { return c.set.HasGenerators() }
+
 // NumTransactions returns |O| (the bottom element's support).
 func (c *ClosedCollection) NumTransactions() int { return c.numTx }
 

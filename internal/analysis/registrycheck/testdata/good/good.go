@@ -22,6 +22,24 @@ func init() {
 	basis.Register("good-basis", goodBasis{})
 }
 
+// The genclose idiom: one package registering its sequential and
+// parallel generator-tracking variants as two distinct literal names
+// from a second init function. Both registrations are sanctioned.
+func init() {
+	miner.RegisterClosed("good-genminer", genMiner{})
+	miner.RegisterClosed("pgood-genminer", genMiner{})
+}
+
+// genMiner mirrors a generator-tracking closed miner (the
+// genclose/pgenclose registration shape).
+type genMiner struct{}
+
+func (genMiner) MineClosed(ctx context.Context, d *dataset.Dataset, minSup int) ([]closedset.Closed, error) {
+	return nil, ctx.Err()
+}
+
+func (genMiner) TracksGenerators() bool { return true }
+
 // RegisterAlias is the root-package re-export shape: forwarding a
 // name parameter through is not a registration — the discipline
 // applies at the wrapper's call sites.

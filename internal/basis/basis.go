@@ -73,6 +73,15 @@ type BuildInput struct {
 	Lattice func() *lattice.Lattice
 	// Family lazily mines (and caches) the frequent-itemset family.
 	Family func() (*itemset.Family, error)
+	// ResolveGenerators, when non-nil, lazily re-mines FC with a
+	// generator-tracking miner. Build consults it only when a
+	// generator-requiring basis meets a generator-less FC: on success
+	// the resolved set replaces FC for that build, on failure (or when
+	// nil — the default, since resolution re-mines the dataset) the
+	// requirement check fails with the explicit error. The root package
+	// wires it to a memoized genclose run behind the
+	// WithGeneratorResolution opt-in.
+	ResolveGenerators func(context.Context) (*closedset.Set, error)
 }
 
 // RuleSet is a basis construction's output: the rules plus the
@@ -184,9 +193,17 @@ func Build(ctx context.Context, name string, in BuildInput) (RuleSet, error) {
 	}
 	req := b.Requirements()
 	if req.Generators && !in.HasGenerators {
-		return RuleSet{}, fmt.Errorf(
-			"closedrules: basis %q needs minimal generators, and miner %q does not track generators; mine with close, a-close or titanic",
-			b.Name(), in.MinerName)
+		if in.ResolveGenerators == nil {
+			return RuleSet{}, fmt.Errorf(
+				"closedrules: basis %q needs minimal generators, and miner %q does not track generators; mine with close, a-close, titanic or genclose, or opt in with WithGeneratorResolution",
+				b.Name(), in.MinerName)
+		}
+		fc, err := in.ResolveGenerators(ctx)
+		if err != nil {
+			return RuleSet{}, fmt.Errorf("closedrules: basis %q needs minimal generators and resolving them failed: %w", b.Name(), err)
+		}
+		in.FC = fc
+		in.HasGenerators = true
 	}
 	if req.Lattice && in.Lattice == nil {
 		return RuleSet{}, fmt.Errorf("closedrules: basis %q needs the iceberg lattice, and none is available", b.Name())

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"closedrules"
+	"closedrules/internal/miner"
+)
+
+// The end-to-end dataset→basis campaign: each cell times the full
+// pipeline — mine the closed sets with one miner, then build one rule
+// basis from the fresh result — so the report captures what serving a
+// basis actually costs per miner, not just the mining step. Its point
+// is the two-pass vs one-pass comparison: a-close mines closed sets
+// and generators level-wise over the transaction data, genclose mines
+// both in a single vertical traversal, and the generator-requiring
+// bases (generic, informative) consume either directly. Cells have
+// kind "basis", the Basis field set, and Sets = |rules|.
+
+// BasisConfig configures one end-to-end campaign.
+type BasisConfig struct {
+	Label string
+	Scale Scale
+	// Miners are the closed-miner registry names to pipeline; each must
+	// satisfy the requirements of every configured basis (use
+	// generator-tracking miners for generator-requiring bases).
+	Miners []string
+	// Bases are the basis registry names built from each miner's result.
+	Bases []string
+	// MinTime is the minimum measuring time per cell (default 300ms).
+	MinTime time.Duration
+	// MaxIters caps the iterations per cell (default 20).
+	MaxIters int
+}
+
+// ExecuteBasis runs the dataset→basis campaign: for every workload,
+// every (miner × basis) pipeline is mined and built from scratch per
+// iteration (no Result reuse — the cached lattice or family would
+// hide the miner's share of the cost).
+func ExecuteBasis(ctx context.Context, cfg BasisConfig) (Run, error) {
+	rc := RunConfig{MinTime: cfg.MinTime, MaxIters: cfg.MaxIters}
+	if rc.MinTime <= 0 {
+		rc.MinTime = 300 * time.Millisecond
+	}
+	if rc.MaxIters <= 0 {
+		rc.MaxIters = 20
+	}
+	run := Run{Label: cfg.Label, Scale: scaleName(cfg.Scale), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	ws, err := Workloads(cfg.Scale)
+	if err != nil {
+		return run, err
+	}
+	for _, w := range ws {
+		minSup := w.RuleMinSup
+		w.D.Context() // warm the binary context outside the timed region
+		for _, mn := range cfg.Miners {
+			for _, bn := range cfg.Bases {
+				var rules int
+				res, err := measure(ctx, rc, func() error {
+					r, err := closedrules.MineContext(ctx, w.D,
+						closedrules.WithMinSupport(minSup), closedrules.WithAlgorithm(mn))
+					if err != nil {
+						return err
+					}
+					rs, err := r.Basis(ctx, bn)
+					if err != nil {
+						return err
+					}
+					rules = rs.Len()
+					return nil
+				})
+				if err != nil {
+					return run, fmt.Errorf("bench: %s→%s on %s: %w", mn, bn, w.Name, err)
+				}
+				res.Workload, res.MinSup, res.Kind = w.Name, minSup, "basis"
+				res.Miner, res.Basis = miner.Canonical(mn), bn
+				res.Sets = rules
+				run.Results = append(run.Results, res)
+			}
+		}
+	}
+	return run, nil
+}

@@ -28,9 +28,10 @@ const ReportSchema = 1
 // MinerResult is one measured (workload, miner) benchmark cell.
 type MinerResult struct {
 	Workload    string  `json:"workload"`
-	MinSup      float64 `json:"minsup"` // relative support used
-	Miner       string  `json:"miner"`  // registry name
-	Kind        string  `json:"kind"`   // "closed", "frequent" or "update" (live-append)
+	MinSup      float64 `json:"minsup"`          // relative support used
+	Miner       string  `json:"miner"`           // registry name
+	Basis       string  `json:"basis,omitempty"` // basis registry name (kind "basis" only)
+	Kind        string  `json:"kind"`            // "closed", "frequent", "update" (live-append) or "basis" (dataset→basis end to end)
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -201,13 +202,22 @@ func Validate(r Report) error {
 			if res.Workload == "" || res.Miner == "" {
 				return fmt.Errorf("bench: run %q has a result without workload or miner", run.Label)
 			}
-			if res.Kind != "closed" && res.Kind != "frequent" && res.Kind != "update" {
+			if res.Kind != "closed" && res.Kind != "frequent" && res.Kind != "update" && res.Kind != "basis" {
 				return fmt.Errorf("bench: run %q: result %s/%s has kind %q", run.Label, res.Workload, res.Miner, res.Kind)
+			}
+			if (res.Kind == "basis") != (res.Basis != "") {
+				return fmt.Errorf("bench: run %q: result %s/%s: basis field %q inconsistent with kind %q",
+					run.Label, res.Workload, res.Miner, res.Basis, res.Kind)
 			}
 			if res.NsPerOp <= 0 || res.Iterations <= 0 {
 				return fmt.Errorf("bench: run %q: result %s/%s not measured", run.Label, res.Workload, res.Miner)
 			}
-			if res.Sets <= 0 {
+			// A basis can be legitimately empty; mining zero itemsets is a
+			// broken cell.
+			if res.Kind == "basis" && res.Sets < 0 {
+				return fmt.Errorf("bench: run %q: result %s/%s has negative rule count", run.Label, res.Workload, res.Miner)
+			}
+			if res.Kind != "basis" && res.Sets <= 0 {
 				return fmt.Errorf("bench: run %q: result %s/%s mined no itemsets", run.Label, res.Workload, res.Miner)
 			}
 		}
@@ -240,13 +250,14 @@ func WriteReport(w io.Writer, rep Report) error {
 }
 
 // Speedups compares two miners within one run: for every workload
-// where both were measured with the same kind, the ratio
-// ns(base)/ns(subject) — >1 means subject is faster.
+// where both were measured with the same kind (and, for dataset→basis
+// cells, the same basis), the ratio ns(base)/ns(subject) — >1 means
+// subject is faster. Basis cells are reported per "workload/basis".
 func Speedups(run Run, base, subject string) map[string]float64 {
 	baseNs := map[string]int64{}
 	for _, r := range run.Results {
 		if r.Miner == miner.Canonical(base) {
-			baseNs[r.Workload+"/"+r.Kind] = r.NsPerOp
+			baseNs[r.Workload+"/"+r.Kind+"/"+r.Basis] = r.NsPerOp
 		}
 	}
 	out := map[string]float64{}
@@ -254,8 +265,12 @@ func Speedups(run Run, base, subject string) map[string]float64 {
 		if r.Miner != miner.Canonical(subject) {
 			continue
 		}
-		if b, ok := baseNs[r.Workload+"/"+r.Kind]; ok && r.NsPerOp > 0 {
-			out[r.Workload] = float64(b) / float64(r.NsPerOp)
+		if b, ok := baseNs[r.Workload+"/"+r.Kind+"/"+r.Basis]; ok && r.NsPerOp > 0 {
+			label := r.Workload
+			if r.Basis != "" {
+				label += "/" + r.Basis
+			}
+			out[label] = float64(b) / float64(r.NsPerOp)
 		}
 	}
 	return out

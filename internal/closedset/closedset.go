@@ -85,6 +85,20 @@ func (s *Set) AddGenerator(items itemset.Itemset, support int, gen itemset.Items
 // Len returns |FC|.
 func (s *Set) Len() int { return len(s.list) }
 
+// HasGenerators reports whether every closed itemset carries at least
+// one minimal generator — true for the output of generator-tracking
+// miners (close, a-close, titanic, genclose), false for the bare
+// families the vertical miners return. An empty set vacuously has
+// generators.
+func (s *Set) HasGenerators() bool {
+	for i := range s.list {
+		if len(s.list[i].Generators) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Contains reports whether items is one of the closed itemsets.
 func (s *Set) Contains(items itemset.Itemset) bool {
 	_, ok := s.byKey[items.Key()]

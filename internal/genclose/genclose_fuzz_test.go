@@ -1,0 +1,78 @@
+package genclose_test
+
+import (
+	"testing"
+
+	"closedrules/internal/dataset"
+	"closedrules/internal/galois"
+	"closedrules/internal/genclose"
+	"closedrules/internal/itemset"
+)
+
+// FuzzGenClose decodes arbitrary bytes into a small binary context
+// (each byte is one transaction's bitmask over ≤ 8 items) and checks
+// the mined family's structural invariants: no panics, every returned
+// itemset closed, every generator's closure equal to its closed set,
+// and every generator minimal (no proper subset with the same
+// support). `go test` runs the seed corpus; `go test -fuzz=FuzzGenClose
+// ./internal/genclose` explores further.
+func FuzzGenClose(f *testing.F) {
+	f.Add([]byte{0b1101, 0b10110, 0b10111, 0b10010, 0b10111}, 2)
+	f.Add([]byte{1, 2, 4, 8}, 1)
+	f.Add([]byte{0xff, 0xff, 0xff}, 3)
+	f.Add([]byte{0, 0}, 1)
+	f.Add([]byte{}, 1)
+	f.Fuzz(func(t *testing.T, raw []byte, minSup int) {
+		if len(raw) > 24 {
+			raw = raw[:24]
+		}
+		tx := make([][]int, len(raw))
+		for i, b := range raw {
+			for it := 0; it < 8; it++ {
+				if b&(1<<it) != 0 {
+					tx[i] = append(tx[i], it)
+				}
+			}
+		}
+		d, err := dataset.FromTransactions(tx)
+		if err != nil {
+			t.Skip()
+		}
+		if minSup < 1 || minSup > len(raw) {
+			minSup = 1
+		}
+		fc, err := genclose.Mine(d, minSup)
+		if err != nil {
+			t.Fatalf("Mine: %v", err)
+		}
+		dc := d.Context()
+		for _, c := range fc.All() {
+			if !galois.IsClosed(dc, c.Items) {
+				t.Errorf("returned set %v is not closed", c.Items)
+			}
+			if got, ok := fc.ClosureOf(c.Items); !ok || !got.Items.Equal(c.Items) {
+				t.Errorf("ClosureOf(%v) = %v,%v within the mined family", c.Items, got.Items, ok)
+			}
+			if sup := galois.Support(dc, c.Items); sup != c.Support {
+				t.Errorf("supp(%v) = %d, recorded %d", c.Items, sup, c.Support)
+			}
+			if len(c.Generators) == 0 {
+				t.Errorf("closed %v has no generators", c.Items)
+			}
+			for _, g := range c.Generators {
+				if !galois.Closure(dc, g).Equal(c.Items) {
+					t.Errorf("h(%v) = %v, attached to %v", g, galois.Closure(dc, g), c.Items)
+				}
+				// Minimality: dropping any one item must raise the support.
+				for drop := 0; drop < len(g); drop++ {
+					sub := make(itemset.Itemset, 0, len(g)-1)
+					sub = append(sub, g[:drop]...)
+					sub = append(sub, g[drop+1:]...)
+					if galois.Support(dc, sub) == c.Support {
+						t.Errorf("generator %v of %v not minimal: subset %v has equal support", g, c.Items, sub)
+					}
+				}
+			}
+		}
+	})
+}

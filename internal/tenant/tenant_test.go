@@ -112,6 +112,15 @@ func TestRegisterValidation(t *testing.T) {
 	if _, err := p.Register(Spec{ID: "a", Source: src, Refresh: -time.Second}); err == nil {
 		t.Error("negative refresh accepted")
 	}
+	// Registry-resolved names are accepted as they register; the
+	// generator-coupled miners included.
+	for _, algo := range []string{"genclose", "pgenclose"} {
+		params := classicParams()
+		params.Algorithm = algo
+		if _, err := p.Register(Spec{ID: "algo-" + algo, Source: newCountingSource(t, classicTx), Params: params}); err != nil {
+			t.Errorf("algorithm %q rejected: %v", algo, err)
+		}
+	}
 	if _, err := p.Register(Spec{ID: "a", Source: src, Params: classicParams()}); err != nil {
 		t.Fatalf("valid registration rejected: %v", err)
 	}

@@ -82,6 +82,7 @@ type basisConfig struct {
 	minConf      float64 // keep rules with confidence ≥ this; 0 keeps all
 	reduced      bool    // transitive-reduction variant where one exists
 	includeEmpty bool    // keep empty-antecedent rules (engine plumbing)
+	genResolve   bool    // re-mine generators via genclose when missing
 }
 
 // WithMinConfidence keeps only rules with confidence ≥ c ∈ [0,1] in
@@ -106,6 +107,21 @@ func WithMinConfidence(c float64) BasisOption {
 func WithReduction(reduced bool) BasisOption {
 	return func(cfg *basisConfig) error {
 		cfg.reduced = reduced
+		return nil
+	}
+}
+
+// WithGeneratorResolution lets a generator-requiring basis (generic,
+// informative) be built from a result whose miner does not track
+// minimal generators: the registry re-mines the dataset once with
+// genclose — the one-pass closed-sets-plus-generators miner — and
+// builds the basis from that resolved family. The re-mine is memoized
+// on the Result, so repeated basis builds pay for it once. Off by
+// default: without the opt-in such a request keeps failing with the
+// explicit requirement error, as it always has.
+func WithGeneratorResolution() BasisOption {
+	return func(cfg *basisConfig) error {
+		cfg.genResolve = true
 		return nil
 	}
 }

@@ -16,6 +16,7 @@ import (
 	_ "closedrules/internal/closealg"
 	_ "closedrules/internal/eclat"
 	_ "closedrules/internal/fpgrowth"
+	_ "closedrules/internal/genclose"
 	_ "closedrules/internal/pascal"
 	_ "closedrules/internal/titanic"
 )

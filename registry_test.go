@@ -9,7 +9,7 @@ import (
 )
 
 func TestRegistryHasAllBuiltins(t *testing.T) {
-	wantClosed := []string{"aclose", "charm", "close", "pcharm", "titanic"}
+	wantClosed := []string{"aclose", "charm", "close", "genclose", "pcharm", "pgenclose", "titanic"}
 	if got := ClosedMiners(); !reflect.DeepEqual(got, wantClosed) {
 		t.Errorf("ClosedMiners() = %v, want %v", got, wantClosed)
 	}
@@ -124,7 +124,10 @@ func TestMineFrequentContextAllMinersAgree(t *testing.T) {
 
 func TestTracksGenerators(t *testing.T) {
 	d := classic(t)
-	for name, want := range map[string]bool{"close": true, "a-close": true, "titanic": true, "charm": false} {
+	for name, want := range map[string]bool{
+		"close": true, "a-close": true, "titanic": true, "genclose": true, "pgenclose": true,
+		"charm": false,
+	} {
 		res, err := MineContext(context.Background(), d, WithMinSupport(0.4), WithAlgorithm(name))
 		if err != nil {
 			t.Fatal(err)

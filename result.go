@@ -11,6 +11,7 @@ import (
 	"closedrules/internal/basis"
 	"closedrules/internal/closedset"
 	"closedrules/internal/core"
+	"closedrules/internal/genclose"
 	"closedrules/internal/itemset"
 	"closedrules/internal/lattice"
 	"closedrules/internal/rules"
@@ -32,6 +33,13 @@ type Result struct {
 	latOnce sync.Once
 	lat     *lattice.Lattice // lazily built
 
+	// genMu/genFC memoize the WithGeneratorResolution re-mine: the FC
+	// with minimal generators attached, produced by one genclose run
+	// over the same dataset and threshold. Errors (e.g. cancellation)
+	// are not cached, so a failed resolution can be retried.
+	genMu sync.Mutex
+	genFC *closedset.Set
+
 	// basisCache memoizes Basis outputs per (basis, thresholds) so a
 	// serving layer can re-request the same basis without re-walking
 	// the lattice. Values are *RuleSet; keys come from basisCacheKey.
@@ -52,6 +60,13 @@ func (r *Result) MinerName() string { return r.minerName }
 // minimal generators of each closed itemset (required by the generic
 // and informative bases).
 func (r *Result) TracksGenerators() bool { return r.hasGens }
+
+// HasGenerators reports whether the result's closed itemsets carry
+// their minimal generators — true for generator-tracking miners
+// (close, a-close, titanic, genclose/pgenclose). Generator-requiring
+// bases on a generator-less result either fail with an explicit error
+// or, with WithGeneratorResolution, re-mine via genclose.
+func (r *Result) HasGenerators() bool { return r.hasGens }
 
 // ClosedItemsets returns the frequent closed itemsets (FC), including
 // the bottom h(∅), in canonical order.
@@ -124,10 +139,39 @@ func (r *Result) LatticeEdges() [][2]ClosedItemset {
 	return out
 }
 
+// resolveGenerators re-mines the dataset with genclose — the one-pass
+// closed-sets-plus-generators miner — at the result's threshold, and
+// memoizes the resolved family. It backs WithGeneratorResolution;
+// because genclose's closed sets and supports are byte-identical to
+// any other closed miner's, the resolved FC differs from r.fc only in
+// carrying generators.
+func (r *Result) resolveGenerators(ctx context.Context) (*closedset.Set, error) {
+	r.genMu.Lock()
+	cached := r.genFC
+	r.genMu.Unlock()
+	if cached != nil {
+		return cached, nil
+	}
+	// Mine outside the lock; concurrent resolvers may race the re-mine,
+	// but every run produces the identical family, so first-publish-wins
+	// is safe.
+	fc, err := genclose.MineContext(ctx, r.d, r.minSup)
+	if err != nil {
+		return nil, err
+	}
+	r.genMu.Lock()
+	if r.genFC == nil {
+		r.genFC = fc
+	}
+	fc = r.genFC
+	r.genMu.Unlock()
+	return fc, nil
+}
+
 // buildInput assembles the registry-facing view of this result with
 // the given construction options.
 func (r *Result) buildInput(cfg basisConfig) basis.BuildInput {
-	return basis.BuildInput{
+	in := basis.BuildInput{
 		NumTx:                  r.d.NumTransactions(),
 		FC:                     r.fc,
 		HasGenerators:          r.hasGens,
@@ -138,6 +182,10 @@ func (r *Result) buildInput(cfg basisConfig) basis.BuildInput {
 		Lattice:                r.latticeOf,
 		Family:                 r.family,
 	}
+	if cfg.genResolve && !r.hasGens {
+		in.ResolveGenerators = r.resolveGenerators
+	}
+	return in
 }
 
 // basisCacheKey is the memoization key for one unfiltered Basis
@@ -148,7 +196,8 @@ func (r *Result) buildInput(cfg basisConfig) basis.BuildInput {
 func basisCacheKey(name string, cfg basisConfig) string {
 	return basis.Canonical(name) + "|" +
 		strconv.FormatBool(cfg.reduced) + "|" +
-		strconv.FormatBool(cfg.includeEmpty)
+		strconv.FormatBool(cfg.includeEmpty) + "|" +
+		strconv.FormatBool(cfg.genResolve)
 }
 
 // Basis constructs the named rule basis from this result — the one way
